@@ -1,0 +1,269 @@
+// Benchmarks regenerating every data figure of the paper's evaluation
+// (Figures 1, 2, 4, 6, 7, 8, 9, 10, 11, 12 — Figures 3 and 5 are
+// architecture diagrams) plus the ablation studies DESIGN.md calls out.
+//
+// Each benchmark executes the figure's full experiment per iteration and
+// reports the figure's headline numbers as custom metrics (milliseconds or
+// percent, suffixed with the paper's value where one exists). Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Absolute numbers come from a simulated testbed and are not expected to
+// match the paper's EC2 milliseconds; orderings and rough factors are the
+// reproduction target (see EXPERIMENTS.md).
+package l3_test
+
+import (
+	"strings"
+	"testing"
+
+	"l3/internal/bench"
+)
+
+// benchOpts are the shared settings: the paper's full 10-minute scenarios,
+// single repetition per iteration (the CLI's -reps flag merges more).
+func benchOpts() bench.Options {
+	return bench.Options{Seed: 1}
+}
+
+// reportRows republishes a Result's rows as benchmark metrics, using
+// sanitised row labels as metric names.
+func reportRows(b *testing.B, r *bench.Result) {
+	b.Helper()
+	for _, row := range r.Rows {
+		name := strings.ToLower(row.Label)
+		for _, ch := range []string{" ", "(", ")", ",", "="} {
+			name = strings.ReplaceAll(name, ch, "_")
+		}
+		name = strings.ReplaceAll(name, "__", "_")
+		unit := row.Unit
+		if unit == "" {
+			unit = "value"
+		}
+		b.ReportMetric(row.Value, name+"_"+unit)
+	}
+}
+
+func BenchmarkFig01_ScenarioLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bench.Fig1(benchOpts().Seed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.Series) != 12 {
+			b.Fatalf("series = %d", len(r.Series))
+		}
+	}
+}
+
+func BenchmarkFig02_ScenarioRPS(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bench.Fig2(benchOpts().Seed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.Series) != 2 {
+			b.Fatalf("series = %d", len(r.Series))
+		}
+	}
+}
+
+func BenchmarkFig04_RateControlCurve(b *testing.B) {
+	var r *bench.Result
+	for i := 0; i < b.N; i++ {
+		r = bench.Fig4()
+	}
+	reportRows(b, r)
+}
+
+func BenchmarkFig06_ScenarioP99(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bench.Fig6(benchOpts().Seed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.Series) != 9 {
+			b.Fatalf("series = %d", len(r.Series))
+		}
+	}
+}
+
+func BenchmarkFig07_PenaltyFactor(b *testing.B) {
+	var r *bench.Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = bench.Fig7(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportRows(b, r)
+}
+
+func BenchmarkFig08_EWMAvsPeakEWMA(b *testing.B) {
+	var r *bench.Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = bench.Fig8(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportRows(b, r)
+}
+
+func BenchmarkFig09_DeathStarBench(b *testing.B) {
+	var r *bench.Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = bench.Fig9(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportRows(b, r)
+}
+
+func BenchmarkFig10_Scenarios(b *testing.B) {
+	var r *bench.Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = bench.Fig10(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportRows(b, r)
+}
+
+func BenchmarkFig11_FailureLatency(b *testing.B) {
+	var r *bench.Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = bench.Fig11(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportRows(b, r)
+}
+
+func BenchmarkFig12_FailureSuccessRate(b *testing.B) {
+	var r *bench.Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = bench.Fig12(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportRows(b, r)
+}
+
+func BenchmarkAblationInflightExponent(b *testing.B) {
+	var r *bench.Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = bench.AblationInflightExponent(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportRows(b, r)
+}
+
+func BenchmarkAblationPercentile(b *testing.B) {
+	var r *bench.Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = bench.AblationPercentile(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportRows(b, r)
+}
+
+func BenchmarkAblationRateControl(b *testing.B) {
+	var r *bench.Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = bench.AblationRateControl(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportRows(b, r)
+}
+
+func BenchmarkAblationScrapeInterval(b *testing.B) {
+	var r *bench.Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = bench.AblationScrapeInterval(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportRows(b, r)
+}
+
+func BenchmarkAblationBaselines(b *testing.B) {
+	var r *bench.Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = bench.AblationBaselines(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportRows(b, r)
+}
+
+func BenchmarkAblationFailover(b *testing.B) {
+	var r *bench.Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = bench.AblationFailover(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportRows(b, r)
+}
+
+func BenchmarkAblationDynamicPenalty(b *testing.B) {
+	var r *bench.Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = bench.AblationDynamicPenalty(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportRows(b, r)
+}
+
+func BenchmarkAblationPenaltyWithRetries(b *testing.B) {
+	var r *bench.Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = bench.AblationPenaltyWithRetries(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportRows(b, r)
+}
+
+func BenchmarkAblationCostAwareness(b *testing.B) {
+	var r *bench.Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = bench.AblationCostAwareness(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportRows(b, r)
+}

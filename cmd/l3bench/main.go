@@ -1,0 +1,117 @@
+// Command l3bench regenerates the figures of the paper's evaluation (§5)
+// plus this repository's ablation experiments.
+//
+// Usage:
+//
+//	l3bench -fig all                 # every figure (the full evaluation)
+//	l3bench -fig 9                   # one figure
+//	l3bench -fig 10 -reps 3 -seed 7  # repetitions and seeding
+//	l3bench -fig 1 -csv              # emit series as CSV for plotting
+//	l3bench -fig ablations           # the ablation suite
+//
+// Figure durations follow the paper (10-minute scenarios); -quick shrinks
+// the measured window for a fast sanity pass.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"l3/internal/bench"
+)
+
+// stdout is swappable so tests can silence the tool's output.
+var stdout io.Writer = os.Stdout
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "l3bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("l3bench", flag.ContinueOnError)
+	var (
+		fig   = fs.String("fig", "all", "figure to regenerate: 1,2,4,6,7,8,9,10,11,12, 'ablations' or 'all'")
+		seed  = fs.Uint64("seed", 1, "base random seed")
+		reps  = fs.Int("reps", 1, "repetitions per configuration (paper used 2-3)")
+		quick = fs.Bool("quick", false, "shrink measured windows for a fast pass")
+		csv   = fs.Bool("csv", false, "emit series results as CSV instead of summaries")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	opts := bench.Options{Seed: *seed, Reps: *reps}
+	if *quick {
+		opts.Duration = 2 * time.Minute
+	}
+
+	type runner struct {
+		id string
+		fn func() (*bench.Result, error)
+	}
+	dsbDuration := 5 * time.Minute
+	if *quick {
+		dsbDuration = 2 * time.Minute
+	}
+	runners := []runner{
+		{"1", func() (*bench.Result, error) { return bench.Fig1(*seed) }},
+		{"2", func() (*bench.Result, error) { return bench.Fig2(*seed) }},
+		{"4", func() (*bench.Result, error) { return bench.Fig4(), nil }},
+		{"6", func() (*bench.Result, error) { return bench.Fig6(*seed) }},
+		{"7", func() (*bench.Result, error) { return bench.Fig7(opts) }},
+		{"8", func() (*bench.Result, error) { return bench.Fig8(opts) }},
+		{"9", func() (*bench.Result, error) { return bench.Fig9WithDuration(opts, dsbDuration) }},
+		{"10", func() (*bench.Result, error) { return bench.Fig10(opts) }},
+		{"11", func() (*bench.Result, error) { return bench.Fig11(opts) }},
+		{"12", func() (*bench.Result, error) { return bench.Fig12(opts) }},
+	}
+	ablations := []runner{
+		{"ablation-inflight-exponent", func() (*bench.Result, error) { return bench.AblationInflightExponent(opts) }},
+		{"ablation-percentile", func() (*bench.Result, error) { return bench.AblationPercentile(opts) }},
+		{"ablation-rate-control", func() (*bench.Result, error) { return bench.AblationRateControl(opts) }},
+		{"ablation-scrape-interval", func() (*bench.Result, error) { return bench.AblationScrapeInterval(opts) }},
+		{"ablation-baselines", func() (*bench.Result, error) { return bench.AblationBaselines(opts) }},
+		{"ablation-failover", func() (*bench.Result, error) { return bench.AblationFailover(opts) }},
+		{"ablation-dynamic-penalty", func() (*bench.Result, error) { return bench.AblationDynamicPenalty(opts) }},
+		{"ablation-penalty-retries", func() (*bench.Result, error) { return bench.AblationPenaltyWithRetries(opts) }},
+		{"ablation-cost", func() (*bench.Result, error) { return bench.AblationCostAwareness(opts) }},
+	}
+
+	var selected []runner
+	switch *fig {
+	case "all":
+		selected = runners
+	case "ablations":
+		selected = ablations
+	default:
+		for _, r := range append(runners, ablations...) {
+			if r.id == *fig {
+				selected = []runner{r}
+			}
+		}
+		if selected == nil {
+			return fmt.Errorf("unknown figure %q (figures 3 and 5 are architecture diagrams with no data)", *fig)
+		}
+	}
+
+	for _, r := range selected {
+		start := time.Now()
+		res, err := r.fn()
+		if err != nil {
+			return fmt.Errorf("fig %s: %w", r.id, err)
+		}
+		if *csv && len(res.Series) > 0 {
+			fmt.Fprint(stdout, res.CSV())
+			continue
+		}
+		fmt.Fprint(stdout, res.Render())
+		fmt.Fprintf(stdout, "  (%.1fs)\n\n", time.Since(start).Seconds())
+	}
+	return nil
+}

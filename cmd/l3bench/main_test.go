@@ -1,0 +1,30 @@
+package main
+
+import "testing"
+
+func TestRunUnknownFigure(t *testing.T) {
+	if err := run([]string{"-fig", "99"}); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+	if err := run([]string{"-fig", "3"}); err == nil {
+		t.Fatal("figure 3 (diagram) should explain it has no data")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-nope"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestRunFig4(t *testing.T) {
+	if err := run([]string{"-fig", "4"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFig1CSV(t *testing.T) {
+	if err := run([]string{"-fig", "1", "-csv"}); err != nil {
+		t.Fatal(err)
+	}
+}

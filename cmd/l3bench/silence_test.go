@@ -1,0 +1,14 @@
+package main
+
+import (
+	"io"
+	"os"
+	"testing"
+)
+
+// TestMain silences the tool's stdout during tests so test logs stay
+// readable; errors still reach stderr.
+func TestMain(m *testing.M) {
+	stdout = io.Discard
+	os.Exit(m.Run())
+}

@@ -1,0 +1,109 @@
+// Command l3sim runs one scenario under one load-balancing strategy and
+// prints the latency distribution, success rate and a per-minute P99
+// series — a single cell of the evaluation, for interactive exploration.
+//
+// Usage:
+//
+//	l3sim -scenario scenario-1 -algo l3
+//	l3sim -scenario failure-2 -algo c3 -penalty 300ms -seed 9
+//	l3sim -scenario scenario-4 -algo l3 -peak-ewma
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"l3/internal/bench"
+	"l3/internal/ewma"
+	"l3/internal/trace"
+)
+
+// stdout is swappable so tests can silence the tool's output.
+var stdout io.Writer = os.Stdout
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "l3sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("l3sim", flag.ContinueOnError)
+	var (
+		scenario = fs.String("scenario", trace.Scenario1, fmt.Sprintf("scenario name %v", trace.Names()))
+		algoName = fs.String("algo", "l3", "strategy: rr, c3, l3, p2c")
+		seed     = fs.Uint64("seed", 1, "random seed")
+		penalty  = fs.Duration("penalty", 600*time.Millisecond, "L3 penalty factor P")
+		peak     = fs.Bool("peak-ewma", false, "use PeakEWMA instead of EWMA for L3's latency filter")
+		noRate   = fs.Bool("no-rate-control", false, "disable Algorithm 2")
+		duration = fs.Duration("duration", 0, "measured duration (default: the scenario's 10 minutes)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	algo, err := parseAlgo(*algoName)
+	if err != nil {
+		return err
+	}
+	opts := bench.Options{
+		Seed:               *seed,
+		Penalty:            *penalty,
+		Duration:           *duration,
+		DisableRateControl: *noRate,
+	}
+	if *peak {
+		opts.FilterKind = ewma.KindPeak
+	}
+
+	start := time.Now()
+	rec, err := bench.RunScenario(*scenario, algo, opts)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(stdout, "scenario %s under %s (seed %d)\n", *scenario, algo, *seed)
+	fmt.Fprintf(stdout, "  requests     %d\n", rec.Count())
+	fmt.Fprintf(stdout, "  success rate %.2f%%\n", rec.SuccessRate()*100)
+	for _, q := range []float64{0.50, 0.90, 0.99, 0.999} {
+		fmt.Fprintf(stdout, "  p%-5g       %v\n", q*100, rec.Quantile(q))
+	}
+	fmt.Fprintf(stdout, "  max          %v\n", rec.Quantile(1))
+
+	fmt.Fprintln(stdout, "  worst per-second P99 within each minute (ms):")
+	p99s := rec.QuantileSeries(0.99)
+	for min := 0; min*60 < len(p99s); min++ {
+		end := (min + 1) * 60
+		if end > len(p99s) {
+			end = len(p99s)
+		}
+		worst := 0.0
+		for _, v := range p99s[min*60 : end] {
+			if v > worst {
+				worst = v
+			}
+		}
+		fmt.Fprintf(stdout, "    minute %2d: %7.1f\n", min, worst*1000)
+	}
+	fmt.Fprintf(stdout, "  (simulated in %.1fs)\n", time.Since(start).Seconds())
+	return nil
+}
+
+func parseAlgo(name string) (bench.Algorithm, error) {
+	switch name {
+	case "rr", "round-robin":
+		return bench.AlgoRoundRobin, nil
+	case "l3":
+		return bench.AlgoL3, nil
+	case "c3":
+		return bench.AlgoC3, nil
+	case "p2c":
+		return bench.AlgoP2C, nil
+	default:
+		return 0, fmt.Errorf("unknown algorithm %q (rr, c3, l3, p2c)", name)
+	}
+}

@@ -1,0 +1,41 @@
+package main
+
+import (
+	"testing"
+
+	"l3/internal/bench"
+)
+
+func TestParseAlgo(t *testing.T) {
+	tests := map[string]bench.Algorithm{
+		"rr": bench.AlgoRoundRobin, "round-robin": bench.AlgoRoundRobin,
+		"l3": bench.AlgoL3, "c3": bench.AlgoC3, "p2c": bench.AlgoP2C,
+	}
+	for in, want := range tests {
+		got, err := parseAlgo(in)
+		if err != nil || got != want {
+			t.Fatalf("parseAlgo(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := parseAlgo("magic"); err == nil {
+		t.Fatal("unknown algo accepted")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-scenario", "nope"}); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+	if err := run([]string{"-algo", "nope"}); err == nil {
+		t.Fatal("unknown algo accepted")
+	}
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestRunQuickScenario(t *testing.T) {
+	if err := run([]string{"-scenario", "scenario-5", "-algo", "rr", "-duration", "1m"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,15 @@
+package main
+
+import "testing"
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-nope"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestRunShortTrace(t *testing.T) {
+	if err := run([]string{"-duration", "20s", "-rps", "50", "-top", "3"}); err != nil {
+		t.Fatal(err)
+	}
+}

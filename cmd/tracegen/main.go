@@ -1,0 +1,76 @@
+// Command tracegen synthesises and dumps the workload scenarios — the
+// reconstructions of the paper's proprietary TIER Mobility captures behind
+// Figures 1, 2, 6 and 7a — as CSV, one row per second.
+//
+// Usage:
+//
+//	tracegen -scenario scenario-1            # median/P99/success per cluster + RPS
+//	tracegen -scenario failure-2 -seed 3
+//	tracegen -list                           # available scenarios
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"l3/internal/trace"
+)
+
+// stdout is swappable so tests can silence the tool's output.
+var stdout io.Writer = os.Stdout
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	var (
+		name = fs.String("scenario", trace.Scenario1, "scenario to generate")
+		seed = fs.Uint64("seed", 1, "random seed")
+		list = fs.Bool("list", false, "list scenario names and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, n := range trace.Names() {
+			fmt.Fprintln(stdout, n)
+		}
+		return nil
+	}
+
+	sc, err := trace.Generate(*name, *seed)
+	if err != nil {
+		return err
+	}
+
+	header := []string{"t_seconds"}
+	for _, ct := range sc.Clusters {
+		header = append(header,
+			ct.Cluster+"_p50_ms", ct.Cluster+"_p99_ms", ct.Cluster+"_success")
+	}
+	header = append(header, "rps")
+	fmt.Fprintln(stdout, strings.Join(header, ","))
+
+	n := len(sc.RPS.Values)
+	for i := 0; i < n; i++ {
+		row := make([]string, 0, len(header))
+		row = append(row, fmt.Sprintf("%d", i))
+		for _, ct := range sc.Clusters {
+			row = append(row,
+				fmt.Sprintf("%.3f", ct.Median.Values[i]*1000),
+				fmt.Sprintf("%.3f", ct.P99.Values[i]*1000),
+				fmt.Sprintf("%.4f", ct.Success.Values[i]))
+		}
+		row = append(row, fmt.Sprintf("%.2f", sc.RPS.Values[i]))
+		fmt.Fprintln(stdout, strings.Join(row, ","))
+	}
+	return nil
+}

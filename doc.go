@@ -1,0 +1,19 @@
+// Package l3 is the root of a reproduction of "L3: Latency-aware Load
+// Balancing in Multi-Cluster Service Mesh" (Middleware '24).
+//
+// The implementation lives under internal/:
+//
+//   - internal/core holds the L3 controller (weight assigner, rate
+//     controller, metrics collector).
+//   - the remaining internal packages are the substrates the paper's
+//     evaluation depends on: a discrete-event simulator, a Prometheus-style
+//     metrics pipeline, a Kubernetes-flavoured object store with leader
+//     election, an SMI TrafficSplit store, a multi-cluster mesh data plane,
+//     scenario trace generators, the C3 baseline, a constant-throughput load
+//     generator and the DeathStarBench hotel-reservation application model.
+//
+// See DESIGN.md for the system inventory and the per-figure experiment
+// index, and EXPERIMENTS.md for paper-vs-measured results. The benchmarks in
+// bench_test.go regenerate every figure of the paper's evaluation; the same
+// experiments are runnable via cmd/l3bench.
+package l3

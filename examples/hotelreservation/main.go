@@ -1,0 +1,115 @@
+// Hotel reservation: the DeathStarBench workload of the paper's Figure 9 —
+// 17 services (8 microservices plus caches and MongoDB tiers) deployed
+// into three clusters, with EC2-style performance variability, under
+// round-robin, the C3 adaptation and L3.
+//
+// One L3 (or C3) controller instance runs per cluster, each reading its
+// own cluster's proxy metrics and steering its own cluster's
+// TrafficSplits, as §3 of the paper describes for production deployments.
+//
+// Run with: go run ./examples/hotelreservation
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"l3/internal/balancer"
+	"l3/internal/c3"
+	"l3/internal/core"
+	"l3/internal/dsb"
+	"l3/internal/loadgen"
+	"l3/internal/mesh"
+	"l3/internal/metrics"
+	"l3/internal/sim"
+	"l3/internal/timeseries"
+	"l3/internal/wan"
+)
+
+var clusters = []string{"cluster-1", "cluster-2", "cluster-3"}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "hotelreservation:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	fmt.Println("DeathStarBench hotel-reservation across three clusters, 200 RPS for 3 minutes")
+	for _, mode := range []string{"round-robin", "c3", "l3"} {
+		rec, err := experiment(mode)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %-12s p50=%-12v p99=%-12v\n", mode, rec.Quantile(0.5), rec.Quantile(0.99))
+	}
+	return nil
+}
+
+func experiment(mode string) (*loadgen.Recorder, error) {
+	engine := sim.NewEngine()
+	rng := sim.NewRand(7)
+	m := mesh.New(engine, rng.Fork(), wan.New(wan.DefaultConfig()), metrics.NewRegistry())
+
+	// Install the application graph into every cluster, with multi-tenant
+	// performance variability (drifts plus stall episodes).
+	app, err := dsb.InstallHotelReservation(m, clusters, rng.Fork(), dsb.WithPerfVariation())
+	if err != nil {
+		return nil, err
+	}
+
+	switch mode {
+	case "round-robin":
+		if err := app.SetPickerAll(func(string) mesh.Picker { return balancer.NewRoundRobin() }); err != nil {
+			return nil, err
+		}
+	case "c3", "l3":
+		// Per-source TrafficSplits: each cluster owns one split per
+		// service, named "<cluster>/<service>".
+		if err := app.CreateSplits(); err != nil {
+			return nil, err
+		}
+		if err := app.SetPickerAll(func(string) mesh.Picker {
+			return balancer.NewWeightedSplit(m.Splits(), rng.Fork(), dsb.SplitName)
+		}); err != nil {
+			return nil, err
+		}
+		db := timeseries.NewDB(time.Minute)
+		core.NewScraper(engine, db, m.Registry(), 5*time.Second).Start()
+		// One controller per cluster, scoped to that cluster's metrics
+		// and splits.
+		for _, c := range clusters {
+			c := c
+			collector := core.NewCollector(db)
+			collector.Match = metrics.Labels{"src": c}
+			ctrl := core.NewController(engine, m.Splits(), collector, core.ControllerConfig{
+				NewAssigner: func() core.Assigner {
+					if mode == "c3" {
+						return c3.New(c3.Config{})
+					}
+					return core.NewL3Assigner(core.WeightingConfig{}, core.RateControlConfig{}, true)
+				},
+				SplitFilter: func(name string) bool { return strings.HasPrefix(name, c+"/") },
+			})
+			ctrl.Start()
+		}
+	default:
+		return nil, fmt.Errorf("unknown mode %q", mode)
+	}
+
+	// The benchmark client sends to the cluster-local frontend.
+	gen := loadgen.New(engine, loadgen.Config{
+		Rate:   loadgen.ConstantRate(200),
+		WarmUp: 30 * time.Second,
+	}, func(done func(time.Duration, bool)) error {
+		return m.Call("cluster-1", dsb.EntryService, func(r mesh.Result) {
+			done(r.Latency, r.Success)
+		})
+	})
+	gen.Start()
+	engine.RunUntil(30*time.Second + 3*time.Minute)
+	return gen.Recorder(), nil
+}

@@ -1,0 +1,134 @@
+// Policies: the operator's declarative interface. §4 of the paper
+// describes L3 as a Kubernetes operator "managing user-defined objects
+// declaring desired latency optimizations"; here those objects are
+// core.OptimizationPolicy. Two services run side by side:
+//
+//   - "checkout" gets a policy with the paper's defaults (P99, P = 600 ms);
+//   - "search" gets a tail-obsessed policy (P99.9, PeakEWMA filter) — the
+//     per-workload tuning §3.1 and the paper's future-work section call
+//     for;
+//   - "logs" has no policy and is deliberately left unmanaged.
+//
+// The example prints the per-service weight drift, showing that only
+// declared workloads are steered, each under its own configuration, and
+// that deleting a policy stops management live.
+//
+// Run with: go run ./examples/policies
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"l3/internal/backend"
+	"l3/internal/balancer"
+	"l3/internal/core"
+	"l3/internal/ewma"
+	"l3/internal/loadgen"
+	"l3/internal/mesh"
+	"l3/internal/metrics"
+	"l3/internal/sim"
+	"l3/internal/smi"
+	"l3/internal/timeseries"
+	"l3/internal/wan"
+)
+
+var services = []string{"checkout", "search", "logs"}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "policies:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	engine := sim.NewEngine()
+	rng := sim.NewRand(21)
+	m := mesh.New(engine, rng.Fork(), wan.New(wan.DefaultConfig()), metrics.NewRegistry())
+
+	// Three services, each in three clusters; cluster-3 is slow for all.
+	for _, svc := range services {
+		if _, err := m.AddService(svc); err != nil {
+			return err
+		}
+		var backends []smi.Backend
+		for _, c := range []string{"cluster-1", "cluster-2", "cluster-3"} {
+			med := 30 * time.Millisecond
+			if c == "cluster-3" {
+				med = 150 * time.Millisecond
+			}
+			dist := sim.NewLogNormalFromQuantiles(med, 4*med)
+			name := svc + "-" + c
+			if _, err := m.AddBackend(svc, name, c, backend.Config{},
+				func(_ time.Duration, r *sim.Rand) (time.Duration, bool) {
+					return dist.Sample(r), true
+				}); err != nil {
+				return err
+			}
+			backends = append(backends, smi.Backend{Service: name, Weight: 500})
+		}
+		if err := m.Splits().Create(&smi.TrafficSplit{Name: svc, RootService: svc, Backends: backends}); err != nil {
+			return err
+		}
+		if err := m.SetPicker(svc, balancer.NewWeightedSplit(m.Splits(), rng.Fork(), nil)); err != nil {
+			return err
+		}
+	}
+
+	db := timeseries.NewDB(time.Minute)
+	core.NewScraper(engine, db, m.Registry(), 5*time.Second).Start()
+
+	// The declarative operator: only policies' targets are managed.
+	policies := core.NewPolicyStore()
+	ctrl := core.NewPolicyController(engine, m.Splits(), db, policies, core.PolicyControllerConfig{})
+	ctrl.Start()
+
+	if err := policies.Create(&core.OptimizationPolicy{Name: "checkout"}); err != nil {
+		return err
+	}
+	if err := policies.Create(&core.OptimizationPolicy{
+		Name:       "search",
+		Percentile: 0.999,
+		FilterKind: ewma.KindPeak,
+		Penalty:    300 * time.Millisecond,
+	}); err != nil {
+		return err
+	}
+
+	// 120 RPS across the three services from cluster-1.
+	for _, svc := range services {
+		svc := svc
+		gen := loadgen.New(engine, loadgen.Config{Rate: loadgen.ConstantRate(40)},
+			func(done func(time.Duration, bool)) error {
+				return m.Call("cluster-1", svc, func(r mesh.Result) { done(r.Latency, r.Success) })
+			})
+		gen.Start()
+	}
+
+	printShares := func() {
+		fmt.Printf("t=%-5v", engine.Now())
+		for _, svc := range services {
+			ts, _ := m.Splits().Get(svc)
+			var total, slow int64
+			for _, b := range ts.Backends {
+				total += b.Weight
+				if b.Service == svc+"-cluster-3" {
+					slow = b.Weight
+				}
+			}
+			fmt.Printf("  %s[slow-share %4.1f%%]", svc, float64(slow)/float64(total)*100)
+		}
+		fmt.Println()
+	}
+
+	engine.Every(time.Minute, printShares)
+	engine.At(3*time.Minute+1*time.Second, func() {
+		fmt.Println("-- deleting the checkout policy: its split freezes from here --")
+		_ = policies.Delete("checkout")
+	})
+	engine.RunUntil(5*time.Minute + 2*time.Second)
+	fmt.Println("managed at end:", ctrl.Managed(), "— logs was never touched (33.3% throughout)")
+	return nil
+}

@@ -1,0 +1,131 @@
+// Rate control: Algorithm 2 under a load surge.
+//
+// Two of three backends are fast, one is slower; L3's weight assigner
+// concentrates traffic on the fast ones. At minute 2 the offered load
+// quadruples, pushing the favoured backends toward their capacity. The
+// rate controller detects the RPS jump (relative change c > 0) and spreads
+// the surge across all backends; when the surge subsides (c < 0) it shifts
+// share back to the fast ones opportunistically. The example prints the
+// weight distribution and the controller's relative-change signal around
+// both transitions, with and without Algorithm 2.
+//
+// Run with: go run ./examples/ratecontrol
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"l3/internal/backend"
+	"l3/internal/balancer"
+	"l3/internal/core"
+	"l3/internal/loadgen"
+	"l3/internal/mesh"
+	"l3/internal/metrics"
+	"l3/internal/sim"
+	"l3/internal/smi"
+	"l3/internal/timeseries"
+	"l3/internal/wan"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ratecontrol:", err)
+		os.Exit(1)
+	}
+}
+
+// surge quadruples the load between minutes 2 and 3.
+func surge(now time.Duration) float64 {
+	if now >= 2*time.Minute && now < 3*time.Minute {
+		return 400
+	}
+	return 100
+}
+
+func run() error {
+	for _, enabled := range []bool{true, false} {
+		rec, err := experiment(enabled)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("rate control %-5v p99=%-12v success=%.2f%%\n\n",
+			enabled, rec.Quantile(0.99), rec.SuccessRate()*100)
+	}
+	return nil
+}
+
+func experiment(rateControl bool) (*loadgen.Recorder, error) {
+	fmt.Printf("--- rate control %v ---\n", map[bool]string{true: "ON", false: "OFF (ablation)"}[rateControl])
+	engine := sim.NewEngine()
+	rng := sim.NewRand(3)
+	m := mesh.New(engine, rng.Fork(), wan.New(wan.DefaultConfig()), metrics.NewRegistry())
+
+	if _, err := m.AddService("api"); err != nil {
+		return nil, err
+	}
+	// Fast backends have little headroom: 16 workers x ~20ms = ~800 RPS
+	// nominal, but 400 RPS concentrated on two of them queues visibly.
+	specs := map[string]time.Duration{
+		"cluster-1": 20 * time.Millisecond,
+		"cluster-2": 25 * time.Millisecond,
+		"cluster-3": 120 * time.Millisecond,
+	}
+	var backends []smi.Backend
+	for c, lat := range specs {
+		lat := lat
+		profile := func(_ time.Duration, r *sim.Rand) (time.Duration, bool) {
+			return sim.NewLogNormalFromQuantiles(lat, 3*lat).Sample(r), true
+		}
+		name := "api-" + c
+		if _, err := m.AddBackend("api", name, c, backend.Config{Concurrency: 16}, profile); err != nil {
+			return nil, err
+		}
+		backends = append(backends, smi.Backend{Service: name, Weight: 500})
+	}
+	if err := m.Splits().Create(&smi.TrafficSplit{Name: "api", RootService: "api", Backends: backends}); err != nil {
+		return nil, err
+	}
+	if err := m.SetPicker("api", balancer.NewWeightedSplit(m.Splits(), rng.Fork(), nil)); err != nil {
+		return nil, err
+	}
+
+	db := timeseries.NewDB(time.Minute)
+	core.NewScraper(engine, db, m.Registry(), 5*time.Second).Start()
+	var l3 *core.L3Assigner
+	ctrl := core.NewController(engine, m.Splits(), core.NewCollector(db), core.ControllerConfig{
+		NewAssigner: func() core.Assigner {
+			l3 = core.NewL3Assigner(core.WeightingConfig{}, core.RateControlConfig{}, rateControl)
+			return l3
+		},
+	})
+	ctrl.Start()
+
+	gen := loadgen.New(engine, loadgen.Config{
+		Rate:   surge,
+		WarmUp: 30 * time.Second,
+	}, func(done func(time.Duration, bool)) error {
+		return m.Call("cluster-1", "api", func(r mesh.Result) { done(r.Latency, r.Success) })
+	})
+	gen.Start()
+
+	engine.Every(30*time.Second, func() {
+		ts, _ := m.Splits().Get("api")
+		var total int64
+		for _, b := range ts.Backends {
+			total += b.Weight
+		}
+		fmt.Printf("  t=%-6v rps=%-4.0f shares:", engine.Now(), surge(engine.Now()))
+		for _, b := range ts.Backends {
+			fmt.Printf(" %s=%4.1f%%", b.Service[4:], float64(b.Weight)/float64(total)*100)
+		}
+		if l3 != nil && l3.RateController() != nil {
+			fmt.Printf("  c=%+.2f", l3.RateController().LastRelativeChange())
+		}
+		fmt.Println()
+	})
+
+	engine.RunUntil(4*time.Minute + 30*time.Second)
+	return gen.Recorder(), nil
+}

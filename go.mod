@@ -1,0 +1,3 @@
+module l3
+
+go 1.24

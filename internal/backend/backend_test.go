@@ -1,0 +1,213 @@
+package backend
+
+import (
+	"testing"
+	"time"
+
+	"l3/internal/sim"
+)
+
+func constProfile(d time.Duration) Profile {
+	return func(time.Duration, *sim.Rand) (time.Duration, bool) { return d, true }
+}
+
+func TestServeCompletesAfterExecTime(t *testing.T) {
+	e := sim.NewEngine()
+	r := New(e, sim.NewRand(1), Config{Name: "b"}, constProfile(100*time.Millisecond))
+	var res Result
+	var at time.Duration
+	r.Serve(func(rr Result) { res, at = rr, e.Now() })
+	e.RunUntil(time.Second)
+	if at != 100*time.Millisecond {
+		t.Fatalf("completed at %v, want 100ms", at)
+	}
+	if res.Latency != 100*time.Millisecond || !res.Success || res.Rejected {
+		t.Fatalf("result = %+v", res)
+	}
+	if r.Served() != 1 {
+		t.Fatalf("Served = %d", r.Served())
+	}
+}
+
+func TestConcurrencyLimitQueues(t *testing.T) {
+	e := sim.NewEngine()
+	r := New(e, sim.NewRand(1), Config{Concurrency: 1}, constProfile(100*time.Millisecond))
+	var done []time.Duration
+	var lat []time.Duration
+	for i := 0; i < 3; i++ {
+		r.Serve(func(rr Result) {
+			done = append(done, e.Now())
+			lat = append(lat, rr.Latency)
+		})
+	}
+	if r.Inflight() != 3 || r.QueueLen() != 2 {
+		t.Fatalf("inflight=%d queue=%d", r.Inflight(), r.QueueLen())
+	}
+	e.RunUntil(time.Second)
+	want := []time.Duration{100 * time.Millisecond, 200 * time.Millisecond, 300 * time.Millisecond}
+	for i, w := range want {
+		if done[i] != w {
+			t.Fatalf("completion %d at %v, want %v", i, done[i], w)
+		}
+		if lat[i] != w { // queue wait included
+			t.Fatalf("latency %d = %v, want %v", i, lat[i], w)
+		}
+	}
+	if r.MaxQueueObserved() != 2 {
+		t.Fatalf("MaxQueueObserved = %d", r.MaxQueueObserved())
+	}
+}
+
+func TestParallelWorkersDontQueue(t *testing.T) {
+	e := sim.NewEngine()
+	r := New(e, sim.NewRand(1), Config{Concurrency: 3}, constProfile(100*time.Millisecond))
+	count := 0
+	for i := 0; i < 3; i++ {
+		r.Serve(func(rr Result) {
+			count++
+			if rr.Latency != 100*time.Millisecond {
+				t.Errorf("latency = %v, want no queue wait", rr.Latency)
+			}
+		})
+	}
+	e.RunUntil(time.Second)
+	if count != 3 {
+		t.Fatalf("completed %d, want 3", count)
+	}
+}
+
+func TestQueueOverflowSheds(t *testing.T) {
+	e := sim.NewEngine()
+	r := New(e, sim.NewRand(1), Config{Concurrency: 1, QueueCapacity: 2}, constProfile(time.Second))
+	results := make([]Result, 0, 4)
+	for i := 0; i < 4; i++ {
+		r.Serve(func(rr Result) { results = append(results, rr) })
+	}
+	e.RunUntil(10 * time.Millisecond)
+	// The 4th request (1 executing + 2 queued) must have been shed already.
+	if len(results) != 1 || !results[0].Rejected {
+		t.Fatalf("results = %+v, want one rejection", results)
+	}
+	if r.RejectedCount() != 1 {
+		t.Fatalf("RejectedCount = %d", r.RejectedCount())
+	}
+	e.RunUntil(10 * time.Second)
+	if len(results) != 4 {
+		t.Fatalf("total completions = %d, want 4", len(results))
+	}
+}
+
+func TestProfileDrivesSuccess(t *testing.T) {
+	e := sim.NewEngine()
+	calls := 0
+	profile := func(time.Duration, *sim.Rand) (time.Duration, bool) {
+		calls++
+		return time.Millisecond, calls%2 == 0
+	}
+	r := New(e, sim.NewRand(1), Config{}, profile)
+	var succ, fail int
+	for i := 0; i < 10; i++ {
+		r.Serve(func(rr Result) {
+			if rr.Success {
+				succ++
+			} else {
+				fail++
+			}
+		})
+	}
+	e.RunUntil(time.Second)
+	if succ != 5 || fail != 5 {
+		t.Fatalf("succ=%d fail=%d", succ, fail)
+	}
+}
+
+func TestProfileSeesArrivalTime(t *testing.T) {
+	e := sim.NewEngine()
+	var seen []time.Duration
+	profile := func(now time.Duration, _ *sim.Rand) (time.Duration, bool) {
+		seen = append(seen, now)
+		return time.Millisecond, true
+	}
+	r := New(e, sim.NewRand(1), Config{}, profile)
+	e.At(5*time.Second, func() { r.Serve(func(Result) {}) })
+	e.RunUntil(time.Minute)
+	if len(seen) != 1 || seen[0] != 5*time.Second {
+		t.Fatalf("profile times = %v", seen)
+	}
+}
+
+func TestNegativeExecClamped(t *testing.T) {
+	e := sim.NewEngine()
+	r := New(e, sim.NewRand(1), Config{}, func(time.Duration, *sim.Rand) (time.Duration, bool) {
+		return -time.Second, true
+	})
+	ok := false
+	r.Serve(func(rr Result) { ok = rr.Latency == 0 })
+	e.RunUntil(time.Second)
+	if !ok {
+		t.Fatal("negative exec time not clamped to zero")
+	}
+}
+
+func TestInflightTracksLifecycle(t *testing.T) {
+	e := sim.NewEngine()
+	r := New(e, sim.NewRand(1), Config{Concurrency: 2}, constProfile(100*time.Millisecond))
+	for i := 0; i < 3; i++ {
+		r.Serve(func(Result) {})
+	}
+	if r.Inflight() != 3 {
+		t.Fatalf("inflight = %d, want 3", r.Inflight())
+	}
+	e.RunUntil(150 * time.Millisecond)
+	if r.Inflight() != 1 {
+		t.Fatalf("inflight after first wave = %d, want 1", r.Inflight())
+	}
+	e.RunUntil(time.Second)
+	if r.Inflight() != 0 {
+		t.Fatalf("inflight at end = %d", r.Inflight())
+	}
+}
+
+func TestSaturationInflatesLatency(t *testing.T) {
+	// Offered load above capacity must show rising queue delay — the
+	// mechanism behind the paper's rate controller.
+	e := sim.NewEngine()
+	r := New(e, sim.NewRand(1), Config{Concurrency: 10}, constProfile(100*time.Millisecond))
+	// Capacity is 100 req/s; offer 200 req/s for 2 seconds.
+	var last Result
+	for i := 0; i < 400; i++ {
+		e.At(time.Duration(i)*5*time.Millisecond, func() {
+			r.Serve(func(rr Result) { last = rr })
+		})
+	}
+	e.RunUntil(time.Minute)
+	if last.Latency < 500*time.Millisecond {
+		t.Fatalf("saturated latency = %v, want well above the 100ms service time", last.Latency)
+	}
+}
+
+func TestNilProfilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil profile did not panic")
+		}
+	}()
+	New(sim.NewEngine(), sim.NewRand(1), Config{}, nil)
+}
+
+func TestNilDonePanics(t *testing.T) {
+	r := New(sim.NewEngine(), sim.NewRand(1), Config{}, constProfile(time.Millisecond))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil done did not panic")
+		}
+	}()
+	r.Serve(nil)
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	r := New(sim.NewEngine(), sim.NewRand(1), Config{Name: "x"}, constProfile(time.Millisecond))
+	if r.Concurrency() != 64 || r.Name() != "x" {
+		t.Fatalf("defaults: concurrency=%d name=%q", r.Concurrency(), r.Name())
+	}
+}

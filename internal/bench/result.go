@@ -1,0 +1,174 @@
+// Package bench is the experiment harness: one runner per figure of the
+// paper's evaluation (§5), each producing the rows or series the paper
+// reports. The runners are shared by the root-level testing.B benchmarks
+// and the cmd/l3bench CLI.
+//
+// Figures 3 and 5 are architecture diagrams with no data; every other
+// figure (1, 2, 4, 6, 7, 8, 9, 10, 11, 12) has a runner here. Absolute
+// milliseconds are not expected to match the paper's EC2 testbed — the
+// comparisons of interest are orderings and rough factors.
+package bench
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Row is one reported cell: a measured value next to the paper's value for
+// the same cell (Paper = NaN when the paper gives none).
+type Row struct {
+	Label string
+	Value float64
+	Unit  string
+	Paper float64
+}
+
+// Result is one experiment's output.
+type Result struct {
+	ID    string
+	Title string
+	Rows  []Row
+	// Series holds named time series for the trace figures; step is
+	// SeriesStep.
+	Series     map[string][]float64
+	SeriesStep time.Duration
+	Notes      []string
+}
+
+// AddRow appends a row with a paper reference value.
+func (r *Result) AddRow(label string, value float64, unit string, paper float64) {
+	r.Rows = append(r.Rows, Row{Label: label, Value: value, Unit: unit, Paper: paper})
+}
+
+// AddSeries attaches a named series.
+func (r *Result) AddSeries(name string, values []float64) {
+	if r.Series == nil {
+		r.Series = make(map[string][]float64)
+	}
+	r.Series[name] = values
+}
+
+// Note records a caveat or observation rendered with the result.
+func (r *Result) Note(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// Render formats the result as an aligned text table.
+func (r *Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	if len(r.Rows) > 0 {
+		width := 0
+		for _, row := range r.Rows {
+			if len(row.Label) > width {
+				width = len(row.Label)
+			}
+		}
+		for _, row := range r.Rows {
+			fmt.Fprintf(&b, "  %-*s  %10.2f %-3s", width, row.Label, row.Value, row.Unit)
+			if !math.IsNaN(row.Paper) {
+				fmt.Fprintf(&b, "   (paper: %.1f %s)", row.Paper, row.Unit)
+			}
+			b.WriteByte('\n')
+		}
+	}
+	if len(r.Series) > 0 {
+		names := make([]string, 0, len(r.Series))
+		for name := range r.Series {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			s := r.Series[name]
+			fmt.Fprintf(&b, "  series %-32s n=%d min=%.4g mean=%.4g max=%.4g\n",
+				name, len(s), minOf(s), meanOf(s), maxOf(s))
+		}
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "  note: %s\n", n)
+	}
+	return b.String()
+}
+
+// CSV renders the named series as comma-separated columns with a time
+// column, for plotting.
+func (r *Result) CSV() string {
+	if len(r.Series) == 0 {
+		return ""
+	}
+	names := make([]string, 0, len(r.Series))
+	maxLen := 0
+	for name, s := range r.Series {
+		names = append(names, name)
+		if len(s) > maxLen {
+			maxLen = len(s)
+		}
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	b.WriteString("t_seconds")
+	for _, n := range names {
+		b.WriteByte(',')
+		b.WriteString(n)
+	}
+	b.WriteByte('\n')
+	step := r.SeriesStep.Seconds()
+	if step <= 0 {
+		step = 1
+	}
+	for i := 0; i < maxLen; i++ {
+		fmt.Fprintf(&b, "%g", float64(i)*step)
+		for _, n := range names {
+			s := r.Series[n]
+			b.WriteByte(',')
+			if i < len(s) {
+				fmt.Fprintf(&b, "%g", s[i])
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// NoPaper marks a cell the paper reports no number for.
+var NoPaper = math.NaN()
+
+func minOf(s []float64) float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	m := s[0]
+	for _, v := range s {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+func maxOf(s []float64) float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	m := s[0]
+	for _, v := range s {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+func meanOf(s []float64) float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range s {
+		sum += v
+	}
+	return sum / float64(len(s))
+}

@@ -1,0 +1,503 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"l3/internal/autoscale"
+	"l3/internal/backend"
+	"l3/internal/balancer"
+	"l3/internal/c3"
+	"l3/internal/core"
+	"l3/internal/cost"
+	"l3/internal/dsb"
+	"l3/internal/ewma"
+	"l3/internal/health"
+	"l3/internal/loadgen"
+	"l3/internal/mesh"
+	"l3/internal/metrics"
+	"l3/internal/retry"
+	"l3/internal/sim"
+	"l3/internal/smi"
+	"l3/internal/timeseries"
+	"l3/internal/trace"
+	"l3/internal/wan"
+)
+
+// Algorithm selects the load-balancing strategy under test.
+type Algorithm int
+
+const (
+	// AlgoRoundRobin is Linkerd's default and the paper's baseline.
+	AlgoRoundRobin Algorithm = iota + 1
+	// AlgoL3 is the paper's system (Algorithm 1 + Algorithm 2 driving a
+	// TrafficSplit).
+	AlgoL3
+	// AlgoC3 is the adapted C3 comparison (internal/c3).
+	AlgoC3
+	// AlgoP2C is Linkerd's per-request power-of-two-choices PeakEWMA
+	// balancer, kept as an extra ablation baseline.
+	AlgoP2C
+	// AlgoFailover is round-robin plus health-check-driven ejection — the
+	// multi-cluster failover mechanism of Istio/Linkerd/Traffic Director
+	// that the paper's related work contrasts L3 with.
+	AlgoFailover
+)
+
+// String names the algorithm as the paper labels it.
+func (a Algorithm) String() string {
+	switch a {
+	case AlgoRoundRobin:
+		return "Round-robin"
+	case AlgoL3:
+		return "L3"
+	case AlgoC3:
+		return "C3"
+	case AlgoP2C:
+		return "P2C"
+	case AlgoFailover:
+		return "RR+failover"
+	default:
+		return fmt.Sprintf("algorithm(%d)", int(a))
+	}
+}
+
+// Options parameterises one scenario run. Zero values take the paper's
+// setup.
+type Options struct {
+	// Seed drives all randomness; reps use Seed, Seed+1, ...
+	Seed uint64
+	// Reps is the number of repetitions merged per configuration
+	// (default 1; the paper used 2-3).
+	Reps int
+	// WarmUp precedes measurement (default 30 s); the scenario's t=0
+	// state is held during warm-up.
+	WarmUp time.Duration
+	// Duration overrides the measured portion (default: the scenario's
+	// full 10 minutes).
+	Duration time.Duration
+	// Concurrency per backend deployment (default 64 ≈ the paper's three
+	// replicas per cluster).
+	Concurrency int
+	// ConcurrencyByCluster overrides Concurrency for specific clusters
+	// (heterogeneous capacities, e.g. a fast-but-small deployment next to
+	// slow-but-wide ones).
+	ConcurrencyByCluster map[string]int
+	// Autoscale attaches a horizontal autoscaler to every backend when
+	// non-nil — the mechanism §3.2's rate controller is designed to buy
+	// time for.
+	Autoscale *autoscale.Config
+	// Retry makes the benchmark client retry failed requests (the paper's
+	// benchmarks skipped retries "for simplicity", §5.2.1); recorded
+	// latency then spans all attempts.
+	Retry *retry.Policy
+	// DynamicPenalty switches L3 to the per-backend measured failure
+	// round-trip instead of the static P (the paper's future work).
+	DynamicPenalty bool
+	// CostLambda enables cost-aware L3 (§7 future work): the
+	// dollars→latency exchange rate in seconds per dollar (0 = off).
+	CostLambda float64
+	// Penalty is L3's P (default 600 ms).
+	Penalty time.Duration
+	// FilterKind selects L3's latency filter (default EWMA).
+	FilterKind ewma.Kind
+	// DisableRateControl turns Algorithm 2 off (ablation).
+	DisableRateControl bool
+	// ScrapeInterval is the metrics pipeline's scrape period
+	// (default 5 s).
+	ScrapeInterval time.Duration
+	// Window is the collector's query window (default 2×scrape).
+	Window time.Duration
+	// Percentile is L3's latency percentile (default 0.99).
+	Percentile float64
+	// RPSScale multiplies the scenario's offered load (default 1).
+	RPSScale float64
+
+	// inflightExponent overrides Equation 4's exponent for the ablation
+	// bench (0 = the paper's default of 2).
+	inflightExponent float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Reps <= 0 {
+		o.Reps = 1
+	}
+	if o.WarmUp <= 0 {
+		o.WarmUp = 30 * time.Second
+	}
+	if o.Concurrency <= 0 {
+		o.Concurrency = 64
+	}
+	if o.Penalty <= 0 {
+		o.Penalty = 600 * time.Millisecond
+	}
+	if o.FilterKind == 0 {
+		o.FilterKind = ewma.KindEWMA
+	}
+	if o.ScrapeInterval <= 0 {
+		o.ScrapeInterval = 5 * time.Second
+	}
+	if o.Window <= 0 {
+		o.Window = 2 * o.ScrapeInterval
+	}
+	if o.Percentile <= 0 || o.Percentile >= 1 {
+		o.Percentile = 0.99
+	}
+	if o.RPSScale <= 0 {
+		o.RPSScale = 1
+	}
+	return o
+}
+
+// sourceCluster is where the load generator and L3 run (the paper deploys
+// both in cluster-1).
+const sourceCluster = "cluster-1"
+
+// apiService is the service name of the trace-driven REST API workload.
+const apiService = "api"
+
+// ScenarioStats augments a run's latency recorder with traffic-cost
+// accounting for the cost-awareness experiments.
+type ScenarioStats struct {
+	Recorder *loadgen.Recorder
+	// RemoteShare is the fraction of requests served outside the source
+	// cluster.
+	RemoteShare float64
+	// TransferCost is the run's inter-cluster transfer bill in dollars,
+	// priced by cost.DefaultRates at 16 KiB per request.
+	TransferCost float64
+}
+
+// RunScenarioWithStats is RunScenario returning traffic accounting too.
+func RunScenarioWithStats(scenarioName string, algo Algorithm, opts Options) (*ScenarioStats, error) {
+	opts = opts.withDefaults()
+	stats := &ScenarioStats{Recorder: loadgen.NewRecorder(time.Second)}
+	model := cost.NewModel(cost.DefaultRates(), 0)
+	var local, remote float64
+	for rep := 0; rep < opts.Reps; rep++ {
+		seed := opts.Seed + uint64(rep)*1000003
+		sc, err := trace.Generate(scenarioName, seed)
+		if err != nil {
+			return nil, err
+		}
+		rec, counts, err := runOnceCounted(sc, algo, opts, seed)
+		if err != nil {
+			return nil, err
+		}
+		stats.Recorder.Merge(rec)
+		stats.TransferCost += model.TrafficCost(counts)
+		for link, n := range counts {
+			if link[0] == link[1] {
+				local += n
+			} else {
+				remote += n
+			}
+		}
+	}
+	if local+remote > 0 {
+		stats.RemoteShare = remote / (local + remote)
+	}
+	return stats, nil
+}
+
+// RunScenario replays a trace scenario under one algorithm and returns the
+// merged recorder across repetitions. The setup mirrors §5.1's second
+// testbed: an HTTP/2 REST API deployed in all three clusters whose response
+// delay and failure rate follow the scenario's per-cluster series, a
+// constant-throughput generator in cluster-1 offering the scenario's RPS,
+// and (for L3/C3) the controller pipeline — scraper, TSDB, collector,
+// assigner — updating one TrafficSplit every 5 s.
+func RunScenario(scenarioName string, algo Algorithm, opts Options) (*loadgen.Recorder, error) {
+	opts = opts.withDefaults()
+	merged := loadgen.NewRecorder(time.Second)
+	for rep := 0; rep < opts.Reps; rep++ {
+		seed := opts.Seed + uint64(rep)*1000003
+		sc, err := trace.Generate(scenarioName, seed)
+		if err != nil {
+			return nil, err
+		}
+		rec, _, err := runOnceCounted(sc, algo, opts, seed)
+		if err != nil {
+			return nil, err
+		}
+		merged.Merge(rec)
+	}
+	return merged, nil
+}
+
+// RunScenarioTrace is RunScenario for a caller-built scenario (custom RPS
+// shapes, synthetic latency processes). Repetitions rerun the same trace
+// with different simulation seeds.
+func RunScenarioTrace(sc *trace.Scenario, algo Algorithm, opts Options) (*loadgen.Recorder, error) {
+	opts = opts.withDefaults()
+	merged := loadgen.NewRecorder(time.Second)
+	for rep := 0; rep < opts.Reps; rep++ {
+		rec, _, err := runOnceCounted(sc, algo, opts, opts.Seed+uint64(rep)*1000003)
+		if err != nil {
+			return nil, err
+		}
+		merged.Merge(rec)
+	}
+	return merged, nil
+}
+
+// runOnceCounted runs one scenario replay and additionally returns the
+// per-(src, dst-cluster) request counts read from the data-plane metrics.
+func runOnceCounted(sc *trace.Scenario, algo Algorithm, opts Options, seed uint64) (*loadgen.Recorder, map[[2]string]float64, error) {
+	engine := sim.NewEngine()
+	rng := sim.NewRand(seed)
+	wcfg := wan.DefaultConfig()
+	wcfg.Seed = seed
+	m := mesh.New(engine, rng.Fork(), wan.New(wcfg), metrics.NewRegistry())
+
+	if _, err := m.AddService(apiService); err != nil {
+		return nil, nil, err
+	}
+	warm := opts.WarmUp
+	var backends []smi.Backend
+	for i := range sc.Clusters {
+		ct := &sc.Clusters[i]
+		name := apiService + "-" + ct.Cluster
+		profile := func(ct *trace.ClusterTrace) backend.Profile {
+			return func(now time.Duration, r *sim.Rand) (time.Duration, bool) {
+				t := now - warm // trace clamps t<0 to its first value
+				return ct.SampleLatency(t, r), ct.SampleSuccess(t, r)
+			}
+		}(ct)
+		conc := opts.Concurrency
+		if c, ok := opts.ConcurrencyByCluster[ct.Cluster]; ok {
+			conc = c
+		}
+		b, err := m.AddBackend(apiService, name, ct.Cluster,
+			backend.Config{Concurrency: conc}, profile)
+		if err != nil {
+			return nil, nil, err
+		}
+		if opts.Autoscale != nil {
+			replica, ok := b.Server.(*backend.Replica)
+			if !ok {
+				return nil, nil, fmt.Errorf("bench: backend %s is not a replica pool", name)
+			}
+			cfg := *opts.Autoscale
+			if cfg.Max == 0 {
+				cfg.Max = 16 * conc
+			}
+			if cfg.Min == 0 {
+				cfg.Min = conc
+			}
+			autoscale.New(engine, replica, cfg).Start()
+		}
+		backends = append(backends, smi.Backend{Service: name, Weight: 500})
+	}
+	if err := m.Splits().Create(&smi.TrafficSplit{
+		Name: apiService, RootService: apiService, Backends: backends,
+	}); err != nil {
+		return nil, nil, err
+	}
+
+	if err := installAlgorithm(m, engine, rng, algo, opts, []string{apiService}, nil, globalController()); err != nil {
+		return nil, nil, err
+	}
+
+	issue := func(done func(time.Duration, bool)) error {
+		if opts.Retry != nil {
+			return retry.Do(engine, m, sourceCluster, apiService, *opts.Retry, func(r retry.Result) {
+				done(r.Latency, r.Success)
+			})
+		}
+		return m.Call(sourceCluster, apiService, func(r mesh.Result) {
+			done(r.Latency, r.Success)
+		})
+	}
+	gen := loadgen.New(engine, loadgen.Config{
+		Rate: func(now time.Duration) float64 {
+			return sc.RPS.At(now-warm) * opts.RPSScale
+		},
+		WarmUp: warm,
+	}, issue)
+	gen.Start()
+
+	duration := opts.Duration
+	if duration <= 0 {
+		duration = sc.Duration
+	}
+	engine.RunUntil(warm + duration)
+	gen.Stop()
+	engine.RunUntil(warm + duration + 30*time.Second) // drain in-flight
+
+	counts := make(map[[2]string]float64)
+	for _, sample := range m.Registry().Snapshot() {
+		if sample.Name != mesh.MetricResponseTotal {
+			continue
+		}
+		src := sample.Labels["src"]
+		dst := strings.TrimPrefix(sample.Labels["backend"], apiService+"-")
+		counts[[2]string{src, dst}] += sample.Value
+	}
+	return gen.Recorder(), counts, nil
+}
+
+// installAlgorithm wires the routing strategy (and, for L3/C3, the
+// controller pipeline) for the given services. splitName maps (source
+// cluster, service) to the governing TrafficSplit (nil = one global split
+// named after the service), and controllers lists the L3/C3 instances to
+// run: the single-service scenario testbed runs one instance in cluster-1
+// managing the global split; the DSB testbed runs one per cluster, each
+// reading its own cluster's proxy metrics and managing its own splits, as
+// §3 describes for production deployments.
+func installAlgorithm(m *mesh.Mesh, engine *sim.Engine, rng *sim.Rand, algo Algorithm, opts Options,
+	services []string, splitName func(src, service string) string, controllers []controllerSpec) error {
+	switch algo {
+	case AlgoRoundRobin:
+		for _, svc := range services {
+			if err := m.SetPicker(svc, balancer.NewRoundRobin()); err != nil {
+				return err
+			}
+		}
+		return nil
+	case AlgoP2C:
+		for _, svc := range services {
+			if err := m.SetPicker(svc, balancer.NewP2C(rng.Fork(), 5*time.Second, time.Second)); err != nil {
+				return err
+			}
+		}
+		return nil
+	case AlgoFailover:
+		checker := health.NewChecker(engine, health.Config{})
+		for _, svc := range services {
+			s, ok := m.Service(svc)
+			if !ok {
+				return fmt.Errorf("bench: unknown service %q", svc)
+			}
+			checker.WatchAll(s.Backends())
+			if err := m.SetPicker(svc, &health.FailoverPicker{
+				Checker: checker,
+				Inner:   balancer.NewRoundRobin(),
+			}); err != nil {
+				return err
+			}
+		}
+		return nil
+	case AlgoL3, AlgoC3:
+		for _, svc := range services {
+			if err := m.SetPicker(svc, balancer.NewWeightedSplit(m.Splits(), rng.Fork(), splitName)); err != nil {
+				return err
+			}
+		}
+		db := timeseries.NewDB(time.Minute)
+		core.NewScraper(engine, db, m.Registry(), opts.ScrapeInterval).Start()
+		newAssigner := func() core.Assigner {
+			if algo == AlgoC3 {
+				return c3.New(c3.Config{})
+			}
+			var assigner core.Assigner = core.NewL3Assigner(core.WeightingConfig{
+				Penalty:          opts.Penalty,
+				FilterKind:       opts.FilterKind,
+				InflightExponent: opts.inflightExponent,
+				DynamicPenalty:   opts.DynamicPenalty,
+			}, core.RateControlConfig{}, !opts.DisableRateControl)
+			if opts.CostLambda > 0 {
+				assigner = cost.NewAssigner(assigner, cost.NewModel(cost.DefaultRates(), 0),
+					sourceCluster, func(b string) string {
+						return strings.TrimPrefix(b, apiService+"-")
+					}, opts.CostLambda)
+			}
+			return assigner
+		}
+		for _, spec := range controllers {
+			collector := &core.Collector{
+				DB: db, Window: opts.Window, Percentile: opts.Percentile,
+				Match: spec.match,
+			}
+			ctrl := core.NewController(engine, m.Splits(), collector, core.ControllerConfig{
+				Interval:    opts.ScrapeInterval,
+				NewAssigner: newAssigner,
+				SplitFilter: spec.filter,
+			})
+			ctrl.Start()
+		}
+		return nil
+	default:
+		return fmt.Errorf("bench: unknown algorithm %v", algo)
+	}
+}
+
+// controllerSpec describes one L3/C3 instance: which metric series it may
+// read and which TrafficSplits it manages.
+type controllerSpec struct {
+	match  metrics.Labels
+	filter func(name string) bool
+}
+
+// globalController is the scenario testbed's single instance managing
+// every split from all metrics.
+func globalController() []controllerSpec {
+	return []controllerSpec{{}}
+}
+
+// perClusterControllers builds one instance per cluster, each scoped to its
+// cluster's source-side metrics and its cluster's splits.
+func perClusterControllers(clusters []string) []controllerSpec {
+	specs := make([]controllerSpec, 0, len(clusters))
+	for _, c := range clusters {
+		c := c
+		specs = append(specs, controllerSpec{
+			match:  metrics.Labels{"src": c},
+			filter: func(name string) bool { return strings.HasPrefix(name, c+"/") },
+		})
+	}
+	return specs
+}
+
+// RunDSB runs the DeathStarBench hotel-reservation workload (Figure 9's
+// experiment) under one algorithm: the full application in every cluster,
+// load entering at the cluster-local frontend at a constant rate.
+func RunDSB(algo Algorithm, rps float64, duration time.Duration, opts Options) (*loadgen.Recorder, error) {
+	opts = opts.withDefaults()
+	merged := loadgen.NewRecorder(time.Second)
+	for rep := 0; rep < opts.Reps; rep++ {
+		seed := opts.Seed + uint64(rep)*1000003
+		rec, err := runDSBOnce(algo, rps, duration, opts, seed)
+		if err != nil {
+			return nil, err
+		}
+		merged.Merge(rec)
+	}
+	return merged, nil
+}
+
+func runDSBOnce(algo Algorithm, rps float64, duration time.Duration, opts Options, seed uint64) (*loadgen.Recorder, error) {
+	engine := sim.NewEngine()
+	rng := sim.NewRand(seed)
+	wcfg := wan.DefaultConfig()
+	wcfg.Seed = seed
+	m := mesh.New(engine, rng.Fork(), wan.New(wcfg), metrics.NewRegistry())
+
+	clusters := []string{"cluster-1", "cluster-2", "cluster-3"}
+	app, err := dsb.InstallHotelReservation(m, clusters, rng.Fork(), dsb.WithPerfVariation())
+	if err != nil {
+		return nil, err
+	}
+	if err := app.CreateSplits(); err != nil {
+		return nil, err
+	}
+	if err := installAlgorithm(m, engine, rng, algo, opts, app.Services(),
+		dsb.SplitName, perClusterControllers(clusters)); err != nil {
+		return nil, err
+	}
+
+	gen := loadgen.New(engine, loadgen.Config{
+		Rate:   loadgen.ConstantRate(rps),
+		WarmUp: opts.WarmUp,
+	}, func(done func(time.Duration, bool)) error {
+		return m.Call(sourceCluster, dsb.EntryService, func(r mesh.Result) {
+			done(r.Latency, r.Success)
+		})
+	})
+	gen.Start()
+	engine.RunUntil(opts.WarmUp + duration)
+	gen.Stop()
+	engine.RunUntil(opts.WarmUp + duration + 30*time.Second)
+	return gen.Recorder(), nil
+}

@@ -1,0 +1,143 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"l3/internal/sim"
+)
+
+func TestLeaseLockAcquireReleaseExpiry(t *testing.T) {
+	l := NewLeaseLock()
+	if _, held := l.Holder(0); held {
+		t.Fatal("fresh lock reports a holder")
+	}
+	if !l.TryAcquire("a", 0, 10*time.Second) {
+		t.Fatal("acquire of free lock failed")
+	}
+	if l.TryAcquire("b", 5*time.Second, 10*time.Second) {
+		t.Fatal("b acquired a live lease held by a")
+	}
+	// Renewal by the holder succeeds and extends.
+	if !l.TryAcquire("a", 8*time.Second, 10*time.Second) {
+		t.Fatal("holder renewal failed")
+	}
+	if l.TryAcquire("b", 17*time.Second, 10*time.Second) {
+		t.Fatal("b acquired before renewed lease expired")
+	}
+	// After expiry anyone can take it.
+	if !l.TryAcquire("b", 19*time.Second, 10*time.Second) {
+		t.Fatal("b could not acquire expired lease")
+	}
+	holder, held := l.Holder(19 * time.Second)
+	if !held || holder != "b" {
+		t.Fatalf("holder = %q, %v", holder, held)
+	}
+	// Release by non-holder is a no-op; by holder frees immediately.
+	l.Release("a")
+	if _, held := l.Holder(19 * time.Second); !held {
+		t.Fatal("release by non-holder freed the lease")
+	}
+	l.Release("b")
+	if _, held := l.Holder(19 * time.Second); held {
+		t.Fatal("release by holder did not free the lease")
+	}
+}
+
+func TestSingleElectorBecomesLeader(t *testing.T) {
+	e := sim.NewEngine()
+	lock := NewLeaseLock()
+	started := 0
+	el := NewElector(e, lock, ElectorConfig{
+		ID:               "a",
+		OnStartedLeading: func() { started++ },
+	})
+	el.Run()
+	e.RunUntil(time.Second)
+	if !el.IsLeader() || started != 1 {
+		t.Fatalf("leader=%v started=%d", el.IsLeader(), started)
+	}
+	// Leadership is stable across many renew cycles.
+	e.RunUntil(5 * time.Minute)
+	if !el.IsLeader() || started != 1 {
+		t.Fatalf("leadership flapped: leader=%v started=%d", el.IsLeader(), started)
+	}
+}
+
+func TestOnlyOneLeaderAmongCandidates(t *testing.T) {
+	e := sim.NewEngine()
+	lock := NewLeaseLock()
+	var electors []*Elector
+	for _, id := range []string{"a", "b", "c"} {
+		el := NewElector(e, lock, ElectorConfig{ID: id})
+		electors = append(electors, el)
+		el.Run()
+	}
+	e.RunUntil(time.Minute)
+	leaders := 0
+	for _, el := range electors {
+		if el.IsLeader() {
+			leaders++
+		}
+	}
+	if leaders != 1 {
+		t.Fatalf("leaders = %d, want exactly 1", leaders)
+	}
+}
+
+func TestFailoverAfterLeaderStops(t *testing.T) {
+	e := sim.NewEngine()
+	lock := NewLeaseLock()
+	a := NewElector(e, lock, ElectorConfig{ID: "a"})
+	b := NewElector(e, lock, ElectorConfig{ID: "b"})
+	a.Run()
+	e.RunUntil(time.Second) // a acquires first
+	b.Run()
+	e.RunUntil(10 * time.Second)
+	if !a.IsLeader() || b.IsLeader() {
+		t.Fatalf("initial leadership wrong: a=%v b=%v", a.IsLeader(), b.IsLeader())
+	}
+	stoppedAt := e.Now()
+	a.Stop() // releases the lease
+	e.RunUntil(stoppedAt + 5*time.Second)
+	if !b.IsLeader() {
+		t.Fatal("b did not take over within its retry interval after release")
+	}
+}
+
+func TestFailoverAfterLeaderCrashes(t *testing.T) {
+	// A "crash" is a leader that stops renewing without releasing: the
+	// standby must take over only after lease expiry.
+	e := sim.NewEngine()
+	lock := NewLeaseLock()
+	var onStopped int
+	a := NewElector(e, lock, ElectorConfig{ID: "a", LeaseDuration: 15 * time.Second})
+	b := NewElector(e, lock, ElectorConfig{ID: "b", LeaseDuration: 15 * time.Second,
+		OnStoppedLeading: func() { onStopped++ }})
+	a.Run()
+	b.Run()
+	e.RunUntil(10 * time.Second)
+	// Simulate crash: cancel a's renewals directly without Release.
+	a.stopped = true
+	if a.timer != nil {
+		a.timer.Cancel()
+	}
+	crash := e.Now()
+	e.RunUntil(crash + 10*time.Second)
+	if b.IsLeader() {
+		t.Fatal("b took over before the lease expired")
+	}
+	e.RunUntil(crash + 20*time.Second)
+	if !b.IsLeader() {
+		t.Fatal("b did not take over after lease expiry")
+	}
+}
+
+func TestElectorRequiresID(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty ID did not panic")
+		}
+	}()
+	NewElector(sim.NewEngine(), NewLeaseLock(), ElectorConfig{})
+}

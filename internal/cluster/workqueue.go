@@ -1,0 +1,113 @@
+package cluster
+
+import (
+	"time"
+
+	"l3/internal/sim"
+)
+
+// ReconcileFunc processes one queued key. Returning an error requeues the
+// key with exponential backoff; returning nil resets its failure count.
+type ReconcileFunc func(key string) error
+
+// WorkQueue is a deduplicating retry queue in the style of Kubernetes
+// controller work-queues, driven by the virtual clock. Keys added while a
+// reconcile for the same key is pending are coalesced. It is intended for
+// single-threaded event-driven use on the engine.
+type WorkQueue struct {
+	engine      *sim.Engine
+	reconcile   ReconcileFunc
+	baseBackoff time.Duration
+	maxBackoff  time.Duration
+
+	queued   map[string]bool
+	failures map[string]int
+	stopped  bool
+
+	// Instrumentation for tests and operators.
+	processed int
+	retried   int
+}
+
+// WorkQueueConfig parameterises NewWorkQueue.
+type WorkQueueConfig struct {
+	// BaseBackoff is the first retry delay (default 5 ms of virtual time).
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential retry delay (default 1 s).
+	MaxBackoff time.Duration
+}
+
+// NewWorkQueue returns a queue that invokes reconcile for every added key.
+func NewWorkQueue(engine *sim.Engine, cfg WorkQueueConfig, reconcile ReconcileFunc) *WorkQueue {
+	if reconcile == nil {
+		panic("cluster: NewWorkQueue with nil reconcile")
+	}
+	base := cfg.BaseBackoff
+	if base <= 0 {
+		base = 5 * time.Millisecond
+	}
+	maxB := cfg.MaxBackoff
+	if maxB <= 0 {
+		maxB = time.Second
+	}
+	return &WorkQueue{
+		engine:      engine,
+		reconcile:   reconcile,
+		baseBackoff: base,
+		maxBackoff:  maxB,
+		queued:      make(map[string]bool),
+		failures:    make(map[string]int),
+	}
+}
+
+// Add enqueues a key for reconciliation. Duplicate adds while the key is
+// queued are coalesced into one reconcile.
+func (q *WorkQueue) Add(key string) {
+	if q.stopped || q.queued[key] {
+		return
+	}
+	q.queued[key] = true
+	q.engine.After(0, func() { q.process(key) })
+}
+
+// Stop prevents any further reconciles, including already-queued ones.
+func (q *WorkQueue) Stop() { q.stopped = true }
+
+// Processed returns the number of reconcile invocations so far.
+func (q *WorkQueue) Processed() int { return q.processed }
+
+// Retried returns the number of reconciles requeued after an error.
+func (q *WorkQueue) Retried() int { return q.retried }
+
+func (q *WorkQueue) process(key string) {
+	if q.stopped {
+		return
+	}
+	delete(q.queued, key)
+	q.processed++
+	if err := q.reconcile(key); err != nil {
+		q.failures[key]++
+		q.retried++
+		delay := q.backoff(q.failures[key])
+		if !q.queued[key] {
+			q.queued[key] = true
+			q.engine.After(delay, func() { q.process(key) })
+		}
+		return
+	}
+	delete(q.failures, key)
+}
+
+func (q *WorkQueue) backoff(failures int) time.Duration {
+	d := q.baseBackoff
+	for i := 1; i < failures; i++ {
+		d *= 2
+		if d >= q.maxBackoff {
+			return q.maxBackoff
+		}
+	}
+	if d > q.maxBackoff {
+		d = q.maxBackoff
+	}
+	return d
+}

@@ -1,0 +1,165 @@
+package cluster
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"l3/internal/sim"
+)
+
+func TestWorkQueueProcessesKeys(t *testing.T) {
+	e := sim.NewEngine()
+	var got []string
+	q := NewWorkQueue(e, WorkQueueConfig{}, func(key string) error {
+		got = append(got, key)
+		return nil
+	})
+	q.Add("a")
+	q.Add("b")
+	e.RunUntil(time.Second)
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("processed = %v", got)
+	}
+	if q.Processed() != 2 || q.Retried() != 0 {
+		t.Fatalf("counters: processed=%d retried=%d", q.Processed(), q.Retried())
+	}
+}
+
+func TestWorkQueueCoalescesDuplicates(t *testing.T) {
+	e := sim.NewEngine()
+	count := 0
+	q := NewWorkQueue(e, WorkQueueConfig{}, func(string) error {
+		count++
+		return nil
+	})
+	q.Add("a")
+	q.Add("a")
+	q.Add("a")
+	e.RunUntil(time.Second)
+	if count != 1 {
+		t.Fatalf("reconciled %d times, want 1 (coalesced)", count)
+	}
+}
+
+func TestWorkQueueRetriesWithBackoff(t *testing.T) {
+	e := sim.NewEngine()
+	var times []time.Duration
+	attempts := 0
+	q := NewWorkQueue(e, WorkQueueConfig{BaseBackoff: 10 * time.Millisecond, MaxBackoff: time.Second},
+		func(string) error {
+			times = append(times, e.Now())
+			attempts++
+			if attempts < 4 {
+				return errors.New("transient")
+			}
+			return nil
+		})
+	q.Add("a")
+	e.RunUntil(10 * time.Second)
+	if attempts != 4 {
+		t.Fatalf("attempts = %d, want 4", attempts)
+	}
+	// Delays between attempts: 10ms, 20ms, 40ms.
+	wantGaps := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 40 * time.Millisecond}
+	for i, w := range wantGaps {
+		gap := times[i+1] - times[i]
+		if gap != w {
+			t.Fatalf("gap %d = %v, want %v", i, gap, w)
+		}
+	}
+	if q.Retried() != 3 {
+		t.Fatalf("Retried = %d, want 3", q.Retried())
+	}
+}
+
+func TestWorkQueueBackoffCapped(t *testing.T) {
+	e := sim.NewEngine()
+	var times []time.Duration
+	q := NewWorkQueue(e, WorkQueueConfig{BaseBackoff: 100 * time.Millisecond, MaxBackoff: 200 * time.Millisecond},
+		func(string) error {
+			times = append(times, e.Now())
+			return errors.New("always fails")
+		})
+	q.Add("a")
+	e.RunUntil(2 * time.Second)
+	if len(times) < 5 {
+		t.Fatalf("too few attempts: %d", len(times))
+	}
+	for i := 3; i < len(times); i++ {
+		if gap := times[i] - times[i-1]; gap > 200*time.Millisecond {
+			t.Fatalf("gap %v exceeds max backoff", gap)
+		}
+	}
+}
+
+func TestWorkQueueSuccessResetsBackoff(t *testing.T) {
+	e := sim.NewEngine()
+	fail := true
+	var times []time.Duration
+	q := NewWorkQueue(e, WorkQueueConfig{BaseBackoff: 50 * time.Millisecond, MaxBackoff: time.Second},
+		func(string) error {
+			times = append(times, e.Now())
+			if fail {
+				fail = false
+				return errors.New("first time fails")
+			}
+			return nil
+		})
+	q.Add("a")
+	e.RunUntil(time.Second)
+	// Second round: fail once more; backoff should restart at base.
+	fail = true
+	mark := len(times)
+	q.Add("a")
+	e.RunUntil(2 * time.Second)
+	if len(times) != mark+2 {
+		t.Fatalf("second round attempts = %d, want 2", len(times)-mark)
+	}
+	if gap := times[mark+1] - times[mark]; gap != 50*time.Millisecond {
+		t.Fatalf("post-success backoff = %v, want base 50ms", gap)
+	}
+}
+
+func TestWorkQueueStop(t *testing.T) {
+	e := sim.NewEngine()
+	count := 0
+	q := NewWorkQueue(e, WorkQueueConfig{}, func(string) error {
+		count++
+		return nil
+	})
+	q.Add("a")
+	q.Stop()
+	q.Add("b")
+	e.RunUntil(time.Second)
+	if count != 0 {
+		t.Fatalf("reconciled %d keys after Stop, want 0", count)
+	}
+}
+
+func TestWorkQueueNilReconcilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil reconcile did not panic")
+		}
+	}()
+	NewWorkQueue(sim.NewEngine(), WorkQueueConfig{}, nil)
+}
+
+func TestWorkQueueAddDuringReconcileRequeues(t *testing.T) {
+	e := sim.NewEngine()
+	count := 0
+	var q *WorkQueue
+	q = NewWorkQueue(e, WorkQueueConfig{}, func(key string) error {
+		count++
+		if count == 1 {
+			q.Add(key) // re-add while processing: must trigger another pass
+		}
+		return nil
+	})
+	q.Add("a")
+	e.RunUntil(time.Second)
+	if count != 2 {
+		t.Fatalf("reconciled %d times, want 2", count)
+	}
+}

@@ -1,0 +1,160 @@
+// Package core implements L3: the latency-aware multi-cluster load
+// balancer of the paper. It contains the three components of §3 — the
+// metrics collector, the weight assigner (Algorithm 1) and the rate
+// controller (Algorithm 2) — plus the Kubernetes-operator shell of §4: a
+// control loop that watches TrafficSplits, periodically folds fresh
+// data-plane metrics into per-backend EWMAs, recomputes weights and writes
+// them back through the SMI store, gated on lease-based leader election.
+package core
+
+import (
+	"time"
+
+	"l3/internal/mesh"
+	"l3/internal/metrics"
+	"l3/internal/timeseries"
+)
+
+// BackendMetrics is one backend's aggregated data-plane view over the
+// collector's query window — the exact inputs Algorithm 1 consumes.
+type BackendMetrics struct {
+	// RPS is the measured requests/second (all classifications).
+	RPS float64
+	// SuccessRate is successful/total responses in [0, 1].
+	SuccessRate float64
+	// P99 is the configured percentile of successful-response latency in
+	// seconds; valid only when P99Valid (a backend can have traffic but no
+	// successful responses in the window).
+	P99      float64
+	P99Valid bool
+	// MeanLatency is the mean successful-response latency in seconds
+	// (used by the C3 adaptation, which scores on means); valid with
+	// MeanValid.
+	MeanLatency float64
+	MeanValid   bool
+	// FailureMeanLatency is the mean latency of FAILED responses in
+	// seconds — the client-perceived round-trip of a failure, the
+	// continuous feedback the paper's future-work section wants to derive
+	// the penalty factor P from. Valid with FailureMeanValid.
+	FailureMeanLatency float64
+	FailureMeanValid   bool
+	// Inflight is the average number of outstanding requests.
+	Inflight float64
+	// HasTraffic is false when the window held no rate-computable samples
+	// (≥10 s without traffic, per §4); the weighter then relaxes its
+	// filters toward their defaults instead of observing.
+	HasTraffic bool
+}
+
+// Collector turns the time-series database into BackendMetrics snapshots.
+// It issues the same four queries the paper's implementation sends to
+// Prometheus every 5 s: RPS, success rate, latency percentile and in-flight
+// requests, each over a trailing window wide enough to hold two scrapes.
+type Collector struct {
+	// DB is the scraped metrics store.
+	DB *timeseries.DB
+	// Window is the trailing query window (default 10 s — twice the 5 s
+	// scrape interval, as §4 explains).
+	Window time.Duration
+	// Percentile selects the latency quantile for P99 (default 0.99; §3.1
+	// notes L3 can be configured for e.g. the 98th or 99.9th).
+	Percentile float64
+	// Match restricts every query to series carrying these labels. A
+	// per-cluster L3 instance sets Match to its own source cluster
+	// ({"src": "cluster-2"}) so it only sees latency as measured from its
+	// cluster's proxies.
+	Match metrics.Labels
+}
+
+// NewCollector returns a collector with the paper's defaults.
+func NewCollector(db *timeseries.DB) *Collector {
+	return &Collector{DB: db, Window: 10 * time.Second, Percentile: 0.99}
+}
+
+func (c *Collector) window() time.Duration {
+	if c.Window <= 0 {
+		return 10 * time.Second
+	}
+	return c.Window
+}
+
+func (c *Collector) percentile() float64 {
+	if c.Percentile <= 0 || c.Percentile >= 1 {
+		return 0.99
+	}
+	return c.Percentile
+}
+
+// Collect gathers metrics for every named backend at virtual time at.
+// service scopes the queries when non-empty (multiple services can share a
+// backend name otherwise).
+func (c *Collector) Collect(at time.Duration, service string, backends []string) map[string]BackendMetrics {
+	out := make(map[string]BackendMetrics, len(backends))
+	w := c.window()
+	for _, b := range backends {
+		base := metrics.Labels{"backend": b}
+		if service != "" {
+			base["service"] = service
+		}
+		for k, v := range c.Match {
+			base[k] = v
+		}
+		var m BackendMetrics
+
+		totalRate, ok := c.DB.Rate(mesh.MetricResponseTotal, base, at, w)
+		if !ok || totalRate <= 0 {
+			out[b] = m // HasTraffic stays false
+			continue
+		}
+		m.HasTraffic = true
+		m.RPS = totalRate
+
+		succRate, ok := c.DB.Rate(mesh.MetricResponseTotal,
+			base.With("classification", mesh.ClassSuccess), at, w)
+		if !ok {
+			succRate = 0
+		}
+		m.SuccessRate = succRate / totalRate
+		if m.SuccessRate > 1 {
+			m.SuccessRate = 1
+		}
+
+		succ := base.With("classification", mesh.ClassSuccess)
+		if q, ok := c.DB.HistogramQuantile(c.percentile(), mesh.MetricResponseLatency, succ, at, w); ok {
+			m.P99 = q
+			m.P99Valid = true
+		}
+		sumRate, okSum := c.DB.Rate(mesh.MetricResponseLatency+"_sum", succ, at, w)
+		cntRate, okCnt := c.DB.Rate(mesh.MetricResponseLatency+"_count", succ, at, w)
+		if okSum && okCnt && cntRate > 0 {
+			m.MeanLatency = sumRate / cntRate
+			m.MeanValid = true
+		}
+
+		fail := base.With("classification", mesh.ClassFailure)
+		fSumRate, okFSum := c.DB.Rate(mesh.MetricResponseLatency+"_sum", fail, at, w)
+		fCntRate, okFCnt := c.DB.Rate(mesh.MetricResponseLatency+"_count", fail, at, w)
+		if okFSum && okFCnt && fCntRate > 0 {
+			m.FailureMeanLatency = fSumRate / fCntRate
+			m.FailureMeanValid = true
+		}
+
+		if v, ok := c.DB.GaugeAvg(mesh.MetricInflight, base, at, w); ok {
+			m.Inflight = v
+		}
+		out[b] = m
+	}
+	return out
+}
+
+// TotalRPS sums the measured RPS of backends with traffic — the
+// "RPS_last" sample Algorithm 2 compares against its EWMA.
+func TotalRPS(m map[string]BackendMetrics) float64 {
+	var sum float64
+	for _, bm := range m {
+		if bm.HasTraffic {
+			sum += bm.RPS
+		}
+	}
+	return sum
+}

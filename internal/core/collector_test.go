@@ -1,0 +1,166 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"l3/internal/histogram"
+	"l3/internal/mesh"
+	"l3/internal/metrics"
+	"l3/internal/timeseries"
+)
+
+// seedMetrics simulates two scrape intervals of traffic for one backend:
+// reqs requests at the given success fraction, successes spread across a
+// latency histogram centred on latSeconds, and a constant inflight gauge.
+func seedMetrics(t *testing.T, db *timeseries.DB, service, backendName string, reqs int, successFrac, latSeconds, inflight float64) {
+	t.Helper()
+	reg := metrics.NewRegistry()
+	base := metrics.Labels{"service": service, "backend": backendName}
+	succ := base.With("classification", mesh.ClassSuccess)
+	fail := base.With("classification", mesh.ClassFailure)
+
+	db.Scrape(0, reg) // empty baseline would create no series; scrape after registration instead
+
+	nSucc := int(float64(reqs) * successFrac)
+	h := reg.Histogram(mesh.MetricResponseLatency, succ, histogram.LinkerdLatencyBounds)
+	reg.Counter(mesh.MetricResponseTotal, succ).Add(0)
+	reg.Counter(mesh.MetricResponseTotal, fail).Add(0)
+	reg.Gauge(mesh.MetricInflight, base).Set(inflight)
+	db.Scrape(5*time.Second, reg)
+
+	reg.Counter(mesh.MetricResponseTotal, succ).Add(float64(nSucc))
+	reg.Counter(mesh.MetricResponseTotal, fail).Add(float64(reqs - nSucc))
+	for i := 0; i < nSucc; i++ {
+		h.Observe(latSeconds)
+	}
+	db.Scrape(10*time.Second, reg)
+}
+
+func TestCollectorBasics(t *testing.T) {
+	db := timeseries.NewDB(time.Minute)
+	// 100 requests over the 5s between scrapes => 20 RPS, 90% success.
+	seedMetrics(t, db, "api", "b1", 100, 0.9, 0.045, 3)
+
+	c := NewCollector(db)
+	m := c.Collect(10*time.Second, "api", []string{"b1", "ghost"})
+
+	b1 := m["b1"]
+	if !b1.HasTraffic {
+		t.Fatal("b1 should have traffic")
+	}
+	if math.Abs(b1.RPS-20) > 0.01 {
+		t.Fatalf("RPS = %v, want 20", b1.RPS)
+	}
+	if math.Abs(b1.SuccessRate-0.9) > 0.01 {
+		t.Fatalf("SuccessRate = %v, want 0.9", b1.SuccessRate)
+	}
+	if !b1.P99Valid || b1.P99 < 0.040 || b1.P99 > 0.051 {
+		t.Fatalf("P99 = %v (valid=%v), want ~45ms bucket", b1.P99, b1.P99Valid)
+	}
+	if !b1.MeanValid || math.Abs(b1.MeanLatency-0.045) > 0.002 {
+		t.Fatalf("MeanLatency = %v (valid=%v)", b1.MeanLatency, b1.MeanValid)
+	}
+	if math.Abs(b1.Inflight-3) > 0.01 {
+		t.Fatalf("Inflight = %v, want 3", b1.Inflight)
+	}
+
+	ghost := m["ghost"]
+	if ghost.HasTraffic {
+		t.Fatal("ghost backend reported traffic")
+	}
+}
+
+func TestCollectorAllFailuresNoP99(t *testing.T) {
+	db := timeseries.NewDB(time.Minute)
+	seedMetrics(t, db, "api", "dead", 50, 0, 0.1, 0)
+	c := NewCollector(db)
+	m := c.Collect(10*time.Second, "api", []string{"dead"})
+	dead := m["dead"]
+	if !dead.HasTraffic {
+		t.Fatal("dead backend has traffic (all failing)")
+	}
+	if dead.SuccessRate != 0 {
+		t.Fatalf("SuccessRate = %v, want 0", dead.SuccessRate)
+	}
+	if dead.P99Valid {
+		t.Fatal("P99 should be invalid with zero successful responses")
+	}
+}
+
+func TestCollectorServiceScoping(t *testing.T) {
+	db := timeseries.NewDB(time.Minute)
+	seedMetrics(t, db, "api", "b", 100, 1, 0.05, 0)
+	seedMetrics(t, db, "web", "b", 200, 1, 0.05, 0)
+	c := NewCollector(db)
+
+	api := c.Collect(10*time.Second, "api", []string{"b"})["b"]
+	if math.Abs(api.RPS-20) > 0.01 {
+		t.Fatalf("scoped RPS = %v, want 20 (api only)", api.RPS)
+	}
+	all := c.Collect(10*time.Second, "", []string{"b"})["b"]
+	if math.Abs(all.RPS-60) > 0.01 {
+		t.Fatalf("unscoped RPS = %v, want 60 (both services)", all.RPS)
+	}
+}
+
+func TestCollectorStaleWindow(t *testing.T) {
+	db := timeseries.NewDB(time.Minute)
+	seedMetrics(t, db, "api", "b", 100, 1, 0.05, 0)
+	c := NewCollector(db)
+	// 30s later, the 10s window holds at most one sample: no traffic.
+	m := c.Collect(40*time.Second, "api", []string{"b"})
+	if m["b"].HasTraffic {
+		t.Fatal("stale backend still reports traffic")
+	}
+}
+
+func TestCollectorDefaultsAndClamps(t *testing.T) {
+	c := &Collector{DB: timeseries.NewDB(time.Minute)}
+	if c.window() != 10*time.Second {
+		t.Fatalf("window default = %v", c.window())
+	}
+	if c.percentile() != 0.99 {
+		t.Fatalf("percentile default = %v", c.percentile())
+	}
+	c.Percentile = 1.5
+	if c.percentile() != 0.99 {
+		t.Fatalf("percentile clamp = %v", c.percentile())
+	}
+}
+
+func TestTotalRPS(t *testing.T) {
+	m := map[string]BackendMetrics{
+		"a": {RPS: 10, HasTraffic: true},
+		"b": {RPS: 20, HasTraffic: true},
+		"c": {RPS: 99, HasTraffic: false}, // stale, excluded
+	}
+	if got := TotalRPS(m); got != 30 {
+		t.Fatalf("TotalRPS = %v, want 30", got)
+	}
+}
+
+func TestCollectorFailureMeanLatency(t *testing.T) {
+	db := timeseries.NewDB(time.Minute)
+	reg := metrics.NewRegistry()
+	base := metrics.Labels{"service": "api", "backend": "b"}
+	fail := base.With("classification", mesh.ClassFailure)
+	h := reg.Histogram(mesh.MetricResponseLatency, fail, histogram.LinkerdLatencyBounds)
+	reg.Counter(mesh.MetricResponseTotal, fail).Add(0)
+	db.Scrape(5*time.Second, reg)
+	for i := 0; i < 10; i++ {
+		h.Observe(0.2)
+	}
+	reg.Counter(mesh.MetricResponseTotal, fail).Add(10)
+	db.Scrape(10*time.Second, reg)
+
+	c := NewCollector(db)
+	m := c.Collect(10*time.Second, "api", []string{"b"})["b"]
+	if !m.FailureMeanValid || math.Abs(m.FailureMeanLatency-0.2) > 1e-9 {
+		t.Fatalf("FailureMeanLatency = %v (valid=%v), want 0.2", m.FailureMeanLatency, m.FailureMeanValid)
+	}
+	if m.P99Valid {
+		t.Fatal("P99 should be invalid with zero successes")
+	}
+}

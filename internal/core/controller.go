@@ -1,0 +1,342 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"l3/internal/cluster"
+	"l3/internal/metrics"
+	"l3/internal/sim"
+	"l3/internal/smi"
+	"l3/internal/timeseries"
+)
+
+// Assigner converts one round of collected backend metrics into weights.
+// L3's implementation chains Algorithm 1 and Algorithm 2; the C3 adaptation
+// in internal/c3 plugs in here as well, so both run under the identical
+// operator shell — matching how the paper evaluates C3 inside L3's
+// infrastructure.
+type Assigner interface {
+	// Assign returns a weight per backend present in m. Weights are
+	// positive floats; the controller scales them to TrafficSplit
+	// integers.
+	Assign(now time.Duration, m map[string]BackendMetrics) map[string]float64
+	// Forget drops any per-backend state (backend removed from the
+	// split).
+	Forget(backend string)
+}
+
+// L3Assigner is the paper's algorithm: weight assignment (Algorithm 1)
+// followed, optionally, by rate control (Algorithm 2).
+type L3Assigner struct {
+	weighter *Weighter
+	rate     *RateController
+}
+
+// NewL3Assigner builds the L3 pipeline. Pass a nil rate config pointer
+// semantics via enableRate=false for the rate-control ablation.
+func NewL3Assigner(wcfg WeightingConfig, rcfg RateControlConfig, enableRate bool) *L3Assigner {
+	a := &L3Assigner{weighter: NewWeighter(wcfg)}
+	if enableRate {
+		a.rate = NewRateController(rcfg)
+	}
+	return a
+}
+
+// Assign implements Assigner.
+func (a *L3Assigner) Assign(now time.Duration, m map[string]BackendMetrics) map[string]float64 {
+	weights := a.weighter.Update(now, m)
+	if a.rate != nil {
+		weights = a.rate.Apply(now, weights, TotalRPS(m))
+	}
+	return weights
+}
+
+// Forget implements Assigner.
+func (a *L3Assigner) Forget(backend string) { a.weighter.Forget(backend) }
+
+// Weighter exposes the inner weighter for instrumentation and tests.
+func (a *L3Assigner) Weighter() *Weighter { return a.weighter }
+
+// RateController exposes the inner rate controller (nil when disabled).
+func (a *L3Assigner) RateController() *RateController { return a.rate }
+
+// Scraper periodically snapshots a metrics registry into the time-series
+// database — the stand-in for the Prometheus instance of Figure 5, with the
+// same 5 s default scrape interval and therefore the same data-freshness
+// limits.
+type Scraper struct {
+	engine   *sim.Engine
+	db       *timeseries.DB
+	registry *metrics.Registry
+	interval time.Duration
+	timer    *sim.Timer
+}
+
+// NewScraper returns a scraper; call Start to begin scraping.
+func NewScraper(engine *sim.Engine, db *timeseries.DB, reg *metrics.Registry, interval time.Duration) *Scraper {
+	if interval <= 0 {
+		interval = 5 * time.Second
+	}
+	return &Scraper{engine: engine, db: db, registry: reg, interval: interval}
+}
+
+// Start begins periodic scraping (first scrape one interval from now).
+func (s *Scraper) Start() {
+	s.timer = s.engine.Every(s.interval, func() {
+		s.db.Scrape(s.engine.Now(), s.registry)
+	})
+}
+
+// Stop halts scraping.
+func (s *Scraper) Stop() {
+	if s.timer != nil {
+		s.timer.Cancel()
+	}
+}
+
+// Self-metric families the controller exports about its own state, so
+// operators (and the benches) can inspect L3's internals — the paper
+// exposes the same through Prometheus/OpenTelemetry.
+const (
+	MetricWeight         = "l3_backend_weight"
+	MetricFilteredP99    = "l3_filtered_p99_seconds"
+	MetricFilteredRPS    = "l3_filtered_rps"
+	MetricRelativeChange = "l3_rps_relative_change"
+	MetricUpdatesTotal   = "l3_weight_updates_total"
+	MetricLeader         = "l3_is_leader"
+)
+
+// ControllerConfig parameterises the operator.
+type ControllerConfig struct {
+	// Interval is the reconcile period (default 5 s, §4).
+	Interval time.Duration
+	// WeightScale converts float weights to TrafficSplit integers
+	// (default 1000; ratios are what matters).
+	WeightScale float64
+	// NewAssigner builds one assigner per TrafficSplit. Required.
+	NewAssigner func() Assigner
+	// SplitFilter restricts the controller to TrafficSplits it returns
+	// true for (nil = manage every split). Per-cluster L3 instances
+	// sharing one store each manage their own cluster's splits.
+	SplitFilter func(name string) bool
+	// Elector gates writes when set: only the leader mutates splits.
+	Elector *cluster.Elector
+	// SelfRegistry receives the controller's own metrics when set.
+	SelfRegistry *metrics.Registry
+}
+
+// Controller is the L3 operator: one control loop tracks TrafficSplit
+// lifecycle (via the store watch), another periodically re-weights every
+// tracked split from fresh metrics.
+type Controller struct {
+	engine    *sim.Engine
+	splits    *smi.Store
+	collector *Collector
+	cfg       ControllerConfig
+
+	tracked     map[string]*trackedSplit
+	cancelWatch func()
+	ticker      *sim.Timer
+	updates     uint64
+}
+
+type trackedSplit struct {
+	assigner Assigner
+	backends map[string]bool
+}
+
+// NewController wires the operator together. splits, collector and
+// cfg.NewAssigner are required.
+func NewController(engine *sim.Engine, splits *smi.Store, collector *Collector, cfg ControllerConfig) *Controller {
+	if splits == nil || collector == nil || cfg.NewAssigner == nil {
+		panic("core: NewController requires splits, collector and NewAssigner")
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = 5 * time.Second
+	}
+	if cfg.WeightScale <= 0 {
+		cfg.WeightScale = 1000
+	}
+	return &Controller{
+		engine:    engine,
+		splits:    splits,
+		collector: collector,
+		cfg:       cfg,
+		tracked:   make(map[string]*trackedSplit),
+	}
+}
+
+// Start begins both control loops: the split watcher (with replay of
+// existing splits) and the periodic weight updater.
+func (c *Controller) Start() {
+	c.cancelWatch = c.splits.Watch(true, c.onSplitEvent)
+	c.ticker = c.engine.Every(c.cfg.Interval, c.updateAll)
+	if c.cfg.Elector != nil {
+		c.cfg.Elector.Run()
+	}
+}
+
+// Stop halts both loops.
+func (c *Controller) Stop() {
+	if c.cancelWatch != nil {
+		c.cancelWatch()
+	}
+	if c.ticker != nil {
+		c.ticker.Cancel()
+	}
+	if c.cfg.Elector != nil {
+		c.cfg.Elector.Stop()
+	}
+}
+
+// Updates returns how many weight-update rounds have been applied.
+func (c *Controller) Updates() uint64 { return c.updates }
+
+// Tracked returns the names of TrafficSplits under management.
+func (c *Controller) Tracked() []string {
+	out := make([]string, 0, len(c.tracked))
+	for name := range c.tracked {
+		out = append(out, name)
+	}
+	return out
+}
+
+// Assigner returns the assigner managing a tracked split, for tests and
+// instrumentation.
+func (c *Controller) Assigner(split string) (Assigner, bool) {
+	t, ok := c.tracked[split]
+	if !ok {
+		return nil, false
+	}
+	return t.assigner, true
+}
+
+func (c *Controller) onSplitEvent(e cluster.Event[*smi.TrafficSplit]) {
+	name := e.Object.Name
+	if c.cfg.SplitFilter != nil && !c.cfg.SplitFilter(name) {
+		return
+	}
+	switch e.Type {
+	case cluster.Added:
+		if _, ok := c.tracked[name]; !ok {
+			c.tracked[name] = &trackedSplit{
+				assigner: c.cfg.NewAssigner(),
+				backends: backendSet(e.Object),
+			}
+		}
+	case cluster.Updated:
+		t, ok := c.tracked[name]
+		if !ok {
+			c.tracked[name] = &trackedSplit{
+				assigner: c.cfg.NewAssigner(),
+				backends: backendSet(e.Object),
+			}
+			return
+		}
+		// Forget state of backends that left the split.
+		next := backendSet(e.Object)
+		for b := range t.backends {
+			if !next[b] {
+				t.assigner.Forget(b)
+			}
+		}
+		t.backends = next
+	case cluster.Deleted:
+		delete(c.tracked, name)
+	}
+}
+
+func backendSet(ts *smi.TrafficSplit) map[string]bool {
+	out := make(map[string]bool, len(ts.Backends))
+	for _, b := range ts.Backends {
+		out[b.Service] = true
+	}
+	return out
+}
+
+func (c *Controller) isLeader() bool {
+	if c.cfg.Elector == nil {
+		return true
+	}
+	return c.cfg.Elector.IsLeader()
+}
+
+func (c *Controller) updateAll() {
+	now := c.engine.Now()
+	leader := c.isLeader()
+	if reg := c.cfg.SelfRegistry; reg != nil {
+		v := 0.0
+		if leader {
+			v = 1
+		}
+		reg.Gauge(MetricLeader, nil).Set(v)
+	}
+	for name, t := range c.tracked {
+		c.updateOne(now, name, t, leader)
+	}
+}
+
+func (c *Controller) updateOne(now time.Duration, name string, t *trackedSplit, leader bool) {
+	ts, ok := c.splits.Get(name)
+	if !ok {
+		return
+	}
+	m := c.collector.Collect(now, ts.RootService, ts.BackendNames())
+	weights := t.assigner.Assign(now, m)
+
+	if reg := c.cfg.SelfRegistry; reg != nil {
+		c.exportSelfMetrics(reg, name, t, weights)
+	}
+	if !leader {
+		return
+	}
+	for b, w := range weights {
+		ts.SetWeight(b, scaleWeight(w, c.cfg.WeightScale))
+	}
+	if err := c.splits.Update(ts); err != nil {
+		// The split vanished between Get and Update; the watch event will
+		// untrack it. Nothing else to do in an operator but move on.
+		return
+	}
+	c.updates++
+	if reg := c.cfg.SelfRegistry; reg != nil {
+		reg.Counter(MetricUpdatesTotal, metrics.Labels{"split": name}).Inc()
+	}
+}
+
+func (c *Controller) exportSelfMetrics(reg *metrics.Registry, split string, t *trackedSplit, weights map[string]float64) {
+	for b, w := range weights {
+		reg.Gauge(MetricWeight, metrics.Labels{"split": split, "backend": b}).Set(w)
+	}
+	if l3, ok := t.assigner.(*L3Assigner); ok {
+		for b := range weights {
+			if view, ok := l3.Weighter().View(b); ok {
+				reg.Gauge(MetricFilteredP99, metrics.Labels{"split": split, "backend": b}).Set(view.Latency)
+				reg.Gauge(MetricFilteredRPS, metrics.Labels{"split": split, "backend": b}).Set(view.RPS)
+			}
+		}
+		if rc := l3.RateController(); rc != nil {
+			reg.Gauge(MetricRelativeChange, metrics.Labels{"split": split}).Set(rc.LastRelativeChange())
+		}
+	}
+}
+
+// scaleWeight converts a float weight to a TrafficSplit integer, keeping
+// ratios and guaranteeing at least 1 so backends stay measurable.
+func scaleWeight(w, scale float64) int64 {
+	v := math.Round(w * scale)
+	if v < 1 {
+		v = 1
+	}
+	if v > math.MaxInt64/2 {
+		v = math.MaxInt64 / 2
+	}
+	return int64(v)
+}
+
+// String identifies the controller in logs.
+func (c *Controller) String() string {
+	return fmt.Sprintf("l3-controller{splits=%d interval=%v}", len(c.tracked), c.cfg.Interval)
+}

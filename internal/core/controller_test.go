@@ -1,0 +1,257 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"l3/internal/backend"
+	"l3/internal/balancer"
+	"l3/internal/cluster"
+	"l3/internal/mesh"
+	"l3/internal/metrics"
+	"l3/internal/sim"
+	"l3/internal/smi"
+	"l3/internal/timeseries"
+	"l3/internal/wan"
+)
+
+// testRig wires a 2-backend mesh, a scraper, a load loop and an L3
+// controller together — the full Figure 5 pipeline in miniature.
+type testRig struct {
+	engine     *sim.Engine
+	m          *mesh.Mesh
+	db         *timeseries.DB
+	controller *Controller
+	selfReg    *metrics.Registry
+}
+
+func newRig(t *testing.T, elector *cluster.Elector, fastLat, slowLat time.Duration) *testRig {
+	t.Helper()
+	engine := sim.NewEngine()
+	rng := sim.NewRand(42)
+	m := mesh.New(engine, rng.Fork(), wan.New(wan.DefaultConfig()), metrics.NewRegistry())
+	if _, err := m.AddService("api"); err != nil {
+		t.Fatal(err)
+	}
+	mk := func(d time.Duration) backend.Profile {
+		return func(time.Duration, *sim.Rand) (time.Duration, bool) { return d, true }
+	}
+	if _, err := m.AddBackend("api", "api-fast", "cluster-1", backend.Config{}, mk(fastLat)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.AddBackend("api", "api-slow", "cluster-2", backend.Config{}, mk(slowLat)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Splits().Create(&smi.TrafficSplit{
+		Name: "api", RootService: "api",
+		Backends: []smi.Backend{{Service: "api-fast", Weight: 500}, {Service: "api-slow", Weight: 500}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetPicker("api", balancer.NewWeightedSplit(m.Splits(), rng.Fork(), nil)); err != nil {
+		t.Fatal(err)
+	}
+
+	db := timeseries.NewDB(time.Minute)
+	NewScraper(engine, db, m.Registry(), 5*time.Second).Start()
+
+	selfReg := metrics.NewRegistry()
+	ctrl := NewController(engine, m.Splits(), NewCollector(db), ControllerConfig{
+		NewAssigner:  func() Assigner { return NewL3Assigner(WeightingConfig{}, RateControlConfig{}, true) },
+		Elector:      elector,
+		SelfRegistry: selfReg,
+	})
+	ctrl.Start()
+
+	// Open-loop load: 50 RPS from cluster-1.
+	engine.Every(20*time.Millisecond, func() {
+		_ = m.Call("cluster-1", "api", func(mesh.Result) {})
+	})
+	return &testRig{engine: engine, m: m, db: db, controller: ctrl, selfReg: selfReg}
+}
+
+func (r *testRig) weights(t *testing.T) (fast, slow int64) {
+	t.Helper()
+	ts, ok := r.m.Splits().Get("api")
+	if !ok {
+		t.Fatal("split vanished")
+	}
+	for _, b := range ts.Backends {
+		switch b.Service {
+		case "api-fast":
+			fast = b.Weight
+		case "api-slow":
+			slow = b.Weight
+		}
+	}
+	return fast, slow
+}
+
+func TestControllerShiftsWeightToFastBackend(t *testing.T) {
+	r := newRig(t, nil, 20*time.Millisecond, 400*time.Millisecond)
+	r.engine.RunUntil(2 * time.Minute)
+
+	fast, slow := r.weights(t)
+	if fast <= slow {
+		t.Fatalf("weights fast=%d slow=%d, want fast > slow", fast, slow)
+	}
+	if float64(fast)/float64(slow) < 3 {
+		t.Fatalf("fast/slow = %d/%d, want a strong (≥3x) skew for a 20x latency gap", fast, slow)
+	}
+	if r.controller.Updates() == 0 {
+		t.Fatal("controller performed no updates")
+	}
+}
+
+func TestControllerTracksSplitLifecycle(t *testing.T) {
+	r := newRig(t, nil, 20*time.Millisecond, 40*time.Millisecond)
+	r.engine.RunUntil(10 * time.Second)
+	if got := r.controller.Tracked(); len(got) != 1 || got[0] != "api" {
+		t.Fatalf("Tracked = %v", got)
+	}
+	if _, ok := r.controller.Assigner("api"); !ok {
+		t.Fatal("assigner missing for tracked split")
+	}
+	if err := r.m.Splits().Delete("api"); err != nil {
+		t.Fatal(err)
+	}
+	r.engine.RunUntil(20 * time.Second)
+	if len(r.controller.Tracked()) != 0 {
+		t.Fatal("deleted split still tracked")
+	}
+}
+
+func TestControllerForgetsRemovedBackends(t *testing.T) {
+	r := newRig(t, nil, 20*time.Millisecond, 40*time.Millisecond)
+	r.engine.RunUntil(30 * time.Second)
+	a, _ := r.controller.Assigner("api")
+	l3 := a.(*L3Assigner)
+	if _, ok := l3.Weighter().View("api-slow"); !ok {
+		t.Fatal("api-slow has no state before removal")
+	}
+	ts, _ := r.m.Splits().Get("api")
+	ts.Backends = ts.Backends[:1] // drop api-slow
+	if err := r.m.Splits().Update(ts); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := l3.Weighter().View("api-slow"); ok {
+		t.Fatal("api-slow state not forgotten after removal from split")
+	}
+}
+
+func TestControllerNonLeaderDoesNotWrite(t *testing.T) {
+	engine := sim.NewEngine()
+	lock := cluster.NewLeaseLock()
+	// Another replica holds the lease forever.
+	if !lock.TryAcquire("other", 0, time.Hour) {
+		t.Fatal("setup: could not seed lease")
+	}
+	elector := cluster.NewElector(engine, lock, cluster.ElectorConfig{ID: "standby"})
+
+	r := newRigWithEngine(t, engine, elector)
+	r.engine.RunUntil(2 * time.Minute)
+	fast, slow := r.weights(t)
+	if fast != 500 || slow != 500 {
+		t.Fatalf("standby wrote weights: fast=%d slow=%d", fast, slow)
+	}
+	if r.controller.Updates() != 0 {
+		t.Fatalf("standby counted %d updates", r.controller.Updates())
+	}
+}
+
+// newRigWithEngine is newRig with a caller-provided engine (so tests can
+// pre-arrange elector state on the same virtual clock).
+func newRigWithEngine(t *testing.T, engine *sim.Engine, elector *cluster.Elector) *testRig {
+	t.Helper()
+	rng := sim.NewRand(42)
+	m := mesh.New(engine, rng.Fork(), wan.New(wan.DefaultConfig()), metrics.NewRegistry())
+	_, _ = m.AddService("api")
+	mk := func(d time.Duration) backend.Profile {
+		return func(time.Duration, *sim.Rand) (time.Duration, bool) { return d, true }
+	}
+	_, _ = m.AddBackend("api", "api-fast", "cluster-1", backend.Config{}, mk(20*time.Millisecond))
+	_, _ = m.AddBackend("api", "api-slow", "cluster-2", backend.Config{}, mk(400*time.Millisecond))
+	_ = m.Splits().Create(&smi.TrafficSplit{
+		Name: "api", RootService: "api",
+		Backends: []smi.Backend{{Service: "api-fast", Weight: 500}, {Service: "api-slow", Weight: 500}},
+	})
+	_ = m.SetPicker("api", balancer.NewWeightedSplit(m.Splits(), rng.Fork(), nil))
+	db := timeseries.NewDB(time.Minute)
+	NewScraper(engine, db, m.Registry(), 5*time.Second).Start()
+	ctrl := NewController(engine, m.Splits(), NewCollector(db), ControllerConfig{
+		NewAssigner: func() Assigner { return NewL3Assigner(WeightingConfig{}, RateControlConfig{}, true) },
+		Elector:     elector,
+	})
+	ctrl.Start()
+	engine.Every(20*time.Millisecond, func() {
+		_ = m.Call("cluster-1", "api", func(mesh.Result) {})
+	})
+	return &testRig{engine: engine, m: m, db: db, controller: ctrl}
+}
+
+func TestControllerLeaderFailover(t *testing.T) {
+	engine := sim.NewEngine()
+	lock := cluster.NewLeaseLock()
+	leaderElector := cluster.NewElector(engine, lock, cluster.ElectorConfig{ID: "leader"})
+	standbyElector := cluster.NewElector(engine, lock, cluster.ElectorConfig{ID: "standby"})
+
+	// The "leader" elector campaigns but has no controller; the controller
+	// under test runs as the standby.
+	leaderElector.Run()
+	r := newRigWithEngine(t, engine, standbyElector)
+	r.engine.RunUntil(time.Minute)
+	if r.controller.Updates() != 0 {
+		t.Fatal("standby wrote while leader alive")
+	}
+	leaderElector.Stop() // resign
+	r.engine.RunUntil(2 * time.Minute)
+	if r.controller.Updates() == 0 {
+		t.Fatal("standby never took over after leader resigned")
+	}
+	fast, slow := r.weights(t)
+	if fast <= slow {
+		t.Fatalf("post-failover weights fast=%d slow=%d", fast, slow)
+	}
+}
+
+func TestControllerSelfMetricsExported(t *testing.T) {
+	r := newRig(t, nil, 20*time.Millisecond, 400*time.Millisecond)
+	r.engine.RunUntil(time.Minute)
+	w := r.selfReg.Gauge(MetricWeight, metrics.Labels{"split": "api", "backend": "api-fast"})
+	if w.Value() <= 0 {
+		t.Fatalf("self weight gauge = %v", w.Value())
+	}
+	p99 := r.selfReg.Gauge(MetricFilteredP99, metrics.Labels{"split": "api", "backend": "api-slow"})
+	if p99.Value() < 0.3 || p99.Value() > 1 {
+		t.Fatalf("filtered P99 gauge = %v, want ~0.4s", p99.Value())
+	}
+	leader := r.selfReg.Gauge(MetricLeader, nil)
+	if leader.Value() != 1 {
+		t.Fatalf("leader gauge = %v, want 1 (no elector => always leader)", leader.Value())
+	}
+	updates := r.selfReg.Counter(MetricUpdatesTotal, metrics.Labels{"split": "api"})
+	if updates.Value() == 0 {
+		t.Fatal("updates counter not incremented")
+	}
+}
+
+func TestControllerRequiresDeps(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewController without deps did not panic")
+		}
+	}()
+	NewController(sim.NewEngine(), nil, nil, ControllerConfig{})
+}
+
+func TestScaleWeight(t *testing.T) {
+	if got := scaleWeight(2.5, 1000); got != 2500 {
+		t.Fatalf("scaleWeight = %d", got)
+	}
+	if got := scaleWeight(0.0001, 1000); got != 1 {
+		t.Fatalf("tiny weight = %d, want floor 1", got)
+	}
+	if got := scaleWeight(1e300, 1000); got <= 0 {
+		t.Fatalf("huge weight overflowed: %d", got)
+	}
+}

@@ -1,0 +1,41 @@
+package core_test
+
+import (
+	"fmt"
+	"time"
+
+	"l3/internal/core"
+)
+
+// The pure rate-control function (Algorithm 2): an above-average weight
+// grows opportunistically when the RPS drops and converges toward the
+// average when it surges.
+func ExampleRateControlAdjust() {
+	fmt.Printf("RPS halved (c=-1):   %.0f\n", core.RateControlAdjust(-1, 2000, 1000))
+	fmt.Printf("RPS steady (c=0):    %.0f\n", core.RateControlAdjust(0, 2000, 1000))
+	fmt.Printf("RPS surging (c=3):   %.0f\n", core.RateControlAdjust(3, 2000, 1000))
+	// Output:
+	// RPS halved (c=-1):   2875
+	// RPS steady (c=0):    2000
+	// RPS surging (c=3):   1032
+}
+
+// Algorithm 1 end to end: feed two backends' collected metrics into the
+// weighter and read the resulting traffic weights. The slow, flaky backend
+// ends up with a fraction of the fast one's share.
+func ExampleWeighter() {
+	w := core.NewWeighter(core.WeightingConfig{Penalty: 600 * time.Millisecond})
+	m := map[string]core.BackendMetrics{
+		"api-east": {RPS: 100, SuccessRate: 1.0, P99: 0.050, P99Valid: true, HasTraffic: true},
+		"api-west": {RPS: 100, SuccessRate: 0.9, P99: 0.200, P99Valid: true, HasTraffic: true},
+	}
+	var weights map[string]float64
+	for i := 0; i < 40; i++ { // let the EWMAs converge
+		weights = w.Update(time.Duration(i)*5*time.Second, m)
+	}
+	fmt.Printf("east %.1f\n", weights["api-east"])
+	fmt.Printf("west %.1f\n", weights["api-west"])
+	// Output:
+	// east 20.0
+	// west 3.7
+}

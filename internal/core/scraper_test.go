@@ -1,0 +1,106 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"l3/internal/metrics"
+	"l3/internal/sim"
+	"l3/internal/timeseries"
+)
+
+func TestScraperScrapesAtInterval(t *testing.T) {
+	engine := sim.NewEngine()
+	reg := metrics.NewRegistry()
+	counter := reg.Counter("reqs", nil)
+	db := timeseries.NewDB(time.Minute)
+
+	s := NewScraper(engine, db, reg, 5*time.Second)
+	s.Start()
+	engine.Every(time.Second, func() { counter.Add(10) })
+
+	engine.RunUntil(30 * time.Second)
+	rate, ok := db.Rate("reqs", nil, 30*time.Second, 10*time.Second)
+	if !ok {
+		t.Fatal("no rate after six scrapes")
+	}
+	if rate < 9 || rate > 11 {
+		t.Fatalf("rate = %v, want ~10/s", rate)
+	}
+}
+
+func TestScraperStop(t *testing.T) {
+	engine := sim.NewEngine()
+	reg := metrics.NewRegistry()
+	reg.Counter("x", nil).Inc()
+	db := timeseries.NewDB(time.Minute)
+	s := NewScraper(engine, db, reg, 5*time.Second)
+	s.Start()
+	engine.RunUntil(12 * time.Second)
+	s.Stop()
+	engine.RunUntil(time.Minute)
+	// After stop, no samples past 12s: Latest at 60s equals Latest at 12s
+	// and a rate query over recent window fails.
+	if _, ok := db.Rate("x", nil, time.Minute, 10*time.Second); ok {
+		t.Fatal("samples kept arriving after Stop")
+	}
+}
+
+func TestScraperDefaultInterval(t *testing.T) {
+	engine := sim.NewEngine()
+	reg := metrics.NewRegistry()
+	reg.Gauge("g", nil).Set(1)
+	db := timeseries.NewDB(time.Minute)
+	NewScraper(engine, db, reg, 0).Start() // default 5s
+	engine.RunUntil(6 * time.Second)
+	if _, ok := db.Latest("g", nil, 6*time.Second); !ok {
+		t.Fatal("default-interval scraper produced no samples by 6s")
+	}
+}
+
+func TestL3AssignerPipelinesWeightingAndRateControl(t *testing.T) {
+	a := NewL3Assigner(WeightingConfig{}, RateControlConfig{}, true)
+	if a.RateController() == nil {
+		t.Fatal("rate controller missing when enabled")
+	}
+	m := map[string]BackendMetrics{
+		"fast": observed(0.050, 1, 100, 0),
+		"slow": observed(0.500, 1, 100, 0),
+	}
+	var w map[string]float64
+	for i := 0; i < 30; i++ {
+		w = a.Assign(time.Duration(i)*5*time.Second, m)
+	}
+	if w["fast"] <= w["slow"] {
+		t.Fatalf("weights: %v", w)
+	}
+	// Steady total RPS: rate controller must not disturb the ratios much.
+	ratio := w["fast"] / w["slow"]
+	if ratio < 5 || ratio > 15 {
+		t.Fatalf("ratio = %v, want near the 10x latency gap", ratio)
+	}
+	// Surge: weights compress toward the mean.
+	surged := map[string]BackendMetrics{
+		"fast": observed(0.050, 1, 400, 0),
+		"slow": observed(0.500, 1, 400, 0),
+	}
+	w2 := a.Assign(200*time.Second, surged)
+	if r2 := w2["fast"] / w2["slow"]; r2 >= ratio {
+		t.Fatalf("surge did not compress weights: before %v after %v", ratio, r2)
+	}
+}
+
+func TestL3AssignerWithoutRateControl(t *testing.T) {
+	a := NewL3Assigner(WeightingConfig{}, RateControlConfig{}, false)
+	if a.RateController() != nil {
+		t.Fatal("rate controller present when disabled")
+	}
+	m := map[string]BackendMetrics{"b": observed(0.1, 1, 100, 0)}
+	if w := a.Assign(0, m); w["b"] <= 0 {
+		t.Fatalf("weight = %v", w["b"])
+	}
+	a.Forget("b")
+	if _, ok := a.Weighter().View("b"); ok {
+		t.Fatal("Forget did not clear state")
+	}
+}

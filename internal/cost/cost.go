@@ -1,0 +1,127 @@
+// Package cost models inter-cluster data-transfer pricing and makes L3
+// aware of it — the first extension the paper's conclusion proposes ("L3
+// could be extended with additional parameters to make it aware of data
+// transmission costs from cloud vendors", §7; §6 notes L3 "lacks awareness
+// of the network transfer costs"). The big three clouds charge for any
+// transfer leaving a zone, which locality-aware balancing avoids and pure
+// latency-aware balancing happily pays.
+//
+// The Assigner decorator discounts each backend's weight by the marginal
+// dollar cost of reaching it from the controller's cluster, with a
+// tunable exchange rate λ between dollars and latency: λ = 0 reproduces
+// plain L3, larger λ trades tail latency for cheaper traffic.
+package cost
+
+import (
+	"fmt"
+	"time"
+
+	"l3/internal/core"
+)
+
+// Rates is a transfer price table in dollars per GB.
+type Rates struct {
+	// IntraCluster covers same-cluster traffic (free on every cloud).
+	IntraCluster float64
+	// InterCluster is the default price between distinct clusters
+	// (AWS-like cross-AZ/region transfer, default $0.02/GB).
+	InterCluster float64
+	// Links overrides specific directed links.
+	Links map[[2]string]float64
+}
+
+// DefaultRates mirrors common public-cloud pricing: free in-cluster,
+// $0.02/GB between clusters.
+func DefaultRates() Rates {
+	return Rates{InterCluster: 0.02}
+}
+
+// PerGB returns the price of moving a gigabyte from src to dst.
+func (r Rates) PerGB(src, dst string) float64 {
+	if rate, ok := r.Links[[2]string{src, dst}]; ok {
+		return rate
+	}
+	if src == dst {
+		return r.IntraCluster
+	}
+	return r.InterCluster
+}
+
+// Model prices request traffic.
+type Model struct {
+	rates Rates
+	// bytesPerRequest approximates the request+response payload.
+	bytesPerRequest float64
+}
+
+// NewModel returns a model; bytesPerRequest <= 0 defaults to 16 KiB
+// (a modest request plus a JSON response).
+func NewModel(rates Rates, bytesPerRequest float64) *Model {
+	if bytesPerRequest <= 0 {
+		bytesPerRequest = 16 << 10
+	}
+	return &Model{rates: rates, bytesPerRequest: bytesPerRequest}
+}
+
+// RequestCost returns the dollar cost of one request from src to dst.
+func (m *Model) RequestCost(src, dst string) float64 {
+	return m.rates.PerGB(src, dst) * m.bytesPerRequest / (1 << 30)
+}
+
+// TrafficCost prices a request-count matrix keyed by (src, dst) cluster.
+func (m *Model) TrafficCost(counts map[[2]string]float64) float64 {
+	var total float64
+	for link, n := range counts {
+		total += n * m.RequestCost(link[0], link[1])
+	}
+	return total
+}
+
+// String describes the model.
+func (m *Model) String() string {
+	return fmt.Sprintf("cost{inter=$%.3f/GB req=%.0fB}", m.rates.InterCluster, m.bytesPerRequest)
+}
+
+// Assigner decorates a core.Assigner with cost awareness: every backend's
+// weight is divided by (1 + λ·costSeconds), where costSeconds is the
+// backend's marginal transfer cost expressed in the same unit as Lest by
+// the exchange rate. With Equation 4's w = 1/((Rᵢ+1)²·Lest) this is
+// equivalent to adding a cost term to the estimated latency — dollars
+// become virtual milliseconds.
+type Assigner struct {
+	inner     core.Assigner
+	model     *Model
+	src       string
+	clusterOf func(backend string) string
+	// lambda converts dollars per request into seconds of virtual
+	// latency (seconds per dollar).
+	lambda float64
+}
+
+var _ core.Assigner = (*Assigner)(nil)
+
+// NewAssigner wraps inner. clusterOf maps a TrafficSplit backend name to
+// its cluster; lambda is the dollars→latency exchange rate in seconds per
+// dollar (0 disables cost awareness).
+func NewAssigner(inner core.Assigner, model *Model, src string, clusterOf func(string) string, lambda float64) *Assigner {
+	if inner == nil || model == nil || clusterOf == nil {
+		panic("cost: NewAssigner requires inner assigner, model and clusterOf")
+	}
+	return &Assigner{inner: inner, model: model, src: src, clusterOf: clusterOf, lambda: lambda}
+}
+
+// Assign implements core.Assigner.
+func (a *Assigner) Assign(now time.Duration, m map[string]core.BackendMetrics) map[string]float64 {
+	weights := a.inner.Assign(now, m)
+	if a.lambda <= 0 {
+		return weights
+	}
+	for b, w := range weights {
+		costSeconds := a.lambda * a.model.RequestCost(a.src, a.clusterOf(b))
+		weights[b] = w / (1 + costSeconds*w)
+	}
+	return weights
+}
+
+// Forget implements core.Assigner.
+func (a *Assigner) Forget(b string) { a.inner.Forget(b) }

@@ -1,0 +1,130 @@
+package cost
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"l3/internal/core"
+)
+
+func TestRatesLookup(t *testing.T) {
+	r := DefaultRates()
+	if r.PerGB("a", "a") != 0 {
+		t.Fatal("intra-cluster transfer should be free")
+	}
+	if r.PerGB("a", "b") != 0.02 {
+		t.Fatalf("inter-cluster = %v", r.PerGB("a", "b"))
+	}
+	r.Links = map[[2]string]float64{{"a", "b"}: 0.09}
+	if r.PerGB("a", "b") != 0.09 {
+		t.Fatal("link override ignored")
+	}
+	if r.PerGB("b", "a") != 0.02 {
+		t.Fatal("override leaked to the reverse direction")
+	}
+}
+
+func TestRequestAndTrafficCost(t *testing.T) {
+	m := NewModel(DefaultRates(), 1<<30) // 1 GiB per request for easy numbers
+	if got := m.RequestCost("a", "b"); math.Abs(got-0.02) > 1e-12 {
+		t.Fatalf("RequestCost = %v", got)
+	}
+	if got := m.RequestCost("a", "a"); got != 0 {
+		t.Fatalf("local RequestCost = %v", got)
+	}
+	total := m.TrafficCost(map[[2]string]float64{
+		{"a", "a"}: 100, // free
+		{"a", "b"}: 10,  // 10 x $0.02
+	})
+	if math.Abs(total-0.2) > 1e-9 {
+		t.Fatalf("TrafficCost = %v", total)
+	}
+}
+
+func TestModelDefaultBytes(t *testing.T) {
+	m := NewModel(DefaultRates(), 0)
+	want := 0.02 * float64(16<<10) / float64(1<<30)
+	if got := m.RequestCost("a", "b"); math.Abs(got-want) > 1e-15 {
+		t.Fatalf("default-bytes cost = %v, want %v", got, want)
+	}
+}
+
+// staticAssigner returns fixed weights.
+type staticAssigner struct {
+	weights map[string]float64
+	forgot  []string
+}
+
+func (s *staticAssigner) Assign(time.Duration, map[string]core.BackendMetrics) map[string]float64 {
+	out := make(map[string]float64, len(s.weights))
+	for k, v := range s.weights {
+		out[k] = v
+	}
+	return out
+}
+
+func (s *staticAssigner) Forget(b string) { s.forgot = append(s.forgot, b) }
+
+func clusterOf(b string) string {
+	// "svc-clusterX" -> "clusterX"
+	return b[len("svc-"):]
+}
+
+func TestAssignerZeroLambdaIsIdentity(t *testing.T) {
+	inner := &staticAssigner{weights: map[string]float64{"svc-c1": 10, "svc-c2": 10}}
+	a := NewAssigner(inner, NewModel(DefaultRates(), 0), "c1", clusterOf, 0)
+	w := a.Assign(0, nil)
+	if w["svc-c1"] != 10 || w["svc-c2"] != 10 {
+		t.Fatalf("lambda=0 changed weights: %v", w)
+	}
+}
+
+func TestAssignerPenalizesRemoteBackends(t *testing.T) {
+	inner := &staticAssigner{weights: map[string]float64{"svc-c1": 10, "svc-c2": 10}}
+	model := NewModel(DefaultRates(), 16<<10)
+	// λ chosen so a remote request costs ~10ms of virtual latency:
+	// 0.01s / RequestCost.
+	lambda := 0.01 / model.RequestCost("c1", "c2")
+	a := NewAssigner(inner, model, "c1", clusterOf, lambda)
+	w := a.Assign(0, nil)
+	if w["svc-c1"] != 10 {
+		t.Fatalf("local weight changed: %v", w["svc-c1"])
+	}
+	// Remote: w' = 1/(1/10 + 0.01) = 9.0909...
+	if math.Abs(w["svc-c2"]-1/0.11) > 1e-9 {
+		t.Fatalf("remote weight = %v, want %v", w["svc-c2"], 1/0.11)
+	}
+}
+
+func TestAssignerLambdaMonotone(t *testing.T) {
+	model := NewModel(DefaultRates(), 16<<10)
+	prev := math.Inf(1)
+	for _, lambda := range []float64{0, 1e4, 1e5, 1e6} {
+		inner := &staticAssigner{weights: map[string]float64{"svc-c2": 10}}
+		a := NewAssigner(inner, model, "c1", clusterOf, lambda)
+		w := a.Assign(0, nil)["svc-c2"]
+		if w > prev {
+			t.Fatalf("remote weight not monotone in lambda: %v after %v", w, prev)
+		}
+		prev = w
+	}
+}
+
+func TestAssignerForgetDelegates(t *testing.T) {
+	inner := &staticAssigner{weights: map[string]float64{}}
+	a := NewAssigner(inner, NewModel(DefaultRates(), 0), "c1", clusterOf, 1)
+	a.Forget("svc-c9")
+	if len(inner.forgot) != 1 || inner.forgot[0] != "svc-c9" {
+		t.Fatalf("Forget not delegated: %v", inner.forgot)
+	}
+}
+
+func TestAssignerNilDepsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil deps did not panic")
+		}
+	}()
+	NewAssigner(nil, nil, "c1", nil, 1)
+}

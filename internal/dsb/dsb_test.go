@@ -1,0 +1,260 @@
+package dsb
+
+import (
+	"testing"
+	"time"
+
+	"l3/internal/balancer"
+	"l3/internal/loadgen"
+	"l3/internal/mesh"
+	"l3/internal/metrics"
+	"l3/internal/sim"
+	"l3/internal/wan"
+)
+
+var testClusters = []string{"cluster-1", "cluster-2", "cluster-3"}
+
+func newApp(t *testing.T) (*App, *mesh.Mesh, *sim.Engine) {
+	t.Helper()
+	engine := sim.NewEngine()
+	rng := sim.NewRand(7)
+	m := mesh.New(engine, rng.Fork(), wan.New(wan.DefaultConfig()), metrics.NewRegistry())
+	app, err := InstallHotelReservation(m, testClusters, rng.Fork())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return app, m, engine
+}
+
+func TestInstallCreatesAllServicesAndBackends(t *testing.T) {
+	app, m, _ := newApp(t)
+	services := app.Services()
+	if len(services) != 17 {
+		t.Fatalf("installed %d services, want 17 (8 micro + 3 cache + 6 db)", len(services))
+	}
+	for _, svc := range services {
+		s, ok := m.Service(svc)
+		if !ok {
+			t.Fatalf("service %s missing", svc)
+		}
+		if len(s.Backends()) != 3 {
+			t.Fatalf("service %s has %d backends, want one per cluster", svc, len(s.Backends()))
+		}
+	}
+}
+
+func TestInstallValidatesGraph(t *testing.T) {
+	engine := sim.NewEngine()
+	rng := sim.NewRand(7)
+	m := mesh.New(engine, rng.Fork(), wan.New(wan.DefaultConfig()), metrics.NewRegistry())
+	bad := []ServiceSpec{{
+		Name:          "a",
+		ComputeMedian: time.Millisecond,
+		ComputeP99:    time.Millisecond,
+		Variants:      []Variant{{Weight: 1, Stages: []Stage{{"missing"}}}},
+	}}
+	if _, err := Install(m, testClusters, rng, bad); err == nil {
+		t.Fatal("dangling call target accepted")
+	}
+	if _, err := Install(m, nil, rng, nil); err == nil {
+		t.Fatal("empty clusters accepted")
+	}
+}
+
+func TestInstallRejectsDuplicates(t *testing.T) {
+	engine := sim.NewEngine()
+	rng := sim.NewRand(7)
+	m := mesh.New(engine, rng.Fork(), wan.New(wan.DefaultConfig()), metrics.NewRegistry())
+	dup := []ServiceSpec{
+		{Name: "a", ComputeMedian: time.Millisecond, ComputeP99: time.Millisecond},
+		{Name: "a", ComputeMedian: time.Millisecond, ComputeP99: time.Millisecond},
+	}
+	if _, err := Install(m, testClusters, rng, dup); err == nil {
+		t.Fatal("duplicate service accepted")
+	}
+}
+
+func TestCreateSplitsCoversEveryService(t *testing.T) {
+	app, m, _ := newApp(t)
+	if err := app.CreateSplits(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Splits().Len() != 51 {
+		t.Fatalf("splits = %d, want 17 services x 3 source clusters", m.Splits().Len())
+	}
+	ts, ok := m.Splits().Get(SplitName("cluster-2", "search"))
+	if !ok || len(ts.Backends) != 3 {
+		t.Fatalf("search split = %+v", ts)
+	}
+	for _, b := range ts.Backends {
+		if b.Weight != 500 {
+			t.Fatalf("initial weight = %d, want 500", b.Weight)
+		}
+	}
+	if err := app.CreateSplits(); err == nil {
+		t.Fatal("second CreateSplits should conflict")
+	}
+}
+
+func TestEndToEndRequestCompletes(t *testing.T) {
+	app, m, engine := newApp(t)
+	_ = app.SetPickerAll(func(string) mesh.Picker { return balancer.NewRoundRobin() })
+	var res mesh.Result
+	got := false
+	if err := m.Call("cluster-1", EntryService, func(r mesh.Result) { res, got = r, true }); err != nil {
+		t.Fatal(err)
+	}
+	engine.RunUntil(time.Minute)
+	if !got {
+		t.Fatal("request never completed")
+	}
+	if !res.Success {
+		t.Fatalf("request failed: %+v", res)
+	}
+	// A multi-hop request through caches/DBs plus several WAN hops: a few
+	// ms at minimum, well under a second at idle.
+	if res.Latency < 2*time.Millisecond || res.Latency > time.Second {
+		t.Fatalf("end-to-end latency = %v, implausible", res.Latency)
+	}
+}
+
+func TestWorkloadLatencyScaleMatchesPaper(t *testing.T) {
+	// At 50 RPS round-robin, the P99 should sit at the tens-of-ms scale
+	// (the paper measured ~93ms at 200 RPS on EC2).
+	app, m, engine := newApp(t)
+	_ = app.SetPickerAll(func(string) mesh.Picker { return balancer.NewRoundRobin() })
+	gen := loadgen.New(engine, loadgen.Config{Rate: loadgen.ConstantRate(50)},
+		func(done func(time.Duration, bool)) error {
+			return m.Call("cluster-1", EntryService, func(r mesh.Result) {
+				done(r.Latency, r.Success)
+			})
+		})
+	gen.Start()
+	engine.RunUntil(30 * time.Second)
+	gen.Stop()
+	engine.RunUntil(40 * time.Second)
+
+	rec := gen.Recorder()
+	if rec.Count() < 1400 {
+		t.Fatalf("recorded %d requests, want ~1500", rec.Count())
+	}
+	if sr := rec.SuccessRate(); sr < 0.999 {
+		t.Fatalf("success rate = %v, want ~1 (no failure injection)", sr)
+	}
+	p99 := rec.Quantile(0.99)
+	if p99 < 20*time.Millisecond || p99 > 400*time.Millisecond {
+		t.Fatalf("P99 = %v, want tens-of-ms scale", p99)
+	}
+	p50 := rec.Quantile(0.5)
+	if p50 >= p99 || p50 < 5*time.Millisecond {
+		t.Fatalf("P50 = %v (P99 %v), implausible", p50, p99)
+	}
+}
+
+func TestRequestsFanOutAcrossClusters(t *testing.T) {
+	app, m, engine := newApp(t)
+	_ = app.SetPickerAll(func(string) mesh.Picker { return balancer.NewRoundRobin() })
+	for i := 0; i < 200; i++ {
+		engine.After(time.Duration(i)*20*time.Millisecond, func() {
+			_ = m.Call("cluster-1", EntryService, func(mesh.Result) {})
+		})
+	}
+	engine.RunUntil(time.Minute)
+	// Round-robin must have exercised mongo backends in all clusters.
+	reg := m.Registry()
+	for _, c := range testClusters {
+		total := 0.0
+		for _, src := range testClusters {
+			lbl := metrics.Labels{
+				"service": "mongo-geo", "backend": BackendName("mongo-geo", c),
+				"classification": mesh.ClassSuccess, "src": src,
+			}
+			total += reg.Counter(mesh.MetricResponseTotal, lbl).Value()
+		}
+		if total == 0 {
+			t.Fatalf("mongo-geo in %s received no traffic under round-robin", c)
+		}
+	}
+}
+
+func TestFrontendVariantMixRoughlyHonoured(t *testing.T) {
+	// search (60%) calls the search service; recommend (39%) calls
+	// recommendation. Check the traffic ratio between those services.
+	app, m, engine := newApp(t)
+	_ = app.SetPickerAll(func(string) mesh.Picker { return balancer.NewRoundRobin() })
+	for i := 0; i < 2000; i++ {
+		engine.After(time.Duration(i)*2*time.Millisecond, func() {
+			_ = m.Call("cluster-1", EntryService, func(mesh.Result) {})
+		})
+	}
+	engine.RunUntil(time.Minute)
+	reg := m.Registry()
+	count := func(svc string) float64 {
+		var total float64
+		for _, c := range testClusters {
+			for _, src := range testClusters {
+				lbl := metrics.Labels{"service": svc, "backend": BackendName(svc, c),
+					"classification": mesh.ClassSuccess, "src": src}
+				total += reg.Counter(mesh.MetricResponseTotal, lbl).Value()
+			}
+		}
+		return total
+	}
+	searches, recs := count("search"), count("recommendation")
+	if searches == 0 || recs == 0 {
+		t.Fatal("variant services unreached")
+	}
+	ratio := searches / recs
+	if ratio < 1.2 || ratio > 2.0 {
+		t.Fatalf("search/recommendation ratio = %v, want ~1.54 (60/39)", ratio)
+	}
+}
+
+func TestBackendNameFormat(t *testing.T) {
+	if BackendName("geo", "cluster-2") != "geo-cluster-2" {
+		t.Fatal("BackendName format changed")
+	}
+}
+
+func TestPerfVariationWidensTail(t *testing.T) {
+	run := func(opts ...InstallOption) time.Duration {
+		engine := sim.NewEngine()
+		rng := sim.NewRand(5)
+		m := mesh.New(engine, rng.Fork(), wan.New(wan.DefaultConfig()), metrics.NewRegistry())
+		app, err := InstallHotelReservation(m, testClusters, rng.Fork(), opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = app.SetPickerAll(func(string) mesh.Picker { return balancer.NewRoundRobin() })
+		gen := loadgen.New(engine, loadgen.Config{Rate: loadgen.ConstantRate(150)},
+			func(done func(time.Duration, bool)) error {
+				return m.Call("cluster-1", EntryService, func(r mesh.Result) { done(r.Latency, r.Success) })
+			})
+		gen.Start()
+		engine.RunUntil(3 * time.Minute)
+		return gen.Recorder().Quantile(0.999)
+	}
+	plain := run()
+	varied := run(WithPerfVariation())
+	if varied <= plain {
+		t.Fatalf("perf variation did not widen the tail: %v vs %v", varied, plain)
+	}
+}
+
+func TestSplitNameFormat(t *testing.T) {
+	if SplitName("cluster-2", "geo") != "cluster-2/geo" {
+		t.Fatal("SplitName format changed")
+	}
+}
+
+func TestClustersAccessorCopies(t *testing.T) {
+	app, _, _ := newApp(t)
+	cs := app.Clusters()
+	if len(cs) != 3 {
+		t.Fatalf("Clusters = %v", cs)
+	}
+	cs[0] = "mutated"
+	if app.Clusters()[0] == "mutated" {
+		t.Fatal("Clusters aliases internal state")
+	}
+}

@@ -1,0 +1,233 @@
+package ewma
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestValueBeforeObservationIsDefault(t *testing.T) {
+	e := New(5*time.Second, 42)
+	if e.Value() != 42 {
+		t.Fatalf("Value = %v, want default 42", e.Value())
+	}
+	if e.Initialized() {
+		t.Fatal("Initialized before any observation")
+	}
+}
+
+func TestFirstObservationSetsValue(t *testing.T) {
+	e := New(5*time.Second, 42)
+	e.Observe(time.Second, 10)
+	if e.Value() != 10 {
+		t.Fatalf("Value after first sample = %v, want 10", e.Value())
+	}
+}
+
+func TestHalfLifeSemantics(t *testing.T) {
+	// After exactly one half-life, the old value and new sample each
+	// contribute 50%.
+	e := New(5*time.Second, 0)
+	e.Observe(0, 100)
+	got := e.Observe(5*time.Second, 0)
+	if math.Abs(got-50) > 1e-9 {
+		t.Fatalf("value after one half-life = %v, want 50", got)
+	}
+	got = e.Observe(10*time.Second, 0)
+	if math.Abs(got-25) > 1e-9 {
+		t.Fatalf("value after two half-lives = %v, want 25", got)
+	}
+}
+
+func TestRapidSamplesBarelyMove(t *testing.T) {
+	// Equation 1 weights by elapsed time: samples arriving almost
+	// simultaneously have almost no effect.
+	e := New(5*time.Second, 0)
+	e.Observe(0, 100)
+	got := e.Observe(time.Millisecond, 0)
+	if got < 99.9 {
+		t.Fatalf("value after 1ms zero-sample = %v, want > 99.9", got)
+	}
+}
+
+func TestOutOfOrderTimestampClamped(t *testing.T) {
+	e := New(5*time.Second, 0)
+	e.Observe(10*time.Second, 100)
+	// Sample "before" the previous one: Δt clamps to 0, no decay, so the
+	// prior value is retained entirely.
+	got := e.Observe(5*time.Second, 0)
+	if got != 100 {
+		t.Fatalf("value after out-of-order sample = %v, want 100", got)
+	}
+}
+
+func TestConvergesToConstantInput(t *testing.T) {
+	e := New(5*time.Second, 0)
+	for i := 0; i <= 100; i++ {
+		e.Observe(time.Duration(i)*time.Second, 7)
+	}
+	if math.Abs(e.Value()-7) > 1e-9 {
+		t.Fatalf("did not converge to constant input: %v", e.Value())
+	}
+}
+
+func TestRelaxMovesTowardDefault(t *testing.T) {
+	e := New(5*time.Second, 5)
+	e.Observe(0, 105)
+	e.Relax(time.Second, 0.1)
+	if math.Abs(e.Value()-95) > 1e-9 {
+		t.Fatalf("Relax(0.1) = %v, want 95", e.Value())
+	}
+	for i := 0; i < 200; i++ {
+		e.Relax(time.Duration(i)*time.Second, 0.1)
+	}
+	if math.Abs(e.Value()-5) > 0.01 {
+		t.Fatalf("repeated Relax did not converge to default: %v", e.Value())
+	}
+}
+
+func TestRelaxEdgeCases(t *testing.T) {
+	e := New(5*time.Second, 5)
+	if got := e.Relax(0, 0.5); got != 5 {
+		t.Fatalf("Relax before init = %v, want default", got)
+	}
+	e.Observe(0, 100)
+	if got := e.Relax(time.Second, 0); got != 100 {
+		t.Fatalf("Relax(0 fraction) = %v, want unchanged", got)
+	}
+	if got := e.Relax(time.Second, 5); got != 5 {
+		t.Fatalf("Relax(fraction>1) = %v, want snapped to default", got)
+	}
+}
+
+func TestResetReturnsToDefault(t *testing.T) {
+	e := New(5*time.Second, 3)
+	e.Observe(0, 50)
+	e.Reset()
+	if e.Initialized() || e.Value() != 3 {
+		t.Fatalf("Reset: initialized=%v value=%v", e.Initialized(), e.Value())
+	}
+}
+
+func TestNewPanicsOnNonPositiveHalfLife(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) did not panic")
+		}
+	}()
+	New(0, 1)
+}
+
+func TestPeakJumpsToHigherSample(t *testing.T) {
+	p := NewPeak(5*time.Second, 0)
+	p.Observe(0, 10)
+	got := p.Observe(time.Millisecond, 500)
+	if got != 500 {
+		t.Fatalf("peak did not jump: %v, want 500", got)
+	}
+}
+
+func TestPeakDecaysLikeEWMABelowPeak(t *testing.T) {
+	p := NewPeak(5*time.Second, 0)
+	p.Observe(0, 100)
+	got := p.Observe(5*time.Second, 0)
+	if math.Abs(got-50) > 1e-9 {
+		t.Fatalf("peak decay after one half-life = %v, want 50", got)
+	}
+}
+
+func TestPeakDecayMeasuredFromJump(t *testing.T) {
+	p := NewPeak(5*time.Second, 0)
+	p.Observe(0, 10)
+	p.Observe(3*time.Second, 500) // jump resets the sample clock
+	got := p.Observe(8*time.Second, 0)
+	if math.Abs(got-250) > 1e-9 {
+		t.Fatalf("decay after jump = %v, want 250 (half-life from the jump)", got)
+	}
+}
+
+func TestPeakAtOrAboveCurrentValueAlwaysWins(t *testing.T) {
+	f := func(a, b uint16) bool {
+		p := NewPeak(time.Second, 0)
+		p.Observe(0, float64(a))
+		v := p.Observe(time.Millisecond, float64(a)+float64(b))
+		return v == float64(a)+float64(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPeakNeverBelowEWMAProperty(t *testing.T) {
+	// For any sample sequence, PeakEWMA ≥ EWMA at every step.
+	f := func(seed int64) bool {
+		samples := []float64{}
+		x := uint64(seed)
+		for i := 0; i < 64; i++ {
+			x = x*6364136223846793005 + 1442695040888963407
+			samples = append(samples, float64(x%1000))
+		}
+		e := New(5*time.Second, 0)
+		p := NewPeak(5*time.Second, 0)
+		for i, s := range samples {
+			now := time.Duration(i) * 500 * time.Millisecond
+			ev := e.Observe(now, s)
+			pv := p.Observe(now, s)
+			if pv < ev-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEWMABoundedByInputRangeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		x := uint64(seed)
+		e := New(2*time.Second, 50)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := 0; i < 100; i++ {
+			x = x*6364136223846793005 + 1442695040888963407
+			s := float64(x % 500)
+			lo = math.Min(lo, s)
+			hi = math.Max(hi, s)
+			v := e.Observe(time.Duration(i)*time.Second, s)
+			if v < lo-1e-9 || v > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewFilterKinds(t *testing.T) {
+	if _, ok := NewFilter(KindEWMA, time.Second, 0).(*EWMA); !ok {
+		t.Fatal("KindEWMA did not produce *EWMA")
+	}
+	if _, ok := NewFilter(KindPeak, time.Second, 0).(*PeakEWMA); !ok {
+		t.Fatal("KindPeak did not produce *PeakEWMA")
+	}
+	if KindEWMA.String() != "ewma" || KindPeak.String() != "peak-ewma" {
+		t.Fatalf("kind names: %v %v", KindEWMA, KindPeak)
+	}
+}
+
+func TestPeakRelaxAndReset(t *testing.T) {
+	p := NewPeak(time.Second, 1)
+	p.Observe(0, 101)
+	p.Relax(time.Second, 0.5)
+	if math.Abs(p.Value()-51) > 1e-9 {
+		t.Fatalf("peak Relax = %v, want 51", p.Value())
+	}
+	p.Reset()
+	if p.Initialized() || p.Value() != 1 {
+		t.Fatal("peak Reset failed")
+	}
+}

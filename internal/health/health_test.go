@@ -1,0 +1,180 @@
+package health
+
+import (
+	"testing"
+	"time"
+
+	"l3/internal/backend"
+	"l3/internal/balancer"
+	"l3/internal/mesh"
+	"l3/internal/sim"
+)
+
+// flakyServer fails (or hangs) on demand.
+type flakyServer struct {
+	engine  *sim.Engine
+	latency time.Duration
+	fail    bool
+	hang    bool
+	probes  int
+}
+
+func (s *flakyServer) Serve(done func(backend.Result)) {
+	s.probes++
+	if s.hang {
+		return // never answers
+	}
+	ok := !s.fail
+	s.engine.After(s.latency, func() {
+		done(backend.Result{Latency: s.latency, Success: ok})
+	})
+}
+
+func newBackend(e *sim.Engine, name string) (*mesh.Backend, *flakyServer) {
+	srv := &flakyServer{engine: e, latency: 5 * time.Millisecond}
+	return &mesh.Backend{Name: name, Cluster: "c", Server: srv}, srv
+}
+
+func TestBackendStartsHealthy(t *testing.T) {
+	e := sim.NewEngine()
+	c := NewChecker(e, Config{})
+	b, _ := newBackend(e, "b")
+	c.Watch(b)
+	if !c.Healthy("b") || !c.Healthy("unknown") {
+		t.Fatal("backends must start (and default) healthy")
+	}
+}
+
+func TestEjectionAfterConsecutiveFailures(t *testing.T) {
+	e := sim.NewEngine()
+	c := NewChecker(e, Config{Interval: 10 * time.Second, UnhealthyThreshold: 3})
+	b, srv := newBackend(e, "b")
+	c.Watch(b)
+	srv.fail = true
+	e.RunUntil(25 * time.Second) // two failed probes: still in rotation
+	if !c.Healthy("b") {
+		t.Fatal("ejected before the threshold")
+	}
+	e.RunUntil(35 * time.Second) // third failure
+	if c.Healthy("b") {
+		t.Fatal("not ejected after 3 consecutive failures")
+	}
+	if c.Transitions("b") != 1 {
+		t.Fatalf("transitions = %d", c.Transitions("b"))
+	}
+}
+
+func TestRecoveryAfterConsecutiveSuccesses(t *testing.T) {
+	e := sim.NewEngine()
+	c := NewChecker(e, Config{Interval: 10 * time.Second, UnhealthyThreshold: 3, HealthyThreshold: 2})
+	b, srv := newBackend(e, "b")
+	c.Watch(b)
+	srv.fail = true
+	e.RunUntil(35 * time.Second)
+	if c.Healthy("b") {
+		t.Fatal("setup: not ejected")
+	}
+	srv.fail = false
+	e.RunUntil(45 * time.Second) // one success: not yet
+	if c.Healthy("b") {
+		t.Fatal("restored after a single success")
+	}
+	e.RunUntil(60 * time.Second) // second success
+	if !c.Healthy("b") {
+		t.Fatal("not restored after 2 consecutive successes")
+	}
+}
+
+func TestIntermittentFailuresDoNotEject(t *testing.T) {
+	e := sim.NewEngine()
+	c := NewChecker(e, Config{Interval: 10 * time.Second, UnhealthyThreshold: 3})
+	b, srv := newBackend(e, "b")
+	c.Watch(b)
+	// Alternate failure and success: consecFail never reaches 3.
+	e.Every(10*time.Second, func() { srv.fail = !srv.fail })
+	e.RunUntil(5 * time.Minute)
+	if !c.Healthy("b") {
+		t.Fatal("intermittent failures ejected the backend")
+	}
+}
+
+func TestTimeoutCountsAsFailure(t *testing.T) {
+	e := sim.NewEngine()
+	c := NewChecker(e, Config{Interval: 10 * time.Second, Timeout: time.Second, UnhealthyThreshold: 2})
+	b, srv := newBackend(e, "b")
+	c.Watch(b)
+	srv.hang = true
+	e.RunUntil(30 * time.Second)
+	if c.Healthy("b") {
+		t.Fatal("hanging backend not ejected via probe timeout")
+	}
+}
+
+func TestLateAnswerAfterTimeoutIgnored(t *testing.T) {
+	e := sim.NewEngine()
+	c := NewChecker(e, Config{Interval: 10 * time.Second, Timeout: time.Second, UnhealthyThreshold: 2})
+	b, srv := newBackend(e, "b")
+	srv.latency = 3 * time.Second // always answers, but after the timeout
+	c.Watch(b)
+	e.RunUntil(40 * time.Second)
+	if c.Healthy("b") {
+		t.Fatal("slow-answering backend should count as failing")
+	}
+}
+
+func TestWatchIsIdempotentAndStopHalts(t *testing.T) {
+	e := sim.NewEngine()
+	c := NewChecker(e, Config{Interval: 10 * time.Second})
+	b, srv := newBackend(e, "b")
+	c.Watch(b)
+	c.Watch(b) // second Watch must not double-probe
+	e.RunUntil(35 * time.Second)
+	if srv.probes != 3 {
+		t.Fatalf("probes = %d, want 3 (one per interval)", srv.probes)
+	}
+	c.Stop()
+	e.RunUntil(2 * time.Minute)
+	if srv.probes != 3 {
+		t.Fatalf("probing continued after Stop: %d", srv.probes)
+	}
+}
+
+func TestFailoverPickerFiltersUnhealthy(t *testing.T) {
+	e := sim.NewEngine()
+	c := NewChecker(e, Config{Interval: 10 * time.Second, UnhealthyThreshold: 1})
+	good, _ := newBackend(e, "good")
+	bad, badSrv := newBackend(e, "bad")
+	c.WatchAll([]*mesh.Backend{good, bad})
+	badSrv.fail = true
+	e.RunUntil(15 * time.Second)
+
+	p := &FailoverPicker{Checker: c, Inner: balancer.NewRoundRobin()}
+	for i := 0; i < 10; i++ {
+		if got := p.Pick(0, "c1", "svc", []*mesh.Backend{good, bad}); got.Name != "good" {
+			t.Fatalf("picked ejected backend %s", got.Name)
+		}
+	}
+}
+
+func TestFailoverPickerFailsOpen(t *testing.T) {
+	e := sim.NewEngine()
+	c := NewChecker(e, Config{Interval: 10 * time.Second, UnhealthyThreshold: 1})
+	a, aSrv := newBackend(e, "a")
+	b, bSrv := newBackend(e, "b")
+	c.WatchAll([]*mesh.Backend{a, b})
+	aSrv.fail, bSrv.fail = true, true
+	e.RunUntil(15 * time.Second)
+	p := &FailoverPicker{Checker: c, Inner: balancer.NewRoundRobin()}
+	if got := p.Pick(0, "c1", "svc", []*mesh.Backend{a, b}); got == nil {
+		t.Fatal("all-unhealthy must fail open, not return nil")
+	}
+}
+
+func TestNilEnginePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil engine did not panic")
+		}
+	}()
+	NewChecker(nil, Config{})
+}

@@ -1,0 +1,79 @@
+package histogram
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// LinkerdLatencyBounds are the cumulative latency bucket upper bounds (in
+// seconds) used by the metrics substrate, mirroring the log-spaced layout
+// of Linkerd's proxy response_latency histogram: decade steps of 1-2-…-9
+// from 1 ms to 60 s, with a +Inf overflow implied by the final count.
+var LinkerdLatencyBounds = []float64{
+	0.001, 0.002, 0.003, 0.004, 0.005, 0.006, 0.007, 0.008, 0.009,
+	0.010, 0.020, 0.030, 0.040, 0.050, 0.060, 0.070, 0.080, 0.090,
+	0.100, 0.200, 0.300, 0.400, 0.500, 0.600, 0.700, 0.800, 0.900,
+	1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 20, 30, 40, 50, 60,
+}
+
+// BucketQuantile estimates the q-quantile of a cumulative bucket histogram
+// given the per-bucket (non-cumulative) counts aligned with bounds, using
+// the same linear interpolation Prometheus's histogram_quantile applies.
+// counts must have len(bounds)+1 entries, the final entry being the overflow
+// (+Inf) bucket. The result is in the unit of bounds (seconds for
+// LinkerdLatencyBounds). It returns 0 when the histogram is empty.
+func BucketQuantile(q float64, bounds []float64, counts []float64) float64 {
+	if len(counts) != len(bounds)+1 {
+		return 0
+	}
+	var total float64
+	for _, c := range counts {
+		total += c
+	}
+	if total <= 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * total
+	var seen float64
+	for i, c := range counts {
+		if seen+c < rank || c == 0 {
+			seen += c
+			continue
+		}
+		if i == len(bounds) {
+			// Overflow bucket: no finite upper bound; return the highest
+			// finite bound, like Prometheus does.
+			return bounds[len(bounds)-1]
+		}
+		lower := 0.0
+		if i > 0 {
+			lower = bounds[i-1]
+		}
+		upper := bounds[i]
+		frac := (rank - seen) / c
+		return lower + (upper-lower)*frac
+	}
+	return bounds[len(bounds)-1]
+}
+
+// BucketFor returns the index of the cumulative bucket that value (in
+// seconds) falls into, where index len(bounds) is the overflow bucket.
+func BucketFor(bounds []float64, value float64) int {
+	return sort.SearchFloat64s(bounds, value)
+}
+
+// DurationQuantile is BucketQuantile with a time.Duration result.
+func DurationQuantile(q float64, bounds []float64, counts []float64) time.Duration {
+	s := BucketQuantile(q, bounds, counts)
+	if math.IsNaN(s) || math.IsInf(s, 0) || s < 0 {
+		return 0
+	}
+	return time.Duration(s * float64(time.Second))
+}

@@ -1,0 +1,194 @@
+// Package histogram provides streaming latency histograms.
+//
+// Two shapes are offered:
+//
+//   - Histogram: an HDR-style log-bucketed recorder with ~2 % relative
+//     error across a 10 µs .. 1000 s range, used by load generators and
+//     trace statistics where the full distribution is needed.
+//   - Explicit cumulative bucket layouts (see Buckets) used by the
+//     Prometheus-flavoured metrics substrate, with the same
+//     linear-interpolation quantile estimation Prometheus's
+//     histogram_quantile applies.
+package histogram
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+const (
+	// minTrackable is the smallest distinguishable value; anything lower is
+	// recorded in bucket 0.
+	minTrackable = 10 * time.Microsecond
+	// growth is the per-bucket geometric growth factor, chosen for ~2 %
+	// relative quantile error.
+	growth = 1.02
+)
+
+var (
+	logGrowth  = math.Log(growth)
+	numBuckets = bucketIndex(1000*time.Second) + 2
+)
+
+func bucketIndex(v time.Duration) int {
+	if v <= minTrackable {
+		return 0
+	}
+	return 1 + int(math.Log(float64(v)/float64(minTrackable))/logGrowth)
+}
+
+// bucketUpper returns a representative (upper-bound) value for bucket i.
+func bucketUpper(i int) time.Duration {
+	if i == 0 {
+		return minTrackable
+	}
+	return time.Duration(float64(minTrackable) * math.Pow(growth, float64(i)))
+}
+
+// Histogram records durations into geometric buckets and answers quantile
+// queries. The zero value is ready to use. Histogram is not safe for
+// concurrent use; callers that share one across goroutines must synchronise.
+type Histogram struct {
+	counts []uint64
+	total  uint64
+	sum    time.Duration
+	min    time.Duration
+	max    time.Duration
+}
+
+// New returns an empty histogram.
+func New() *Histogram {
+	return &Histogram{}
+}
+
+// Record adds one observation. Negative values are clamped to zero.
+func (h *Histogram) Record(v time.Duration) {
+	if v < 0 {
+		v = 0
+	}
+	if h.counts == nil {
+		h.counts = make([]uint64, numBuckets)
+	}
+	i := bucketIndex(v)
+	if i >= len(h.counts) {
+		i = len(h.counts) - 1
+	}
+	h.counts[i]++
+	h.total++
+	h.sum += v
+	if h.total == 1 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() uint64 { return h.total }
+
+// Sum returns the sum of all recorded observations.
+func (h *Histogram) Sum() time.Duration { return h.sum }
+
+// Mean returns the mean observation, or 0 if empty.
+func (h *Histogram) Mean() time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(h.total)
+}
+
+// Min returns the smallest recorded observation, or 0 if empty.
+func (h *Histogram) Min() time.Duration { return h.min }
+
+// Max returns the largest recorded observation, or 0 if empty.
+func (h *Histogram) Max() time.Duration { return h.max }
+
+// Quantile returns an estimate of the q-quantile (q in [0,1]) of the
+// recorded distribution, or 0 if the histogram is empty. Estimates carry the
+// bucket's relative error (~2 %) except at the extremes, which are exact.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.min
+	}
+	if q >= 1 {
+		return h.max
+	}
+	rank := uint64(math.Ceil(q * float64(h.total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen uint64
+	for i, c := range h.counts {
+		seen += c
+		if seen >= rank {
+			v := bucketUpper(i)
+			if v > h.max {
+				v = h.max
+			}
+			if v < h.min {
+				v = h.min
+			}
+			return v
+		}
+	}
+	return h.max
+}
+
+// Merge adds all observations recorded in o into h. Both histograms share
+// the package-wide bucket layout, so the merge is exact.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil || o.total == 0 {
+		return
+	}
+	if h.counts == nil {
+		h.counts = make([]uint64, numBuckets)
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	if h.total == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	h.total += o.total
+	h.sum += o.sum
+}
+
+// Reset discards all recorded observations but keeps the allocation.
+func (h *Histogram) Reset() {
+	for i := range h.counts {
+		h.counts[i] = 0
+	}
+	h.total = 0
+	h.sum = 0
+	h.min = 0
+	h.max = 0
+}
+
+// Snapshot returns an independent copy of the histogram.
+func (h *Histogram) Snapshot() *Histogram {
+	c := &Histogram{
+		total: h.total,
+		sum:   h.sum,
+		min:   h.min,
+		max:   h.max,
+	}
+	if h.counts != nil {
+		c.counts = make([]uint64, len(h.counts))
+		copy(c.counts, h.counts)
+	}
+	return c
+}
+
+// String summarises the distribution for debugging.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("histogram{n=%d p50=%v p99=%v max=%v}",
+		h.total, h.Quantile(0.5), h.Quantile(0.99), h.max)
+}

@@ -1,0 +1,271 @@
+package histogram
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"l3/internal/sim"
+)
+
+func TestEmptyHistogram(t *testing.T) {
+	h := New()
+	if h.Count() != 0 || h.Quantile(0.5) != 0 || h.Mean() != 0 || h.Max() != 0 {
+		t.Fatalf("empty histogram not all-zero: %s", h)
+	}
+}
+
+func TestSingleObservation(t *testing.T) {
+	h := New()
+	h.Record(42 * time.Millisecond)
+	if h.Count() != 1 {
+		t.Fatalf("Count = %d, want 1", h.Count())
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		got := h.Quantile(q)
+		if relErr(got, 42*time.Millisecond) > 0.03 {
+			t.Fatalf("Quantile(%v) = %v, want ~42ms", q, got)
+		}
+	}
+	if h.Min() != 42*time.Millisecond || h.Max() != 42*time.Millisecond {
+		t.Fatalf("min/max = %v/%v, want exact 42ms", h.Min(), h.Max())
+	}
+}
+
+func TestQuantileAccuracyAgainstSortedSamples(t *testing.T) {
+	r := sim.NewRand(1)
+	d := sim.NewLogNormalFromQuantiles(80*time.Millisecond, 700*time.Millisecond)
+	h := New()
+	const n = 50000
+	samples := make([]time.Duration, n)
+	for i := range samples {
+		v := d.Sample(r)
+		samples[i] = v
+		h.Record(v)
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		exact := samples[int(q*float64(n))-1]
+		got := h.Quantile(q)
+		if relErr(got, exact) > 0.05 {
+			t.Fatalf("Quantile(%v) = %v, exact %v (err %.3f)", q, got, exact, relErr(got, exact))
+		}
+	}
+}
+
+func TestRecordClampsNegative(t *testing.T) {
+	h := New()
+	h.Record(-5 * time.Second)
+	if h.Count() != 1 {
+		t.Fatalf("negative record dropped")
+	}
+	if h.Max() != 0 {
+		t.Fatalf("negative record not clamped: max=%v", h.Max())
+	}
+}
+
+func TestRecordBeyondRangeGoesToOverflow(t *testing.T) {
+	h := New()
+	h.Record(5000 * time.Second)
+	if got := h.Quantile(0.5); got != 5000*time.Second {
+		// Quantile is clamped to max, which is exact.
+		t.Fatalf("overflow quantile = %v, want exact max 5000s", got)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a, b := New(), New()
+	for i := 1; i <= 100; i++ {
+		a.Record(time.Duration(i) * time.Millisecond)
+	}
+	for i := 101; i <= 200; i++ {
+		b.Record(time.Duration(i) * time.Millisecond)
+	}
+	a.Merge(b)
+	if a.Count() != 200 {
+		t.Fatalf("merged count = %d, want 200", a.Count())
+	}
+	if got := a.Quantile(0.5); relErr(got, 100*time.Millisecond) > 0.05 {
+		t.Fatalf("merged median = %v, want ~100ms", got)
+	}
+	if a.Min() != time.Millisecond || a.Max() != 200*time.Millisecond {
+		t.Fatalf("merged min/max = %v/%v", a.Min(), a.Max())
+	}
+}
+
+func TestMergeIntoEmptyAndFromNil(t *testing.T) {
+	a := New()
+	b := New()
+	b.Record(time.Second)
+	a.Merge(b)
+	if a.Count() != 1 || a.Min() != time.Second {
+		t.Fatalf("merge into empty: count=%d min=%v", a.Count(), a.Min())
+	}
+	a.Merge(nil)
+	a.Merge(New())
+	if a.Count() != 1 {
+		t.Fatalf("merge of nil/empty changed count to %d", a.Count())
+	}
+}
+
+func TestResetAndReuse(t *testing.T) {
+	h := New()
+	h.Record(time.Second)
+	h.Reset()
+	if h.Count() != 0 || h.Quantile(0.99) != 0 || h.Sum() != 0 {
+		t.Fatal("reset did not clear state")
+	}
+	h.Record(2 * time.Second)
+	if relErr(h.Quantile(0.5), 2*time.Second) > 0.03 {
+		t.Fatalf("post-reset quantile = %v", h.Quantile(0.5))
+	}
+}
+
+func TestSnapshotIsIndependent(t *testing.T) {
+	h := New()
+	h.Record(time.Second)
+	s := h.Snapshot()
+	h.Record(10 * time.Second)
+	if s.Count() != 1 {
+		t.Fatalf("snapshot mutated by later records: count=%d", s.Count())
+	}
+}
+
+func TestQuantileMonotoneProperty(t *testing.T) {
+	r := sim.NewRand(99)
+	f := func(seed uint64) bool {
+		rr := sim.NewRand(seed)
+		h := New()
+		n := 10 + rr.IntN(500)
+		for i := 0; i < n; i++ {
+			h.Record(time.Duration(rr.IntN(int(10 * time.Second))))
+		}
+		prev := time.Duration(-1)
+		for q := 0.0; q <= 1.0; q += 0.05 {
+			v := h.Quantile(q)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 50, Rand: nil}
+	_ = r
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeEquivalentToCombinedRecordingProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rr := sim.NewRand(seed)
+		a, b, both := New(), New(), New()
+		for i := 0; i < 200; i++ {
+			v := time.Duration(rr.IntN(int(2 * time.Second)))
+			if i%2 == 0 {
+				a.Record(v)
+			} else {
+				b.Record(v)
+			}
+			both.Record(v)
+		}
+		a.Merge(b)
+		if a.Count() != both.Count() || a.Sum() != both.Sum() {
+			return false
+		}
+		for _, q := range []float64{0.25, 0.5, 0.75, 0.99} {
+			if a.Quantile(q) != both.Quantile(q) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBucketQuantileUniform(t *testing.T) {
+	bounds := []float64{1, 2, 3, 4}
+	counts := []float64{10, 10, 10, 10, 0}
+	if got := BucketQuantile(0.5, bounds, counts); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("median = %v, want 2", got)
+	}
+	if got := BucketQuantile(0.25, bounds, counts); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("q25 = %v, want 1", got)
+	}
+	// Interpolation inside a bucket.
+	if got := BucketQuantile(0.125, bounds, counts); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("q12.5 = %v, want 0.5", got)
+	}
+}
+
+func TestBucketQuantileOverflowReturnsHighestBound(t *testing.T) {
+	bounds := []float64{1, 2}
+	counts := []float64{0, 0, 5}
+	if got := BucketQuantile(0.99, bounds, counts); got != 2 {
+		t.Fatalf("overflow quantile = %v, want 2", got)
+	}
+}
+
+func TestBucketQuantileEmptyAndMalformed(t *testing.T) {
+	bounds := []float64{1, 2}
+	if got := BucketQuantile(0.5, bounds, []float64{0, 0, 0}); got != 0 {
+		t.Fatalf("empty = %v, want 0", got)
+	}
+	if got := BucketQuantile(0.5, bounds, []float64{1, 2}); got != 0 {
+		t.Fatalf("malformed lengths = %v, want 0", got)
+	}
+}
+
+func TestBucketForBoundaries(t *testing.T) {
+	bounds := []float64{0.001, 0.01, 0.1}
+	tests := []struct {
+		v    float64
+		want int
+	}{
+		{0.0005, 0},
+		{0.001, 0}, // le semantics: exactly the bound falls in that bucket
+		{0.0011, 1},
+		{0.05, 2},
+		{0.5, 3}, // overflow
+	}
+	for _, tt := range tests {
+		if got := BucketFor(bounds, tt.v); got != tt.want {
+			t.Fatalf("BucketFor(%v) = %d, want %d", tt.v, got, tt.want)
+		}
+	}
+}
+
+func TestDurationQuantile(t *testing.T) {
+	bounds := []float64{0.1, 0.2}
+	counts := []float64{0, 10, 0}
+	got := DurationQuantile(1, bounds, counts)
+	if got != 200*time.Millisecond {
+		t.Fatalf("DurationQuantile = %v, want 200ms", got)
+	}
+}
+
+func TestLinkerdBoundsSortedAscending(t *testing.T) {
+	if !sort.Float64sAreSorted(LinkerdLatencyBounds) {
+		t.Fatal("LinkerdLatencyBounds not sorted")
+	}
+	for _, b := range LinkerdLatencyBounds {
+		if b <= 0 {
+			t.Fatalf("non-positive bound %v", b)
+		}
+	}
+}
+
+func relErr(got, want time.Duration) float64 {
+	if want == 0 {
+		if got == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(float64(got-want)) / float64(want)
+}

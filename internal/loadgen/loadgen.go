@@ -1,0 +1,289 @@
+// Package loadgen is a constant-throughput, open-loop HTTP-benchmark
+// client in the spirit of wrk2 (the paper's load generator): arrivals are
+// scheduled by the offered rate alone, never gated on responses, which
+// avoids coordinated omission and keeps the offered RPS faithful to the
+// scenario even when backends slow down. Latency of every request is
+// recorded into mergeable histograms plus per-interval buckets, so both the
+// end-of-run percentiles (Figures 8-12) and the percentile-over-time series
+// (Figures 1 and 6) fall out of one recorder.
+package loadgen
+
+import (
+	"fmt"
+	"time"
+
+	"l3/internal/histogram"
+	"l3/internal/sim"
+)
+
+// IssueFunc sends one request; done must be called exactly once with the
+// observed latency and outcome.
+type IssueFunc func(done func(latency time.Duration, success bool)) error
+
+// RateFunc returns the offered load (requests/second) at virtual time t.
+type RateFunc func(t time.Duration) float64
+
+// ConstantRate offers a fixed RPS.
+func ConstantRate(rps float64) RateFunc {
+	return func(time.Duration) float64 { return rps }
+}
+
+// Config parameterises a Generator.
+type Config struct {
+	// Rate is the offered load over time. Required.
+	Rate RateFunc
+	// WarmUp discards samples recorded before this virtual time, matching
+	// the paper's warm-up period that populates caches and EWMAs before
+	// measurement starts.
+	WarmUp time.Duration
+	// BucketWidth is the recorder's time-series granularity (default 1 s,
+	// the granularity the paper's coordinator retrieves).
+	BucketWidth time.Duration
+}
+
+// Generator schedules open-loop arrivals on the virtual clock.
+type Generator struct {
+	engine   *sim.Engine
+	issue    IssueFunc
+	cfg      Config
+	recorder *Recorder
+	timer    *sim.Timer
+	stopped  bool
+	issued   uint64
+	errors   uint64
+}
+
+// New returns a generator; call Start to begin offering load.
+func New(engine *sim.Engine, cfg Config, issue IssueFunc) *Generator {
+	if issue == nil {
+		panic("loadgen: nil issue function")
+	}
+	if cfg.Rate == nil {
+		panic("loadgen: nil rate function")
+	}
+	if cfg.BucketWidth <= 0 {
+		cfg.BucketWidth = time.Second
+	}
+	return &Generator{
+		engine:   engine,
+		issue:    issue,
+		cfg:      cfg,
+		recorder: NewRecorder(cfg.BucketWidth),
+	}
+}
+
+// Recorder returns the generator's latency recorder.
+func (g *Generator) Recorder() *Recorder { return g.recorder }
+
+// Issued returns the number of requests sent so far.
+func (g *Generator) Issued() uint64 { return g.issued }
+
+// IssueErrors returns the number of requests the IssueFunc rejected
+// synchronously (misconfiguration, unknown service).
+func (g *Generator) IssueErrors() uint64 { return g.errors }
+
+// Start schedules the first arrival. The generator keeps offering load
+// until Stop.
+func (g *Generator) Start() {
+	g.scheduleNext()
+}
+
+// Stop halts the arrival process; in-flight requests still complete and
+// record.
+func (g *Generator) Stop() {
+	g.stopped = true
+	if g.timer != nil {
+		g.timer.Cancel()
+	}
+}
+
+func (g *Generator) scheduleNext() {
+	if g.stopped {
+		return
+	}
+	rate := g.cfg.Rate(g.engine.Now())
+	if rate <= 0 {
+		// No load right now; poll again shortly for the rate to return.
+		g.timer = g.engine.After(100*time.Millisecond, g.scheduleNext)
+		return
+	}
+	gap := time.Duration(float64(time.Second) / rate)
+	if gap <= 0 {
+		gap = time.Nanosecond
+	}
+	g.timer = g.engine.After(gap, func() {
+		g.fire()
+		g.scheduleNext()
+	})
+}
+
+func (g *Generator) fire() {
+	start := g.engine.Now()
+	g.issued++
+	err := g.issue(func(latency time.Duration, success bool) {
+		if start >= g.cfg.WarmUp {
+			g.recorder.Record(start, latency, success)
+		}
+	})
+	if err != nil {
+		g.errors++
+	}
+}
+
+// Recorder accumulates request outcomes: one overall histogram, a
+// successes-only histogram, success/failure counts, and per-bucket
+// histograms for percentile-over-time series.
+type Recorder struct {
+	bucketWidth time.Duration
+	overall     *histogram.Histogram
+	successOnly *histogram.Histogram
+	buckets     []*histogram.Histogram
+	bucketOK    []uint64
+	bucketAll   []uint64
+	successes   uint64
+	failures    uint64
+}
+
+// NewRecorder returns a recorder with the given time-bucket width.
+func NewRecorder(bucketWidth time.Duration) *Recorder {
+	if bucketWidth <= 0 {
+		bucketWidth = time.Second
+	}
+	return &Recorder{
+		bucketWidth: bucketWidth,
+		overall:     histogram.New(),
+		successOnly: histogram.New(),
+	}
+}
+
+// Record adds one outcome observed for a request that started at virtual
+// time at.
+func (r *Recorder) Record(at, latency time.Duration, success bool) {
+	r.overall.Record(latency)
+	if success {
+		r.successes++
+		r.successOnly.Record(latency)
+	} else {
+		r.failures++
+	}
+	i := int(at / r.bucketWidth)
+	for len(r.buckets) <= i {
+		r.buckets = append(r.buckets, histogram.New())
+		r.bucketOK = append(r.bucketOK, 0)
+		r.bucketAll = append(r.bucketAll, 0)
+	}
+	r.buckets[i].Record(latency)
+	r.bucketAll[i]++
+	if success {
+		r.bucketOK[i]++
+	}
+}
+
+// Count returns the number of recorded requests.
+func (r *Recorder) Count() uint64 { return r.successes + r.failures }
+
+// SuccessRate returns successes/total, or 1 when nothing was recorded.
+func (r *Recorder) SuccessRate() float64 {
+	total := r.Count()
+	if total == 0 {
+		return 1
+	}
+	return float64(r.successes) / float64(total)
+}
+
+// Quantile returns the latency quantile over all recorded requests.
+func (r *Recorder) Quantile(q float64) time.Duration { return r.overall.Quantile(q) }
+
+// SuccessQuantile returns the latency quantile over successful requests.
+func (r *Recorder) SuccessQuantile(q float64) time.Duration { return r.successOnly.Quantile(q) }
+
+// Mean returns the mean latency over all recorded requests.
+func (r *Recorder) Mean() time.Duration { return r.overall.Mean() }
+
+// Buckets returns the number of time buckets with data capacity.
+func (r *Recorder) Buckets() int { return len(r.buckets) }
+
+// BucketWidth returns the configured bucket granularity.
+func (r *Recorder) BucketWidth() time.Duration { return r.bucketWidth }
+
+// WindowQuantile returns the latency quantile over requests that started
+// in [from, to) — e.g. the P99 of just a surge window.
+func (r *Recorder) WindowQuantile(q float64, from, to time.Duration) time.Duration {
+	merged := histogram.New()
+	lo := int(from / r.bucketWidth)
+	if lo < 0 {
+		lo = 0
+	}
+	hi := int(to / r.bucketWidth)
+	for i := lo; i < hi && i < len(r.buckets); i++ {
+		merged.Merge(r.buckets[i])
+	}
+	return merged.Quantile(q)
+}
+
+// QuantileSeries returns the per-bucket latency quantile in seconds
+// (0 for empty buckets) — the series behind the paper's
+// percentile-over-time plots.
+func (r *Recorder) QuantileSeries(q float64) []float64 {
+	out := make([]float64, len(r.buckets))
+	for i, h := range r.buckets {
+		out[i] = h.Quantile(q).Seconds()
+	}
+	return out
+}
+
+// RPSSeries returns the per-bucket request rate.
+func (r *Recorder) RPSSeries() []float64 {
+	out := make([]float64, len(r.buckets))
+	w := r.bucketWidth.Seconds()
+	for i, n := range r.bucketAll {
+		out[i] = float64(n) / w
+	}
+	return out
+}
+
+// SuccessRateSeries returns the per-bucket success rate (1 for empty
+// buckets).
+func (r *Recorder) SuccessRateSeries() []float64 {
+	out := make([]float64, len(r.buckets))
+	for i := range r.buckets {
+		if r.bucketAll[i] == 0 {
+			out[i] = 1
+			continue
+		}
+		out[i] = float64(r.bucketOK[i]) / float64(r.bucketAll[i])
+	}
+	return out
+}
+
+// Merge folds another recorder's overall statistics into this one
+// (per-bucket series are merged when bucket widths match; mismatched
+// widths merge only the aggregate histograms).
+func (r *Recorder) Merge(o *Recorder) {
+	if o == nil {
+		return
+	}
+	r.overall.Merge(o.overall)
+	r.successOnly.Merge(o.successOnly)
+	r.successes += o.successes
+	r.failures += o.failures
+	if o.bucketWidth != r.bucketWidth {
+		return
+	}
+	for i, h := range o.buckets {
+		for len(r.buckets) <= i {
+			r.buckets = append(r.buckets, histogram.New())
+			r.bucketOK = append(r.bucketOK, 0)
+			r.bucketAll = append(r.bucketAll, 0)
+		}
+		r.buckets[i].Merge(h)
+		r.bucketOK[i] += o.bucketOK[i]
+		r.bucketAll[i] += o.bucketAll[i]
+	}
+}
+
+// String summarises the recorder.
+func (r *Recorder) String() string {
+	return fmt.Sprintf("recorder{n=%d p50=%v p99=%v success=%.2f%%}",
+		r.Count(), r.Quantile(0.5), r.Quantile(0.99), r.SuccessRate()*100)
+}

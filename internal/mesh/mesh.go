@@ -1,0 +1,268 @@
+// Package mesh is the multi-cluster service-mesh data plane of the
+// reproduction: services with backend deployments spread across clusters,
+// and client-side proxies that route each request to a backend, add WAN
+// transit, and record Linkerd-style data-plane metrics (response_total,
+// response_latency, request_inflight) into a metrics registry that the
+// Prometheus-flavoured pipeline scrapes.
+//
+// Routing strategy is pluggable through the Picker interface; the paper's
+// TrafficSplit-driven weighted distribution, round-robin and the C3
+// adaptation all live in internal/balancer and internal/c3.
+//
+// Fidelity note: the sidecar proxy's own forwarding overhead (~sub-ms
+// median per the Linkerd benchmark study §4 cites) is folded into the WAN
+// model's local delay rather than modelled separately.
+package mesh
+
+import (
+	"fmt"
+	"time"
+
+	"l3/internal/backend"
+	"l3/internal/histogram"
+	"l3/internal/metrics"
+	"l3/internal/sim"
+	"l3/internal/smi"
+	"l3/internal/wan"
+)
+
+// Metric family names, mirroring Linkerd's proxy metrics.
+const (
+	// MetricResponseTotal counts responses, labelled by service, backend
+	// and classification (success/failure).
+	MetricResponseTotal = "response_total"
+	// MetricResponseLatency is the response-latency histogram in seconds,
+	// labelled like MetricResponseTotal.
+	MetricResponseLatency = "response_latency"
+	// MetricInflight gauges requests issued but not yet answered, per
+	// service and backend.
+	MetricInflight = "request_inflight"
+)
+
+// Classification label values.
+const (
+	ClassSuccess = "success"
+	ClassFailure = "failure"
+)
+
+// Server is anything that can serve a request arriving at a backend: a
+// plain replica pool (backend.Replica) or an application-level node that
+// issues nested mesh calls of its own (internal/dsb's microservices).
+type Server interface {
+	// Serve accepts one request at the current virtual time; done must be
+	// invoked exactly once.
+	Serve(done func(backend.Result))
+}
+
+// Backend is one deployment of a service in one cluster, addressable as a
+// TrafficSplit backend.
+type Backend struct {
+	// Name is the backend service name (e.g. "api-cluster-2"), matching
+	// the TrafficSplit backend entry.
+	Name string
+	// Cluster hosts the deployment.
+	Cluster string
+	// Server models the deployment's serving behaviour.
+	Server Server
+}
+
+// Picker chooses a backend for one request. Implementations may keep state
+// (round-robin counters, EWMA scores) and may consult the TrafficSplit
+// store.
+type Picker interface {
+	// Pick chooses among backends for a request originating in cluster
+	// src. Per-source state lets strategies behave like real per-proxy
+	// balancers (and lets TrafficSplit-driven strategies read the source
+	// cluster's split, as a multi-cluster mesh does).
+	Pick(now time.Duration, src, service string, backends []*Backend) *Backend
+}
+
+// Observer is optionally implemented by Pickers that want per-response
+// feedback (per-request balancers like P2C/PeakEWMA need it; TrafficSplit
+// weighted balancers do not).
+type Observer interface {
+	Observe(now time.Duration, src, backendName string, latency time.Duration, success bool)
+}
+
+// SpanRecorder receives one span per completed request, carrying both the
+// client-observed timing and the backend-side duration — the feed a
+// distributed-tracing pipeline (internal/tracing) consumes. Implementations
+// must be cheap; they run on every response.
+type SpanRecorder interface {
+	RecordSpan(service, backendName, src string, start, end, serverDuration time.Duration, success bool)
+}
+
+// Result is the client-observed outcome of one request: end-to-end latency
+// including WAN transit and queueing, plus the chosen backend.
+type Result struct {
+	Backend string
+	Latency time.Duration
+	Success bool
+}
+
+// Service is a routable service with backends in one or more clusters.
+type Service struct {
+	name     string
+	backends []*Backend
+	picker   Picker
+}
+
+// Backends returns the service's deployments (shared slice; do not mutate).
+func (s *Service) Backends() []*Backend { return s.backends }
+
+// Mesh wires clusters, services, WAN and metrics together.
+type Mesh struct {
+	engine   *sim.Engine
+	rng      *sim.Rand
+	wan      *wan.Model
+	registry *metrics.Registry
+	splits   *smi.Store
+	services map[string]*Service
+	spans    SpanRecorder
+}
+
+// New returns an empty mesh. All arguments are required.
+func New(engine *sim.Engine, rng *sim.Rand, wanModel *wan.Model, registry *metrics.Registry) *Mesh {
+	if engine == nil || rng == nil || wanModel == nil || registry == nil {
+		panic("mesh: New requires engine, rng, wan model and registry")
+	}
+	return &Mesh{
+		engine:   engine,
+		rng:      rng,
+		wan:      wanModel,
+		registry: registry,
+		splits:   smi.NewStore(),
+		services: make(map[string]*Service),
+	}
+}
+
+// Splits exposes the mesh's TrafficSplit store — the write-side interface
+// controllers like L3 use.
+func (m *Mesh) Splits() *smi.Store { return m.splits }
+
+// Registry exposes the data-plane metrics registry (scraped by the
+// timeseries pipeline).
+func (m *Mesh) Registry() *metrics.Registry { return m.registry }
+
+// Engine returns the mesh's simulation engine.
+func (m *Mesh) Engine() *sim.Engine { return m.engine }
+
+// SetSpanRecorder installs a tracing sink (nil disables tracing).
+func (m *Mesh) SetSpanRecorder(r SpanRecorder) { m.spans = r }
+
+// AddService registers a service. It errors if the name is taken.
+func (m *Mesh) AddService(name string) (*Service, error) {
+	if name == "" {
+		return nil, fmt.Errorf("mesh: empty service name")
+	}
+	if _, ok := m.services[name]; ok {
+		return nil, fmt.Errorf("mesh: service %q already exists", name)
+	}
+	svc := &Service{name: name}
+	m.services[name] = svc
+	return svc, nil
+}
+
+// Service returns a registered service.
+func (m *Mesh) Service(name string) (*Service, bool) {
+	svc, ok := m.services[name]
+	return svc, ok
+}
+
+// AddBackend deploys a replica-pool backend of the named service into a
+// cluster. The backend name must be unique within the service.
+func (m *Mesh) AddBackend(service, backendName, cluster string, cfg backend.Config, profile backend.Profile) (*Backend, error) {
+	cfg.Name = backendName
+	return m.AddServerBackend(service, backendName, cluster,
+		backend.New(m.engine, m.rng.Fork(), cfg, profile))
+}
+
+// AddServerBackend deploys an arbitrary Server as a backend of the named
+// service — the hook application-level models (internal/dsb) use.
+func (m *Mesh) AddServerBackend(service, backendName, cluster string, srv Server) (*Backend, error) {
+	svc, ok := m.services[service]
+	if !ok {
+		return nil, fmt.Errorf("mesh: unknown service %q", service)
+	}
+	if srv == nil {
+		return nil, fmt.Errorf("mesh: nil server for backend %q", backendName)
+	}
+	for _, b := range svc.backends {
+		if b.Name == backendName {
+			return nil, fmt.Errorf("mesh: backend %q already exists in service %q", backendName, service)
+		}
+	}
+	b := &Backend{Name: backendName, Cluster: cluster, Server: srv}
+	svc.backends = append(svc.backends, b)
+	return b, nil
+}
+
+// SetPicker installs the routing strategy for a service.
+func (m *Mesh) SetPicker(service string, p Picker) error {
+	svc, ok := m.services[service]
+	if !ok {
+		return fmt.Errorf("mesh: unknown service %q", service)
+	}
+	svc.picker = p
+	return nil
+}
+
+// Call issues one request from srcCluster to the named service. done fires
+// exactly once with the client-observed result. The request path is:
+// client proxy (pick backend, start metrics) → WAN to the backend's cluster
+// → backend queue/execution → WAN back → client proxy (record metrics).
+func (m *Mesh) Call(srcCluster, service string, done func(Result)) error {
+	svc, ok := m.services[service]
+	if !ok {
+		return fmt.Errorf("mesh: unknown service %q", service)
+	}
+	if len(svc.backends) == 0 {
+		return fmt.Errorf("mesh: service %q has no backends", service)
+	}
+
+	now := m.engine.Now()
+	var b *Backend
+	if svc.picker != nil {
+		b = svc.picker.Pick(now, srcCluster, service, svc.backends)
+	}
+	if b == nil {
+		b = svc.backends[m.rng.IntN(len(svc.backends))]
+	}
+
+	labels := metrics.Labels{"service": service, "backend": b.Name, "src": srcCluster}
+	inflight := m.registry.Gauge(MetricInflight, labels)
+	inflight.Inc()
+	start := now
+
+	finish := func(success bool, serverDuration time.Duration) {
+		end := m.engine.Now()
+		latency := end - start
+		inflight.Dec()
+		if m.spans != nil {
+			m.spans.RecordSpan(service, b.Name, srcCluster, start, end, serverDuration, success)
+		}
+		class := ClassFailure
+		if success {
+			class = ClassSuccess
+		}
+		classified := labels.With("classification", class)
+		m.registry.Counter(MetricResponseTotal, classified).Inc()
+		m.registry.Histogram(MetricResponseLatency, classified, histogram.LinkerdLatencyBounds).
+			Observe(latency.Seconds())
+		if obs, ok := svc.picker.(Observer); ok && svc.picker != nil {
+			obs.Observe(end, srcCluster, b.Name, latency, success)
+		}
+		done(Result{Backend: b.Name, Latency: latency, Success: success})
+	}
+
+	forward := m.wan.OneWayDelay(srcCluster, b.Cluster, now)
+	m.engine.After(forward, func() {
+		b.Server.Serve(func(res backend.Result) {
+			back := m.wan.OneWayDelay(b.Cluster, srcCluster, m.engine.Now())
+			m.engine.After(back, func() {
+				finish(res.Success && !res.Rejected, res.Latency)
+			})
+		})
+	})
+	return nil
+}

@@ -1,0 +1,116 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the registry's current state in the Prometheus
+// text exposition format (version 0.0.4): one line per sample, labels
+// sorted, histogram series already expanded into _bucket/_sum/_count by
+// Snapshot. Samples are grouped by family and sorted for stable output.
+//
+// This is the read side a real deployment scrapes over HTTP; the paper's
+// L3 exposes both the data-plane metrics and its own internal state this
+// way so "human operators and other systems can infer the internal state
+// at any point in time" (§4).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	samples := r.Snapshot()
+	sort.SliceStable(samples, func(i, j int) bool {
+		if samples[i].Name != samples[j].Name {
+			return samples[i].Name < samples[j].Name
+		}
+		return samples[i].Labels.Key() < samples[j].Labels.Key()
+	})
+	for _, s := range samples {
+		if err := writeSample(w, s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeSample(w io.Writer, s Sample) error {
+	var b strings.Builder
+	b.WriteString(sanitizeName(s.Name))
+	if len(s.Labels) > 0 {
+		b.WriteByte('{')
+		names := make([]string, 0, len(s.Labels))
+		for k := range s.Labels {
+			names = append(names, k)
+		}
+		sort.Strings(names)
+		for i, k := range names {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(sanitizeName(k))
+			b.WriteByte('=')
+			b.WriteString(strconv.Quote(s.Labels[k]))
+		}
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(formatValue(s.Value))
+	b.WriteByte('\n')
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// formatValue renders a sample value the way Prometheus does (shortest
+// round-trippable form; +Inf/-Inf/NaN spelled out).
+func formatValue(v float64) string {
+	switch {
+	case v != v: // NaN
+		return "NaN"
+	case v > maxFloat:
+		return "+Inf"
+	case v < -maxFloat:
+		return "-Inf"
+	default:
+		return strconv.FormatFloat(v, 'g', -1, 64)
+	}
+}
+
+const maxFloat = 1.7976931348623157e308
+
+// sanitizeName maps arbitrary names onto the Prometheus metric/label name
+// alphabet [a-zA-Z_:][a-zA-Z0-9_:]*; invalid runes become underscores.
+func sanitizeName(name string) string {
+	if name == "" {
+		return "_"
+	}
+	var b strings.Builder
+	for i, r := range name {
+		valid := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if valid {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// Fprint renders one family's samples with a HELP/TYPE header — a
+// convenience for debugging dumps.
+func Fprint(w io.Writer, r *Registry, family, help, kind string) error {
+	if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n",
+		sanitizeName(family), help, sanitizeName(family), kind); err != nil {
+		return err
+	}
+	for _, s := range r.Snapshot() {
+		if s.Name != family && !strings.HasPrefix(s.Name, family+"_") {
+			continue
+		}
+		if err := writeSample(w, s); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,327 @@
+// Package metrics is a Prometheus-flavoured instrumentation substrate: a
+// registry of labelled counters, gauges and cumulative-bucket histograms
+// that can be scraped into point-in-time samples.
+//
+// It mirrors the subset of the Prometheus data model that Linkerd's proxy
+// metrics use and that L3 consumes: monotonically increasing counters (e.g.
+// response_total), gauges (in-flight requests) and histograms with explicit
+// upper bounds (response_latency). Histograms flatten into *_bucket samples
+// with an "le" label plus *_sum and *_count, exactly as a Prometheus scrape
+// would render them.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Labels is a set of label name/value pairs identifying one time series of
+// a metric family.
+type Labels map[string]string
+
+// Clone returns an independent copy of the label set.
+func (l Labels) Clone() Labels {
+	c := make(Labels, len(l))
+	for k, v := range l {
+		c[k] = v
+	}
+	return c
+}
+
+// With returns a copy of the label set with one extra pair.
+func (l Labels) With(name, value string) Labels {
+	c := l.Clone()
+	c[name] = value
+	return c
+}
+
+// Matches reports whether every pair in m is present in l (subset match,
+// like a PromQL equality selector).
+func (l Labels) Matches(m Labels) bool {
+	for k, v := range m {
+		if l[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Key returns the canonical form of the label set, usable as a map key.
+func (l Labels) Key() string {
+	if len(l) == 0 {
+		return ""
+	}
+	names := make([]string, 0, len(l))
+	for k := range l {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for i, k := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(l[k])
+	}
+	return b.String()
+}
+
+// String renders the label set in Prometheus exposition style.
+func (l Labels) String() string {
+	return "{" + l.Key() + "}"
+}
+
+// Sample is one scraped value of one series at scrape time.
+type Sample struct {
+	Name   string
+	Labels Labels
+	Value  float64
+}
+
+// Counter is a monotonically increasing value. Safe for concurrent use.
+type Counter struct {
+	mu sync.Mutex
+	v  float64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add increases the counter. Negative deltas are ignored: counters are
+// monotone by contract.
+func (c *Counter) Add(delta float64) {
+	if delta < 0 {
+		return
+	}
+	c.mu.Lock()
+	c.v += delta
+	c.mu.Unlock()
+}
+
+// Value returns the current count.
+func (c *Counter) Value() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.v
+}
+
+// Gauge is a value that can go up and down. Safe for concurrent use.
+type Gauge struct {
+	mu sync.Mutex
+	v  float64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) {
+	g.mu.Lock()
+	g.v = v
+	g.mu.Unlock()
+}
+
+// Add shifts the value by delta (may be negative).
+func (g *Gauge) Add(delta float64) {
+	g.mu.Lock()
+	g.v += delta
+	g.mu.Unlock()
+}
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.v
+}
+
+// Histogram is a cumulative-bucket histogram over explicit upper bounds
+// (seconds for latency histograms). Safe for concurrent use.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64 // sorted ascending; +Inf bucket implied
+	counts []float64 // len(bounds)+1, cumulative at scrape time only
+	sum    float64
+	total  float64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]float64, len(b)+1)}
+}
+
+// Observe records one value (same unit as the bounds).
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+	h.sum += v
+	h.total++
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.total
+}
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// Bounds returns the histogram's upper bounds (shared, do not mutate).
+func (h *Histogram) Bounds() []float64 { return h.bounds }
+
+// snapshot appends the histogram's flattened samples.
+func (h *Histogram) snapshot(name string, labels Labels, out []Sample) []Sample {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	cum := 0.0
+	for i, c := range h.counts {
+		cum += c
+		le := "+Inf"
+		if i < len(h.bounds) {
+			le = strconv.FormatFloat(h.bounds[i], 'g', -1, 64)
+		}
+		out = append(out, Sample{
+			Name:   name + "_bucket",
+			Labels: labels.With("le", le),
+			Value:  cum,
+		})
+	}
+	out = append(out,
+		Sample{Name: name + "_sum", Labels: labels.Clone(), Value: h.sum},
+		Sample{Name: name + "_count", Labels: labels.Clone(), Value: h.total},
+	)
+	return out
+}
+
+// Registry holds metric families and hands out series on demand
+// (get-or-create semantics, like promauto). Safe for concurrent use.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+	order      []registered
+}
+
+type registered struct {
+	name   string
+	labels Labels
+	kind   byte // 'c', 'g', 'h'
+	key    string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+func seriesKey(name string, labels Labels) string {
+	return name + "\x00" + labels.Key()
+}
+
+// Counter returns the counter series for (name, labels), creating it on
+// first use.
+func (r *Registry) Counter(name string, labels Labels) *Counter {
+	key := seriesKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[key]
+	if !ok {
+		c = &Counter{}
+		r.counters[key] = c
+		r.order = append(r.order, registered{name: name, labels: labels.Clone(), kind: 'c', key: key})
+	}
+	return c
+}
+
+// Gauge returns the gauge series for (name, labels), creating it on first
+// use.
+func (r *Registry) Gauge(name string, labels Labels) *Gauge {
+	key := seriesKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[key]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[key] = g
+		r.order = append(r.order, registered{name: name, labels: labels.Clone(), kind: 'g', key: key})
+	}
+	return g
+}
+
+// Histogram returns the histogram series for (name, labels), creating it
+// with the given bounds on first use. Later calls must pass equal bounds; a
+// mismatch panics, as it indicates two incompatible registrations of the
+// same family.
+func (r *Registry) Histogram(name string, labels Labels, bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("metrics: Histogram registered with no bounds")
+	}
+	key := seriesKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[key]
+	if !ok {
+		h = newHistogram(bounds)
+		r.histograms[key] = h
+		r.order = append(r.order, registered{name: name, labels: labels.Clone(), kind: 'h', key: key})
+		return h
+	}
+	if len(h.bounds) != len(bounds) {
+		panic(fmt.Sprintf("metrics: histogram %s re-registered with different bounds", name))
+	}
+	return h
+}
+
+// Snapshot renders every series into flat samples, in registration order
+// (stable across scrapes). Histograms expand into _bucket/_sum/_count.
+func (r *Registry) Snapshot() []Sample {
+	r.mu.Lock()
+	order := make([]registered, len(r.order))
+	copy(order, r.order)
+	r.mu.Unlock()
+
+	var out []Sample
+	for _, reg := range order {
+		switch reg.kind {
+		case 'c':
+			r.mu.Lock()
+			c := r.counters[reg.key]
+			r.mu.Unlock()
+			out = append(out, Sample{Name: reg.name, Labels: reg.labels.Clone(), Value: c.Value()})
+		case 'g':
+			r.mu.Lock()
+			g := r.gauges[reg.key]
+			r.mu.Unlock()
+			out = append(out, Sample{Name: reg.name, Labels: reg.labels.Clone(), Value: g.Value()})
+		case 'h':
+			r.mu.Lock()
+			h := r.histograms[reg.key]
+			r.mu.Unlock()
+			out = h.snapshot(reg.name, reg.labels, out)
+		}
+	}
+	return out
+}

@@ -1,0 +1,228 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestLabelsKeyCanonicalOrder(t *testing.T) {
+	a := Labels{"b": "2", "a": "1"}
+	b := Labels{"a": "1", "b": "2"}
+	if a.Key() != b.Key() {
+		t.Fatalf("keys differ: %q vs %q", a.Key(), b.Key())
+	}
+	if a.Key() != "a=1,b=2" {
+		t.Fatalf("key = %q", a.Key())
+	}
+	if Labels(nil).Key() != "" {
+		t.Fatalf("nil labels key = %q, want empty", Labels(nil).Key())
+	}
+}
+
+func TestLabelsCloneIndependence(t *testing.T) {
+	a := Labels{"x": "1"}
+	c := a.Clone()
+	c["x"] = "2"
+	if a["x"] != "1" {
+		t.Fatal("Clone shares storage with original")
+	}
+}
+
+func TestLabelsWithDoesNotMutate(t *testing.T) {
+	a := Labels{"x": "1"}
+	b := a.With("y", "2")
+	if _, ok := a["y"]; ok {
+		t.Fatal("With mutated the receiver")
+	}
+	if b["x"] != "1" || b["y"] != "2" {
+		t.Fatalf("With result wrong: %v", b)
+	}
+}
+
+func TestLabelsMatches(t *testing.T) {
+	l := Labels{"cluster": "c1", "service": "s"}
+	if !l.Matches(Labels{"cluster": "c1"}) {
+		t.Fatal("subset match failed")
+	}
+	if !l.Matches(nil) {
+		t.Fatal("empty matcher should match everything")
+	}
+	if l.Matches(Labels{"cluster": "c2"}) {
+		t.Fatal("mismatched value matched")
+	}
+	if l.Matches(Labels{"zone": "z"}) {
+		t.Fatal("absent label matched")
+	}
+}
+
+func TestCounterMonotone(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(2.5)
+	c.Add(-10) // ignored
+	if c.Value() != 3.5 {
+		t.Fatalf("Value = %v, want 3.5", c.Value())
+	}
+}
+
+func TestGaugeOps(t *testing.T) {
+	var g Gauge
+	g.Set(5)
+	g.Add(-2)
+	g.Inc()
+	g.Dec()
+	if g.Value() != 3 {
+		t.Fatalf("Value = %v, want 3", g.Value())
+	}
+}
+
+func TestHistogramObserveAndBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", Labels{"b": "x"}, []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.1) // le semantics: exactly on the bound
+	h.Observe(0.5)
+	h.Observe(5) // overflow
+	if h.Count() != 4 {
+		t.Fatalf("Count = %v, want 4", h.Count())
+	}
+	if h.Sum() != 5.65 {
+		t.Fatalf("Sum = %v, want 5.65", h.Sum())
+	}
+
+	samples := r.Snapshot()
+	want := map[string]float64{
+		"lat_bucket|0.1":  2,
+		"lat_bucket|1":    3,
+		"lat_bucket|+Inf": 4,
+		"lat_sum|":        5.65,
+		"lat_count|":      4,
+	}
+	got := make(map[string]float64)
+	for _, s := range samples {
+		got[s.Name+"|"+s.Labels["le"]] = s.Value
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("sample %s = %v, want %v (all: %v)", k, got[k], v, got)
+		}
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("x", Labels{"a": "1"})
+	c2 := r.Counter("x", Labels{"a": "1"})
+	if c1 != c2 {
+		t.Fatal("same series returned different counters")
+	}
+	c3 := r.Counter("x", Labels{"a": "2"})
+	if c1 == c3 {
+		t.Fatal("different labels returned same counter")
+	}
+}
+
+func TestRegistrySnapshotStableOrder(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b", nil).Inc()
+	r.Counter("a", nil).Inc()
+	r.Gauge("g", Labels{"x": "1"}).Set(2)
+	s1 := r.Snapshot()
+	s2 := r.Snapshot()
+	if len(s1) != 3 || len(s2) != 3 {
+		t.Fatalf("snapshot sizes: %d, %d", len(s1), len(s2))
+	}
+	for i := range s1 {
+		if s1[i].Name != s2[i].Name {
+			t.Fatal("snapshot order not stable across scrapes")
+		}
+	}
+	if s1[0].Name != "b" || s1[1].Name != "a" {
+		t.Fatal("snapshot not in registration order")
+	}
+}
+
+func TestHistogramBoundsMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("h", nil, []float64{1, 2})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registration with different bounds did not panic")
+		}
+	}()
+	r.Histogram("h", nil, []float64{1})
+}
+
+func TestHistogramNoBoundsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty bounds did not panic")
+		}
+	}()
+	NewRegistry().Histogram("h", nil, nil)
+}
+
+func TestHistogramUnsortedBoundsAreSorted(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", nil, []float64{1, 0.1})
+	h.Observe(0.5)
+	samples := r.Snapshot()
+	// bucket le=0.1 must be 0, le=1 must be 1
+	for _, s := range samples {
+		switch s.Labels["le"] {
+		case "0.1":
+			if s.Value != 0 {
+				t.Fatalf("le=0.1 bucket = %v, want 0", s.Value)
+			}
+		case "1":
+			if s.Value != 1 {
+				t.Fatalf("le=1 bucket = %v, want 1", s.Value)
+			}
+		}
+	}
+}
+
+func TestConcurrentCounterAdds(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("c", Labels{"w": "shared"}).Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c", Labels{"w": "shared"}).Value(); got != 8000 {
+		t.Fatalf("concurrent count = %v, want 8000", got)
+	}
+}
+
+func TestSnapshotLabelsAreCopies(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c", Labels{"a": "1"}).Inc()
+	s := r.Snapshot()
+	s[0].Labels["a"] = "mutated"
+	s2 := r.Snapshot()
+	if s2[0].Labels["a"] != "1" {
+		t.Fatal("snapshot labels alias registry state")
+	}
+}
+
+func TestLabelsKeyInjectiveProperty(t *testing.T) {
+	// Distinct label sets must produce distinct keys.
+	f := func(a, b uint8) bool {
+		l1 := Labels{"k": string(rune('a' + a%26))}
+		l2 := Labels{"k": string(rune('a' + b%26))}
+		if a%26 == b%26 {
+			return l1.Key() == l2.Key()
+		}
+		return l1.Key() != l2.Key()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,85 @@
+// Package retry adds client-side retries on top of the mesh — the
+// behaviour Equation 3's penalty term models: "P can be multiplied by the
+// expected value 1/Rₛ of the geometrically distributed number of requests
+// a client has to send until a successful response is received" (§3.1).
+// The paper's own benchmarks "did not perform retries for simplicity"
+// (§5.2.1) and conjecture that P's effect on latency would soften with
+// them; the retry-enabled penalty ablation in internal/bench tests that
+// conjecture.
+//
+// Each attempt goes through the mesh's normal load-balancing path (the
+// balancer may pick a different backend per attempt, as Linkerd's retries
+// do), and the recorded latency spans all attempts plus backoff — the
+// client-perceived cost of failure that P stands for.
+package retry
+
+import (
+	"fmt"
+	"time"
+
+	"l3/internal/mesh"
+	"l3/internal/sim"
+)
+
+// Policy configures retries.
+type Policy struct {
+	// MaxAttempts bounds total tries (default 3; 1 disables retries).
+	MaxAttempts int
+	// Backoff is the wait before the first retry (default 10 ms).
+	Backoff time.Duration
+	// BackoffFactor multiplies the wait per further retry (default 2).
+	BackoffFactor float64
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 3
+	}
+	if p.Backoff <= 0 {
+		p.Backoff = 10 * time.Millisecond
+	}
+	if p.BackoffFactor < 1 {
+		p.BackoffFactor = 2
+	}
+	return p
+}
+
+// Result is the outcome across all attempts.
+type Result struct {
+	// Result is the final attempt's mesh result, with Latency replaced by
+	// the total client-perceived duration (all attempts plus backoff).
+	mesh.Result
+	// Attempts is how many tries were made.
+	Attempts int
+}
+
+// Do issues one logical request with retries. done fires exactly once,
+// after the first success or the final failed attempt.
+func Do(engine *sim.Engine, m *mesh.Mesh, src, service string, policy Policy, done func(Result)) error {
+	if engine == nil || m == nil {
+		return fmt.Errorf("retry: Do requires engine and mesh")
+	}
+	policy = policy.withDefaults()
+	start := engine.Now()
+
+	var attempt func(n int, wait time.Duration) error
+	attempt = func(n int, wait time.Duration) error {
+		return m.Call(src, service, func(r mesh.Result) {
+			if r.Success || n >= policy.MaxAttempts {
+				r.Latency = engine.Now() - start
+				done(Result{Result: r, Attempts: n})
+				return
+			}
+			engine.After(wait, func() {
+				// A failed nested attempt only surfaces as a synchronous
+				// error when the service vanished mid-flight; treat it as
+				// the final failure.
+				if err := attempt(n+1, time.Duration(float64(wait)*policy.BackoffFactor)); err != nil {
+					r.Latency = engine.Now() - start
+					done(Result{Result: r, Attempts: n})
+				}
+			})
+		})
+	}
+	return attempt(1, policy.Backoff)
+}

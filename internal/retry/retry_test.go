@@ -1,0 +1,128 @@
+package retry
+
+import (
+	"testing"
+	"time"
+
+	"l3/internal/backend"
+	"l3/internal/mesh"
+	"l3/internal/metrics"
+	"l3/internal/sim"
+	"l3/internal/wan"
+)
+
+// failNTimes builds a profile failing the first n requests, succeeding
+// afterwards, each taking lat.
+func failNTimes(n int, lat time.Duration) backend.Profile {
+	count := 0
+	return func(time.Duration, *sim.Rand) (time.Duration, bool) {
+		count++
+		return lat, count > n
+	}
+}
+
+func newMesh(t *testing.T, profile backend.Profile) (*mesh.Mesh, *sim.Engine) {
+	t.Helper()
+	engine := sim.NewEngine()
+	m := mesh.New(engine, sim.NewRand(1), wan.New(wan.DefaultConfig()), metrics.NewRegistry())
+	if _, err := m.AddService("api"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.AddBackend("api", "b", "cluster-1", backend.Config{}, profile); err != nil {
+		t.Fatal(err)
+	}
+	return m, engine
+}
+
+func TestFirstAttemptSuccessNoRetry(t *testing.T) {
+	m, engine := newMesh(t, failNTimes(0, 10*time.Millisecond))
+	var res Result
+	if err := Do(engine, m, "cluster-1", "api", Policy{}, func(r Result) { res = r }); err != nil {
+		t.Fatal(err)
+	}
+	engine.RunUntil(time.Second)
+	if !res.Success || res.Attempts != 1 {
+		t.Fatalf("result = %+v", res)
+	}
+	if res.Latency != 11*time.Millisecond { // 10ms exec + 2x local hop
+		t.Fatalf("latency = %v", res.Latency)
+	}
+}
+
+func TestRetriesUntilSuccess(t *testing.T) {
+	m, engine := newMesh(t, failNTimes(2, 10*time.Millisecond))
+	var res Result
+	_ = Do(engine, m, "cluster-1", "api", Policy{MaxAttempts: 3, Backoff: 20 * time.Millisecond}, func(r Result) { res = r })
+	engine.RunUntil(time.Second)
+	if !res.Success || res.Attempts != 3 {
+		t.Fatalf("result = %+v", res)
+	}
+	// 3 attempts x 11ms + backoffs 20ms + 40ms = 93ms total.
+	if res.Latency != 93*time.Millisecond {
+		t.Fatalf("total latency = %v, want 93ms", res.Latency)
+	}
+}
+
+func TestGivesUpAfterMaxAttempts(t *testing.T) {
+	m, engine := newMesh(t, failNTimes(1000, 5*time.Millisecond))
+	var res Result
+	calls := 0
+	_ = Do(engine, m, "cluster-1", "api", Policy{MaxAttempts: 4}, func(r Result) { res = r; calls++ })
+	engine.RunUntil(time.Minute)
+	if calls != 1 {
+		t.Fatalf("done fired %d times", calls)
+	}
+	if res.Success || res.Attempts != 4 {
+		t.Fatalf("result = %+v", res)
+	}
+}
+
+func TestBackoffGrowsGeometrically(t *testing.T) {
+	// Instant failures isolate the backoff contribution.
+	m, engine := newMesh(t, failNTimes(1000, 0))
+	var res Result
+	_ = Do(engine, m, "cluster-1", "api",
+		Policy{MaxAttempts: 4, Backoff: 10 * time.Millisecond, BackoffFactor: 3},
+		func(r Result) { res = r })
+	engine.RunUntil(time.Minute)
+	// Latency = 4 attempts x 1ms hops + backoffs 10+30+90 = 134ms.
+	if res.Latency != 134*time.Millisecond {
+		t.Fatalf("latency = %v, want 134ms", res.Latency)
+	}
+}
+
+func TestSuccessRateLiftsGeometrically(t *testing.T) {
+	// 50% failure per attempt, 3 attempts: failure probability 1/8.
+	engine := sim.NewEngine()
+	m := mesh.New(engine, sim.NewRand(1), wan.New(wan.DefaultConfig()), metrics.NewRegistry())
+	_, _ = m.AddService("api")
+	_, _ = m.AddBackend("api", "b", "cluster-1", backend.Config{},
+		func(_ time.Duration, r *sim.Rand) (time.Duration, bool) {
+			return time.Millisecond, r.Bool(0.5)
+		})
+	succ, total := 0, 2000
+	for i := 0; i < total; i++ {
+		engine.After(time.Duration(i)*5*time.Millisecond, func() {
+			_ = Do(engine, m, "cluster-1", "api", Policy{MaxAttempts: 3}, func(r Result) {
+				if r.Success {
+					succ++
+				}
+			})
+		})
+	}
+	engine.RunUntil(time.Minute)
+	rate := float64(succ) / float64(total)
+	if rate < 0.85 || rate > 0.90 {
+		t.Fatalf("success after 3 attempts = %v, want ~0.875", rate)
+	}
+}
+
+func TestUnknownServiceErrorsSynchronously(t *testing.T) {
+	m, engine := newMesh(t, failNTimes(0, time.Millisecond))
+	if err := Do(engine, m, "cluster-1", "nope", Policy{}, func(Result) {}); err == nil {
+		t.Fatal("unknown service accepted")
+	}
+	if err := Do(nil, m, "cluster-1", "api", Policy{}, func(Result) {}); err == nil {
+		t.Fatal("nil engine accepted")
+	}
+}

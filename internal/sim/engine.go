@@ -1,0 +1,181 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// All time in the simulator is virtual: an Engine owns a clock that only
+// advances when the next scheduled event fires. Components schedule callbacks
+// with At/After and the engine executes them in timestamp order (FIFO among
+// events with equal timestamps). Together with the seeded random sources in
+// this package, a simulation run is reproducible bit-for-bit.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Engine is a single-threaded discrete-event scheduler with a virtual clock.
+// The zero value is not usable; construct with NewEngine. Engine is not safe
+// for concurrent use: the simulation model is event-driven, not goroutine
+// driven.
+type Engine struct {
+	now     time.Duration
+	queue   eventQueue
+	seq     uint64
+	running bool
+}
+
+// NewEngine returns an engine with its clock at zero and an empty event
+// queue.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time, measured from the start of the
+// simulation.
+func (e *Engine) Now() time.Duration {
+	return e.now
+}
+
+// Pending returns the number of scheduled events that have not yet fired.
+func (e *Engine) Pending() int {
+	return len(e.queue)
+}
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// is an error in the model, so it is clamped to "now" and the event fires on
+// the next step. The returned Timer can be used to cancel the event.
+func (e *Engine) At(t time.Duration, fn func()) *Timer {
+	if fn == nil {
+		panic("sim: At called with nil callback")
+	}
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	ev := &event{at: t, seq: e.seq, fn: fn}
+	heap.Push(&e.queue, ev)
+	return &Timer{event: ev}
+}
+
+// After schedules fn to run d from the current virtual time. Negative
+// durations are clamped to zero.
+func (e *Engine) After(d time.Duration, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Every schedules fn to run every interval, starting one interval from now,
+// until the returned Timer is cancelled. The interval must be positive.
+func (e *Engine) Every(interval time.Duration, fn func()) *Timer {
+	if interval <= 0 {
+		panic(fmt.Sprintf("sim: Every called with non-positive interval %v", interval))
+	}
+	t := &Timer{}
+	var tick func()
+	tick = func() {
+		fn()
+		if !t.cancelled {
+			t.event = e.After(interval, tick).event
+		}
+	}
+	t.event = e.After(interval, tick).event
+	return t
+}
+
+// Step executes the next scheduled event, advancing the clock to its
+// timestamp. It reports whether an event was executed; false means the queue
+// is empty.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*event)
+		if ev.cancelled {
+			continue
+		}
+		e.now = ev.at
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// RunUntil executes events in order until the clock would pass t or the
+// queue empties. Events scheduled exactly at t are executed. The clock is
+// left at t even if the queue drained earlier, so subsequent After calls are
+// relative to t.
+func (e *Engine) RunUntil(t time.Duration) {
+	if e.running {
+		panic("sim: RunUntil re-entered from within an event callback")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for len(e.queue) > 0 && e.queue[0].at <= t {
+		ev := heap.Pop(&e.queue).(*event)
+		if ev.cancelled {
+			continue
+		}
+		e.now = ev.at
+		ev.fn()
+	}
+	if e.now < t {
+		e.now = t
+	}
+}
+
+// Run executes events until the queue is empty and returns the final clock
+// value. A model with a self-rescheduling ticker never drains, so most
+// simulations should prefer RunUntil.
+func (e *Engine) Run() time.Duration {
+	for e.Step() {
+	}
+	return e.now
+}
+
+// Timer is a handle to a scheduled event.
+type Timer struct {
+	event     *event
+	cancelled bool
+}
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled timer is a no-op. For timers returned by Every, Cancel
+// also stops all future ticks.
+func (t *Timer) Cancel() {
+	if t == nil || t.event == nil {
+		return
+	}
+	t.cancelled = true
+	t.event.cancelled = true
+}
+
+type event struct {
+	at        time.Duration
+	seq       uint64
+	fn        func()
+	cancelled bool
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+
+func (q *eventQueue) Push(x any) { *q = append(*q, x.(*event)) }
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}

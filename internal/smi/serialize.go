@@ -1,0 +1,78 @@
+package smi
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// The SMI TrafficSplit wire format (split.smi-spec.io/v1alpha4), so splits
+// round-trip to the manifests a Kubernetes deployment of L3 would read and
+// write.
+const (
+	APIVersion = "split.smi-spec.io/v1alpha4"
+	Kind       = "TrafficSplit"
+)
+
+// manifest is the Kubernetes-shaped JSON document.
+type manifest struct {
+	APIVersion string       `json:"apiVersion"`
+	Kind       string       `json:"kind"`
+	Metadata   metadata     `json:"metadata"`
+	Spec       manifestSpec `json:"spec"`
+}
+
+type metadata struct {
+	Name string `json:"name"`
+}
+
+type manifestSpec struct {
+	Service  string            `json:"service"`
+	Backends []manifestBackend `json:"backends"`
+}
+
+type manifestBackend struct {
+	Service string `json:"service"`
+	Weight  int64  `json:"weight"`
+}
+
+// MarshalJSON renders the split as an SMI v1alpha4 manifest.
+func (ts *TrafficSplit) MarshalJSON() ([]byte, error) {
+	m := manifest{
+		APIVersion: APIVersion,
+		Kind:       Kind,
+		Metadata:   metadata{Name: ts.Name},
+		Spec:       manifestSpec{Service: ts.RootService},
+	}
+	for _, b := range ts.Backends {
+		m.Spec.Backends = append(m.Spec.Backends, manifestBackend{Service: b.Service, Weight: b.Weight})
+	}
+	return json.Marshal(m)
+}
+
+// UnmarshalJSON parses an SMI v1alpha4 manifest. The apiVersion and kind
+// are validated when present; the result is additionally checked with
+// Validate.
+func (ts *TrafficSplit) UnmarshalJSON(data []byte) error {
+	var m manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return fmt.Errorf("smi: parse traffic split: %w", err)
+	}
+	if m.APIVersion != "" && m.APIVersion != APIVersion {
+		return fmt.Errorf("smi: unsupported apiVersion %q (want %s)", m.APIVersion, APIVersion)
+	}
+	if m.Kind != "" && m.Kind != Kind {
+		return fmt.Errorf("smi: unexpected kind %q (want %s)", m.Kind, Kind)
+	}
+	out := TrafficSplit{
+		Name:        m.Metadata.Name,
+		RootService: m.Spec.Service,
+	}
+	for _, b := range m.Spec.Backends {
+		out.Backends = append(out.Backends, Backend{Service: b.Service, Weight: b.Weight})
+	}
+	if err := out.Validate(); err != nil {
+		return err
+	}
+	*ts = out
+	return nil
+}

@@ -1,0 +1,104 @@
+package smi
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestMarshalRoundTrip(t *testing.T) {
+	orig := split()
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back TrafficSplit
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != orig.Name || back.RootService != orig.RootService {
+		t.Fatalf("round trip lost metadata: %+v", back)
+	}
+	if len(back.Backends) != 2 || back.Backends[0] != orig.Backends[0] {
+		t.Fatalf("round trip lost backends: %+v", back.Backends)
+	}
+}
+
+func TestMarshalShape(t *testing.T) {
+	data, err := json.Marshal(split())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	for _, want := range []string{
+		`"apiVersion":"split.smi-spec.io/v1alpha4"`,
+		`"kind":"TrafficSplit"`,
+		`"metadata":{"name":"books"}`,
+		`"service":"books.default.svc"`,
+		`"weight":500`,
+	} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("manifest missing %s:\n%s", want, s)
+		}
+	}
+}
+
+func TestUnmarshalKubernetesManifest(t *testing.T) {
+	doc := `{
+	  "apiVersion": "split.smi-spec.io/v1alpha4",
+	  "kind": "TrafficSplit",
+	  "metadata": {"name": "books"},
+	  "spec": {
+	    "service": "books.default.svc.cluster.local",
+	    "backends": [
+	      {"service": "books-east", "weight": 900},
+	      {"service": "books-west", "weight": 100}
+	    ]
+	  }
+	}`
+	var ts TrafficSplit
+	if err := json.Unmarshal([]byte(doc), &ts); err != nil {
+		t.Fatal(err)
+	}
+	if ts.TotalWeight() != 1000 || ts.Backends[0].Service != "books-east" {
+		t.Fatalf("parsed: %+v", ts)
+	}
+}
+
+func TestUnmarshalRejectsWrongTypeMeta(t *testing.T) {
+	var ts TrafficSplit
+	if err := json.Unmarshal([]byte(`{"apiVersion":"v1","kind":"TrafficSplit"}`), &ts); err == nil {
+		t.Fatal("wrong apiVersion accepted")
+	}
+	if err := json.Unmarshal([]byte(`{"kind":"Service"}`), &ts); err == nil {
+		t.Fatal("wrong kind accepted")
+	}
+}
+
+func TestUnmarshalValidates(t *testing.T) {
+	doc := `{"metadata":{"name":"x"},"spec":{"service":"s","backends":[{"service":"a","weight":-5}]}}`
+	var ts TrafficSplit
+	err := json.Unmarshal([]byte(doc), &ts)
+	if !errors.Is(err, ErrNegativeWeight) {
+		t.Fatalf("err = %v, want ErrNegativeWeight", err)
+	}
+}
+
+func TestUnmarshalMalformed(t *testing.T) {
+	var ts TrafficSplit
+	if err := json.Unmarshal([]byte(`{`), &ts); err == nil {
+		t.Fatal("malformed JSON accepted")
+	}
+}
+
+func TestUnmarshalDoesNotMutateOnError(t *testing.T) {
+	ts := *split()
+	bad := `{"metadata":{"name":""},"spec":{"service":"s","backends":[{"service":"a","weight":1}]}}`
+	if err := json.Unmarshal([]byte(bad), &ts); err == nil {
+		t.Fatal("invalid manifest accepted")
+	}
+	if ts.Name != "books" {
+		t.Fatal("failed unmarshal clobbered the receiver")
+	}
+}

@@ -1,0 +1,188 @@
+// Package smi implements the slice of the Service Mesh Interface standard
+// that L3 is built on: the TrafficSplit resource (split.smi-spec.io
+// v1alpha4). A TrafficSplit declares how traffic addressed to a root
+// service is distributed across backend services; the ratio between backend
+// weights is the ratio of traffic each receives. L3's whole write-side is
+// "update the weights of a TrafficSplit"; the mesh data plane's read-side is
+// "pick a backend proportionally to the current weights".
+package smi
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"l3/internal/cluster"
+)
+
+// Backend is one weighted target service of a TrafficSplit. In a
+// multi-cluster deployment each backend names the service export of one
+// cluster (e.g. "books-east", "books-west").
+type Backend struct {
+	// Service is the backend service name, unique within the split.
+	Service string
+	// Weight is a non-negative integer; traffic is distributed
+	// proportionally to the weights. All-zero weights mean the split is
+	// inert and the data plane falls back to uniform selection.
+	Weight int64
+}
+
+// TrafficSplit is the SMI traffic-split resource.
+type TrafficSplit struct {
+	// Name identifies the split (metadata.name).
+	Name string
+	// RootService is the FQDN clients address (spec.service).
+	RootService string
+	// Backends are the weighted targets (spec.backends).
+	Backends []Backend
+}
+
+// ObjectName implements cluster.Object.
+func (ts *TrafficSplit) ObjectName() string { return ts.Name }
+
+// Clone returns a deep copy, so mutations of the copy never alias stored
+// state.
+func (ts *TrafficSplit) Clone() *TrafficSplit {
+	c := &TrafficSplit{Name: ts.Name, RootService: ts.RootService}
+	c.Backends = make([]Backend, len(ts.Backends))
+	copy(c.Backends, ts.Backends)
+	return c
+}
+
+// TotalWeight returns the sum of all backend weights.
+func (ts *TrafficSplit) TotalWeight() int64 {
+	var sum int64
+	for _, b := range ts.Backends {
+		sum += b.Weight
+	}
+	return sum
+}
+
+// BackendNames returns the backend service names in declaration order.
+func (ts *TrafficSplit) BackendNames() []string {
+	out := make([]string, len(ts.Backends))
+	for i, b := range ts.Backends {
+		out[i] = b.Service
+	}
+	return out
+}
+
+// SetWeight updates one backend's weight in place. It returns false if the
+// backend is not part of the split.
+func (ts *TrafficSplit) SetWeight(service string, weight int64) bool {
+	for i := range ts.Backends {
+		if ts.Backends[i].Service == service {
+			if weight < 0 {
+				weight = 0
+			}
+			ts.Backends[i].Weight = weight
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the split compactly for logs.
+func (ts *TrafficSplit) String() string {
+	parts := make([]string, len(ts.Backends))
+	for i, b := range ts.Backends {
+		parts[i] = fmt.Sprintf("%s=%d", b.Service, b.Weight)
+	}
+	sort.Strings(parts)
+	return fmt.Sprintf("trafficsplit/%s[%s -> %s]", ts.Name, ts.RootService, strings.Join(parts, ","))
+}
+
+// Validation errors.
+var (
+	ErrNoName         = errors.New("smi: traffic split has no name")
+	ErrNoRootService  = errors.New("smi: traffic split has no root service")
+	ErrNoBackends     = errors.New("smi: traffic split has no backends")
+	ErrNegativeWeight = errors.New("smi: backend weight is negative")
+	ErrDuplicate      = errors.New("smi: duplicate backend service")
+)
+
+// Validate checks structural invariants required by the SMI spec.
+func (ts *TrafficSplit) Validate() error {
+	if ts.Name == "" {
+		return ErrNoName
+	}
+	if ts.RootService == "" {
+		return ErrNoRootService
+	}
+	if len(ts.Backends) == 0 {
+		return ErrNoBackends
+	}
+	seen := make(map[string]bool, len(ts.Backends))
+	for _, b := range ts.Backends {
+		if b.Weight < 0 {
+			return fmt.Errorf("%w: %s=%d", ErrNegativeWeight, b.Service, b.Weight)
+		}
+		if seen[b.Service] {
+			return fmt.Errorf("%w: %s", ErrDuplicate, b.Service)
+		}
+		seen[b.Service] = true
+	}
+	return nil
+}
+
+// Store is a validating store of TrafficSplits with watch support. Objects
+// are stored and returned by value semantics: every read hands out a clone,
+// so callers can mutate freely and write back via Update.
+type Store struct {
+	inner *cluster.Store[*TrafficSplit]
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{inner: cluster.NewStore[*TrafficSplit]()}
+}
+
+// Create validates and inserts a split.
+func (s *Store) Create(ts *TrafficSplit) error {
+	if err := ts.Validate(); err != nil {
+		return err
+	}
+	return s.inner.Create(ts.Clone())
+}
+
+// Update validates and replaces a split.
+func (s *Store) Update(ts *TrafficSplit) error {
+	if err := ts.Validate(); err != nil {
+		return err
+	}
+	return s.inner.Update(ts.Clone())
+}
+
+// Delete removes a split by name.
+func (s *Store) Delete(name string) error { return s.inner.Delete(name) }
+
+// Get returns a clone of the named split.
+func (s *Store) Get(name string) (*TrafficSplit, bool) {
+	ts, _, ok := s.inner.Get(name)
+	if !ok {
+		return nil, false
+	}
+	return ts.Clone(), true
+}
+
+// List returns clones of all splits, sorted by name.
+func (s *Store) List() []*TrafficSplit {
+	stored := s.inner.List()
+	out := make([]*TrafficSplit, len(stored))
+	for i, ts := range stored {
+		out[i] = ts.Clone()
+	}
+	return out
+}
+
+// Len returns the number of stored splits.
+func (s *Store) Len() int { return s.inner.Len() }
+
+// Watch registers fn for mutation events (cloned objects). With replay, fn
+// first receives synthetic Added events for existing splits.
+func (s *Store) Watch(replay bool, fn func(cluster.Event[*TrafficSplit])) (cancel func()) {
+	return s.inner.Watch(replay, func(e cluster.Event[*TrafficSplit]) {
+		fn(cluster.Event[*TrafficSplit]{Type: e.Type, Object: e.Object.Clone()})
+	})
+}

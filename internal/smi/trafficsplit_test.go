@@ -1,0 +1,173 @@
+package smi
+
+import (
+	"errors"
+	"testing"
+
+	"l3/internal/cluster"
+)
+
+func split() *TrafficSplit {
+	return &TrafficSplit{
+		Name:        "books",
+		RootService: "books.default.svc",
+		Backends: []Backend{
+			{Service: "books-east", Weight: 500},
+			{Service: "books-west", Weight: 500},
+		},
+	}
+}
+
+func TestValidateAcceptsWellFormed(t *testing.T) {
+	if err := split().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*TrafficSplit)
+		want   error
+	}{
+		{"no name", func(ts *TrafficSplit) { ts.Name = "" }, ErrNoName},
+		{"no root", func(ts *TrafficSplit) { ts.RootService = "" }, ErrNoRootService},
+		{"no backends", func(ts *TrafficSplit) { ts.Backends = nil }, ErrNoBackends},
+		{"negative weight", func(ts *TrafficSplit) { ts.Backends[0].Weight = -1 }, ErrNegativeWeight},
+		{"duplicate backend", func(ts *TrafficSplit) { ts.Backends[1].Service = ts.Backends[0].Service }, ErrDuplicate},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			ts := split()
+			tt.mutate(ts)
+			if err := ts.Validate(); !errors.Is(err, tt.want) {
+				t.Fatalf("err = %v, want %v", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestTotalWeightAndNames(t *testing.T) {
+	ts := split()
+	if ts.TotalWeight() != 1000 {
+		t.Fatalf("TotalWeight = %d", ts.TotalWeight())
+	}
+	names := ts.BackendNames()
+	if len(names) != 2 || names[0] != "books-east" || names[1] != "books-west" {
+		t.Fatalf("BackendNames = %v", names)
+	}
+}
+
+func TestSetWeight(t *testing.T) {
+	ts := split()
+	if !ts.SetWeight("books-west", 123) {
+		t.Fatal("SetWeight of existing backend failed")
+	}
+	if ts.Backends[1].Weight != 123 {
+		t.Fatalf("weight = %d", ts.Backends[1].Weight)
+	}
+	if ts.SetWeight("missing", 1) {
+		t.Fatal("SetWeight of unknown backend succeeded")
+	}
+	ts.SetWeight("books-east", -5)
+	if ts.Backends[0].Weight != 0 {
+		t.Fatalf("negative weight not clamped: %d", ts.Backends[0].Weight)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	ts := split()
+	c := ts.Clone()
+	c.Backends[0].Weight = 9999
+	if ts.Backends[0].Weight == 9999 {
+		t.Fatal("Clone shares backend storage")
+	}
+}
+
+func TestStoreValueSemantics(t *testing.T) {
+	s := NewStore()
+	ts := split()
+	if err := s.Create(ts); err != nil {
+		t.Fatal(err)
+	}
+	ts.Backends[0].Weight = 7 // mutate caller copy after Create
+	got, ok := s.Get("books")
+	if !ok {
+		t.Fatal("Get failed")
+	}
+	if got.Backends[0].Weight != 500 {
+		t.Fatal("Create aliased caller memory")
+	}
+	got.Backends[0].Weight = 8 // mutate read copy
+	again, _ := s.Get("books")
+	if again.Backends[0].Weight != 500 {
+		t.Fatal("Get handed out aliased memory")
+	}
+}
+
+func TestStoreRejectsInvalid(t *testing.T) {
+	s := NewStore()
+	bad := split()
+	bad.Backends = nil
+	if err := s.Create(bad); !errors.Is(err, ErrNoBackends) {
+		t.Fatalf("Create invalid err = %v", err)
+	}
+	_ = s.Create(split())
+	bad2 := split()
+	bad2.Backends[0].Weight = -1
+	if err := s.Update(bad2); !errors.Is(err, ErrNegativeWeight) {
+		t.Fatalf("Update invalid err = %v", err)
+	}
+}
+
+func TestStoreUpdateDeleteList(t *testing.T) {
+	s := NewStore()
+	_ = s.Create(split())
+	ts, _ := s.Get("books")
+	ts.SetWeight("books-east", 900)
+	if err := s.Update(ts); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := s.Get("books")
+	if got.Backends[0].Weight != 900 {
+		t.Fatalf("update not visible: %d", got.Backends[0].Weight)
+	}
+	other := split()
+	other.Name = "another"
+	_ = s.Create(other)
+	if s.Len() != 2 || len(s.List()) != 2 {
+		t.Fatalf("Len/List = %d/%d", s.Len(), len(s.List()))
+	}
+	if s.List()[0].Name != "another" {
+		t.Fatal("List not sorted by name")
+	}
+	if err := s.Delete("books"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("books"); ok {
+		t.Fatal("deleted split still readable")
+	}
+}
+
+func TestStoreWatchDeliversClones(t *testing.T) {
+	s := NewStore()
+	var seen *TrafficSplit
+	s.Watch(false, func(e cluster.Event[*TrafficSplit]) { seen = e.Object })
+	_ = s.Create(split())
+	if seen == nil {
+		t.Fatal("watch not notified")
+	}
+	seen.Backends[0].Weight = 12345
+	got, _ := s.Get("books")
+	if got.Backends[0].Weight != 500 {
+		t.Fatal("watch event aliases stored object")
+	}
+}
+
+func TestStringFormat(t *testing.T) {
+	got := split().String()
+	want := "trafficsplit/books[books.default.svc -> books-east=500,books-west=500]"
+	if got != want {
+		t.Fatalf("String = %q, want %q", got, want)
+	}
+}

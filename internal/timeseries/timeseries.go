@@ -1,0 +1,330 @@
+// Package timeseries is a miniature in-memory time-series database in the
+// spirit of Prometheus, storing scraped metric samples and answering the
+// windowed queries L3 issues: counter rates, gauge averages and
+// histogram-quantile estimates over a trailing window.
+//
+// L3's data-freshness semantics come from this layer: samples only exist at
+// scrape instants (every 5 s by default), a rate query needs at least two
+// samples inside its window (hence the paper's 10 s window), and per-second
+// rates are averages over the sampled interval. Queries return ok=false
+// when the window holds insufficient data, which the controller treats as
+// "no traffic" and relaxes its filters toward defaults.
+package timeseries
+
+import (
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"l3/internal/histogram"
+	"l3/internal/metrics"
+)
+
+// Point is one sampled value of one series.
+type Point struct {
+	T time.Duration // virtual scrape time
+	V float64
+}
+
+type series struct {
+	labels metrics.Labels
+	points []Point
+}
+
+// DB stores samples by (metric name, label set) and answers window queries.
+// Safe for concurrent use.
+type DB struct {
+	mu        sync.Mutex
+	retention time.Duration
+	byName    map[string]map[string]*series // name -> label key -> series
+}
+
+// NewDB returns a database that retains at least the given duration of
+// samples per series. Retention must cover the largest query window used;
+// anything older may be compacted away.
+func NewDB(retention time.Duration) *DB {
+	if retention <= 0 {
+		retention = 2 * time.Minute
+	}
+	return &DB{
+		retention: retention,
+		byName:    make(map[string]map[string]*series),
+	}
+}
+
+// Append stores one sample. Appends must be in non-decreasing time order
+// per series (scrapes are); out-of-order samples are dropped.
+func (db *DB) Append(name string, labels metrics.Labels, t time.Duration, v float64) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	byKey, ok := db.byName[name]
+	if !ok {
+		byKey = make(map[string]*series)
+		db.byName[name] = byKey
+	}
+	key := labels.Key()
+	s, ok := byKey[key]
+	if !ok {
+		s = &series{labels: labels.Clone()}
+		byKey[key] = s
+	}
+	if n := len(s.points); n > 0 && s.points[n-1].T > t {
+		return
+	}
+	s.points = append(s.points, Point{T: t, V: v})
+	// Compact: drop points older than retention, keeping at least two.
+	cutoff := t - db.retention
+	drop := 0
+	for drop < len(s.points)-2 && s.points[drop].T < cutoff {
+		drop++
+	}
+	if drop > 0 {
+		s.points = append(s.points[:0], s.points[drop:]...)
+	}
+}
+
+// Scrape snapshots a registry and appends every sample at time t, mimicking
+// one Prometheus scrape pass.
+func (db *DB) Scrape(t time.Duration, reg *metrics.Registry) {
+	for _, s := range reg.Snapshot() {
+		db.Append(s.Name, s.Labels, t, s.Value)
+	}
+}
+
+// SeriesCount returns the number of distinct series stored, for tests and
+// introspection.
+func (db *DB) SeriesCount() int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	n := 0
+	for _, byKey := range db.byName {
+		n += len(byKey)
+	}
+	return n
+}
+
+// window extracts the points of s inside (from, to] — Prometheus range
+// semantics.
+func (s *series) window(from, to time.Duration) []Point {
+	pts := s.points
+	lo := 0
+	for lo < len(pts) && pts[lo].T <= from {
+		lo++
+	}
+	hi := lo
+	for hi < len(pts) && pts[hi].T <= to {
+		hi++
+	}
+	return pts[lo:hi]
+}
+
+// matching returns the series of the named family whose labels contain
+// match as a subset.
+func (db *DB) matching(name string, match metrics.Labels) []*series {
+	byKey, ok := db.byName[name]
+	if !ok {
+		return nil
+	}
+	var out []*series
+	for _, s := range byKey {
+		if s.labels.Matches(match) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// increase computes the counter increase across the window's samples,
+// tolerating counter resets (a drop restarts accumulation, like Prometheus).
+func increase(pts []Point) (delta float64, ok bool) {
+	if len(pts) < 2 {
+		return 0, false
+	}
+	prev := pts[0].V
+	for _, p := range pts[1:] {
+		if p.V >= prev {
+			delta += p.V - prev
+		} else {
+			delta += p.V // reset: counter restarted from 0
+		}
+		prev = p.V
+	}
+	return delta, true
+}
+
+// Rate returns the summed per-second rate of increase of all series of the
+// named counter family matching match, over the window (at-window, at].
+// ok is false when no matching series has the two samples a rate needs.
+func (db *DB) Rate(name string, match metrics.Labels, at, window time.Duration) (rate float64, ok bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.rateLocked(name, match, at, window)
+}
+
+func (db *DB) rateLocked(name string, match metrics.Labels, at, window time.Duration) (float64, bool) {
+	var (
+		total float64
+		any   bool
+	)
+	for _, s := range db.matching(name, match) {
+		pts := s.window(at-window, at)
+		delta, ok := increase(pts)
+		if !ok {
+			continue
+		}
+		elapsed := (pts[len(pts)-1].T - pts[0].T).Seconds()
+		if elapsed <= 0 {
+			continue
+		}
+		total += delta / elapsed
+		any = true
+	}
+	return total, any
+}
+
+// GaugeAvg returns the average of all samples of the matching gauge series
+// inside the window, across series (avg_over_time of the summed gauge,
+// approximated by sample mean per timestamp). ok is false with no samples.
+func (db *DB) GaugeAvg(name string, match metrics.Labels, at, window time.Duration) (avg float64, ok bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	var sum float64
+	var n int
+	for _, s := range db.matching(name, match) {
+		for _, p := range s.window(at-window, at) {
+			sum += p.V
+			n++
+		}
+	}
+	if n == 0 {
+		return 0, false
+	}
+	return sum / float64(n), true
+}
+
+// Latest returns the most recent sample value at or before at across
+// matching series, summed over series. ok is false when no series has a
+// sample.
+func (db *DB) Latest(name string, match metrics.Labels, at time.Duration) (v float64, ok bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	var sum float64
+	any := false
+	for _, s := range db.matching(name, match) {
+		pts := s.points
+		for i := len(pts) - 1; i >= 0; i-- {
+			if pts[i].T <= at {
+				sum += pts[i].V
+				any = true
+				break
+			}
+		}
+	}
+	return sum, any
+}
+
+// HistogramQuantile estimates the q-quantile of the named histogram family
+// over the window, PromQL-style: it computes the per-bucket rate of each
+// *_bucket series (identified by the "le" label), sums them across matching
+// series, converts the cumulative layout to per-bucket counts and applies
+// linear interpolation within the located bucket. The result unit matches
+// the bucket bounds (seconds for latency). ok is false when the window
+// carries no bucket increases.
+func (db *DB) HistogramQuantile(q float64, name string, match metrics.Labels, at, window time.Duration) (float64, bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+
+	type bucketRate struct {
+		bound float64
+		inf   bool
+		rate  float64
+	}
+	rates := make(map[string]*bucketRate)
+	for _, s := range db.matching(name+"_bucket", match) {
+		le, ok := s.labels["le"]
+		if !ok {
+			continue
+		}
+		pts := s.window(at-window, at)
+		delta, ok := increase(pts)
+		if !ok {
+			continue
+		}
+		br, ok := rates[le]
+		if !ok {
+			br = &bucketRate{}
+			if le == "+Inf" {
+				br.inf = true
+			} else {
+				b, err := parseFloat(le)
+				if err != nil {
+					continue
+				}
+				br.bound = b
+			}
+			rates[le] = br
+		}
+		br.rate += delta
+	}
+	if len(rates) == 0 {
+		return 0, false
+	}
+
+	var (
+		bounds     []float64
+		cumulative []float64
+		infRate    float64
+		haveInf    bool
+	)
+	ordered := make([]*bucketRate, 0, len(rates))
+	for _, br := range rates {
+		if br.inf {
+			infRate = br.rate
+			haveInf = true
+			continue
+		}
+		ordered = append(ordered, br)
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].bound < ordered[j].bound })
+	for _, br := range ordered {
+		bounds = append(bounds, br.bound)
+		cumulative = append(cumulative, br.rate)
+	}
+	if !haveInf {
+		if len(cumulative) == 0 {
+			return 0, false
+		}
+		infRate = cumulative[len(cumulative)-1]
+	}
+
+	// Convert cumulative counts to per-bucket counts.
+	counts := make([]float64, len(bounds)+1)
+	prev := 0.0
+	for i, c := range cumulative {
+		d := c - prev
+		if d < 0 {
+			d = 0
+		}
+		counts[i] = d
+		prev = c
+	}
+	over := infRate - prev
+	if over < 0 {
+		over = 0
+	}
+	counts[len(bounds)] = over
+
+	total := 0.0
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0, false
+	}
+	return histogram.BucketQuantile(q, bounds, counts), true
+}
+
+func parseFloat(s string) (float64, error) {
+	return strconv.ParseFloat(s, 64)
+}

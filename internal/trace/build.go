@@ -1,0 +1,48 @@
+package trace
+
+import (
+	"time"
+
+	"l3/internal/sim"
+)
+
+// clusterParams parameterises one cluster's latency process: a base median
+// band, a tail-ratio band (P99/median), and sustained degradation
+// episodes.
+type clusterParams struct {
+	medLo, medHi       float64 // base median band, seconds
+	ratioLo, ratioHi   float64 // P99/median band
+	epCount            int     // degradation episodes over the scenario
+	epMinLen, epMaxLen int     // episode duration, steps
+	epMagLo, epMagHi   float64 // episode P99 multiplier at the peak
+	epMedFraction      float64 // fraction of the episode magnitude hitting the median
+	p99Cap             float64 // hard cap on P99, seconds
+}
+
+// buildCluster synthesises one cluster's latency trace.
+func buildCluster(r *sim.Rand, name string, n int, step time.Duration, p clusterParams) ClusterTrace {
+	med := walk(r, n, p.medLo, p.medHi, 0.08)
+	ratio := walk(r, n, p.ratioLo, p.ratioHi, 0.1)
+	ep := episodes(r, n, p.epCount, p.epMinLen, p.epMaxLen, p.epMagLo, p.epMagHi)
+
+	p99 := make([]float64, n)
+	for i := range p99 {
+		p99[i] = med[i] * ratio[i]
+	}
+	mulInto(p99, ep, 1)
+	mulInto(med, ep, p.epMedFraction)
+	if p.p99Cap > 0 {
+		clampMax(p99, p.p99Cap)
+	}
+	for i := range p99 {
+		if med[i] > p99[i] {
+			med[i] = p99[i]
+		}
+	}
+	return ClusterTrace{
+		Cluster: name,
+		Median:  Series{Step: step, Values: med},
+		P99:     Series{Step: step, Values: p99},
+		Success: Constant(step, n, 1),
+	}
+}

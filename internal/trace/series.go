@@ -1,0 +1,126 @@
+// Package trace synthesises the workload scenarios of the paper's
+// evaluation. The originals are 10-minute captures from TIER Mobility's
+// production mesh (scenario-1..5) plus two derived failure-injection
+// variants (failure-1, failure-2); the captures are proprietary, so this
+// package regenerates each scenario as seeded stochastic processes matched
+// to every statistic the paper reports: per-cluster median and P99 latency
+// bands, spike magnitudes, RPS ranges, success-rate averages and dip depths
+// (§2.1, §5.1, §5.2.1, Figures 1, 2, 6 and 7a).
+package trace
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Series is a regularly sampled time series (one value per Step). Reads
+// between sample points interpolate linearly; reads outside the series
+// clamp to the ends.
+type Series struct {
+	Step   time.Duration
+	Values []float64
+}
+
+// At returns the interpolated value at time t.
+func (s Series) At(t time.Duration) float64 {
+	if len(s.Values) == 0 {
+		return 0
+	}
+	if t <= 0 {
+		return s.Values[0]
+	}
+	pos := float64(t) / float64(s.Step)
+	i := int(pos)
+	if i >= len(s.Values)-1 {
+		return s.Values[len(s.Values)-1]
+	}
+	frac := pos - float64(i)
+	return s.Values[i]*(1-frac) + s.Values[i+1]*frac
+}
+
+// Duration returns the time span the series covers.
+func (s Series) Duration() time.Duration {
+	if len(s.Values) == 0 {
+		return 0
+	}
+	return time.Duration(len(s.Values)-1) * s.Step
+}
+
+// Min returns the smallest value, or 0 if empty.
+func (s Series) Min() float64 {
+	if len(s.Values) == 0 {
+		return 0
+	}
+	m := s.Values[0]
+	for _, v := range s.Values[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Max returns the largest value, or 0 if empty.
+func (s Series) Max() float64 {
+	if len(s.Values) == 0 {
+		return 0
+	}
+	m := s.Values[0]
+	for _, v := range s.Values[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Mean returns the arithmetic mean, or 0 if empty.
+func (s Series) Mean() float64 {
+	if len(s.Values) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range s.Values {
+		sum += v
+	}
+	return sum / float64(len(s.Values))
+}
+
+// Stddev returns the population standard deviation, or 0 if empty.
+func (s Series) Stddev() float64 {
+	if len(s.Values) == 0 {
+		return 0
+	}
+	mean := s.Mean()
+	sum := 0.0
+	for _, v := range s.Values {
+		d := v - mean
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(s.Values)))
+}
+
+// Scale returns a copy with every value multiplied by f.
+func (s Series) Scale(f float64) Series {
+	out := Series{Step: s.Step, Values: make([]float64, len(s.Values))}
+	for i, v := range s.Values {
+		out.Values[i] = v * f
+	}
+	return out
+}
+
+// Constant returns a series of n steps all holding v.
+func Constant(step time.Duration, n int, v float64) Series {
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = v
+	}
+	return Series{Step: step, Values: vals}
+}
+
+// String summarises the series.
+func (s Series) String() string {
+	return fmt.Sprintf("series{n=%d step=%v min=%.3g mean=%.3g max=%.3g}",
+		len(s.Values), s.Step, s.Min(), s.Mean(), s.Max())
+}

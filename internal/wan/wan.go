@@ -1,0 +1,166 @@
+// Package wan models the wide-area network between clusters: a base
+// round-trip-time matrix plus the two dynamics §2.1 of the paper calls out
+// as sources of latency variability — links whose latency varies over time
+// (Jin et al.) and inter-cluster routing paths that change every couple of
+// seconds (Reda et al.).
+//
+// The model is deterministic: jitter and path shifts are derived from a
+// seeded hash of (link, time epoch), so the same seed reproduces the same
+// delay series without the model keeping per-query state.
+package wan
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Config parameterises a Model.
+type Config struct {
+	// BaseRTT is the symmetric base round-trip time between distinct
+	// clusters when no explicit link override exists. The paper's testbed
+	// measured ~10 ms between its EU regions.
+	BaseRTT time.Duration
+	// JitterFraction scales sinusoidal-plus-noise jitter relative to the
+	// base RTT (0.2 means ±~20 %).
+	JitterFraction float64
+	// PathShiftInterval is how often a link may jump to a different
+	// routing path (a couple of seconds per the paper's reference [45]).
+	PathShiftInterval time.Duration
+	// PathShiftFraction is the maximum extra delay a path change adds,
+	// relative to base RTT.
+	PathShiftFraction float64
+	// Seed makes the jitter process reproducible.
+	Seed uint64
+}
+
+// DefaultConfig mirrors the paper's testbed: ~10 ms inter-cluster RTT with
+// moderate variability and path shifts every few seconds.
+func DefaultConfig() Config {
+	return Config{
+		BaseRTT:           10 * time.Millisecond,
+		JitterFraction:    0.2,
+		PathShiftInterval: 3 * time.Second,
+		PathShiftFraction: 0.5,
+		Seed:              1,
+	}
+}
+
+// Model answers "what is the one-way network delay from cluster A to
+// cluster B at virtual time t". Intra-cluster delay is a small constant.
+// Model is immutable after construction and safe for concurrent use.
+type Model struct {
+	cfg      Config
+	overlays map[linkKey]time.Duration
+	local    time.Duration
+}
+
+type linkKey struct{ from, to string }
+
+// Option customises a Model.
+type Option func(*Model)
+
+// WithLink overrides the base RTT of one directed link.
+func WithLink(from, to string, rtt time.Duration) Option {
+	return func(m *Model) { m.overlays[linkKey{from, to}] = rtt }
+}
+
+// WithLocalDelay overrides the intra-cluster delay (default 500 µs,
+// covering the node-local proxy hop the Linkerd benchmark study reports as
+// sub-millisecond at the median).
+func WithLocalDelay(d time.Duration) Option {
+	return func(m *Model) { m.local = d }
+}
+
+// New returns a Model.
+func New(cfg Config, opts ...Option) *Model {
+	if cfg.BaseRTT <= 0 {
+		cfg.BaseRTT = 10 * time.Millisecond
+	}
+	if cfg.PathShiftInterval <= 0 {
+		cfg.PathShiftInterval = 3 * time.Second
+	}
+	m := &Model{
+		cfg:      cfg,
+		overlays: make(map[linkKey]time.Duration),
+		local:    500 * time.Microsecond,
+	}
+	for _, o := range opts {
+		o(m)
+	}
+	return m
+}
+
+// BaseRTT returns the configured base round-trip time of a link.
+func (m *Model) BaseRTT(from, to string) time.Duration {
+	if from == to {
+		return 2 * m.local
+	}
+	if d, ok := m.overlays[linkKey{from, to}]; ok {
+		return d
+	}
+	return m.cfg.BaseRTT
+}
+
+// OneWayDelay returns the one-way delay from cluster from to cluster to at
+// virtual time t, including jitter and path-shift dynamics. The value is a
+// pure function of (from, to, t, seed).
+func (m *Model) OneWayDelay(from, to string, t time.Duration) time.Duration {
+	if from == to {
+		return m.local
+	}
+	base := m.BaseRTT(from, to) / 2
+
+	// Slow sinusoidal drift plus per-query hash noise.
+	h := hash3(m.cfg.Seed, from, to)
+	phase := float64(h%10000) / 10000 * 2 * math.Pi
+	drift := math.Sin(2*math.Pi*t.Seconds()/60 + phase) // ±1 over a minute
+	noise := hashUnit(h, uint64(t/time.Millisecond))*2 - 1
+
+	jitter := m.cfg.JitterFraction * (0.7*drift + 0.3*noise)
+
+	// Path shifts: every PathShiftInterval the link picks one of several
+	// "paths" with distinct extra delay.
+	epoch := uint64(t / m.cfg.PathShiftInterval)
+	pathExtra := hashUnit(h^0xabcdef, epoch) * m.cfg.PathShiftFraction
+
+	d := float64(base) * (1 + jitter + pathExtra)
+	if d < float64(m.local) {
+		d = float64(m.local)
+	}
+	return time.Duration(d)
+}
+
+// RTT returns the modelled round-trip time at t (forward + return delay).
+func (m *Model) RTT(from, to string, t time.Duration) time.Duration {
+	return m.OneWayDelay(from, to, t) + m.OneWayDelay(to, from, t)
+}
+
+// String describes the model briefly.
+func (m *Model) String() string {
+	return fmt.Sprintf("wan{base=%v jitter=%.0f%% shift=%v}",
+		m.cfg.BaseRTT, m.cfg.JitterFraction*100, m.cfg.PathShiftInterval)
+}
+
+// hash3 mixes the seed with two strings (FNV-1a over both).
+func hash3(seed uint64, a, b string) uint64 {
+	h := seed ^ 14695981039346656037
+	for _, s := range []string{a, "\x00", b} {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= 1099511628211
+		}
+	}
+	return h
+}
+
+// hashUnit maps (h, x) deterministically to [0, 1).
+func hashUnit(h, x uint64) float64 {
+	z := h ^ (x * 0x9e3779b97f4a7c15)
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11) / float64(1<<53)
+}

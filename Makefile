@@ -1,0 +1,20 @@
+GO ?= go
+
+.PHONY: check vet build test race
+
+## check: the pre-merge gate — vet, build, and the full suite under the
+## race detector. Run before every merge; CI and the tier-1 verify in
+## ROADMAP.md assume it passes.
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...

@@ -8,9 +8,17 @@
 //	l3bench -fig 10 -reps 3 -seed 7  # repetitions and seeding
 //	l3bench -fig 1 -csv              # emit series as CSV for plotting
 //	l3bench -fig ablations           # the ablation suite
+//	l3bench -fig all -parallel 8     # fan runs out across 8 workers
 //
 // Figure durations follow the paper (10-minute scenarios); -quick shrinks
 // the measured window for a fast sanity pass.
+//
+// Independent runs (figures × configurations × repetitions) fan out across
+// -parallel worker goroutines; each run derives its own seed and owns its
+// simulation engine, and results are merged in a fixed order, so stdout is
+// byte-for-bit identical for every -parallel value. Timings and the
+// harness's self-metrics (runs completed, busy seconds, effective speedup
+// over serial) go to stderr.
 package main
 
 import (
@@ -18,13 +26,17 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"time"
 
 	"l3/internal/bench"
 )
 
-// stdout is swappable so tests can silence the tool's output.
-var stdout io.Writer = os.Stdout
+// stdout/stderr are swappable so tests can silence the tool's output.
+var (
+	stdout io.Writer = os.Stdout
+	stderr io.Writer = os.Stderr
+)
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -36,17 +48,19 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("l3bench", flag.ContinueOnError)
 	var (
-		fig   = fs.String("fig", "all", "figure to regenerate: 1,2,4,6,7,8,9,10,11,12, 'ablations' or 'all'")
-		seed  = fs.Uint64("seed", 1, "base random seed")
-		reps  = fs.Int("reps", 1, "repetitions per configuration (paper used 2-3)")
-		quick = fs.Bool("quick", false, "shrink measured windows for a fast pass")
-		csv   = fs.Bool("csv", false, "emit series results as CSV instead of summaries")
+		fig      = fs.String("fig", "all", "figure to regenerate: 1,2,4,6,7,8,9,10,11,12, 'ablations' or 'all'")
+		seed     = fs.Uint64("seed", 1, "base random seed")
+		reps     = fs.Int("reps", 1, "repetitions per configuration (paper used 2-3)")
+		quick    = fs.Bool("quick", false, "shrink measured windows for a fast pass")
+		csv      = fs.Bool("csv", false, "emit series results as CSV instead of summaries")
+		parallel = fs.Int("parallel", runtime.GOMAXPROCS(0),
+			"worker goroutines fanning out independent runs (1 = serial); output is identical for any value")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	opts := bench.Options{Seed: *seed, Reps: *reps}
+	opts := bench.Options{Seed: *seed, Reps: *reps, Parallel: *parallel}
 	if *quick {
 		opts.Duration = 2 * time.Minute
 	}
@@ -100,18 +114,48 @@ func run(args []string) error {
 		}
 	}
 
-	for _, r := range selected {
+	// Figures fan out like configurations and repetitions do; results are
+	// rendered in selection order afterwards, so stdout does not depend on
+	// scheduling. Per-figure wall-clock goes to stderr: timing is
+	// nondeterministic by nature and would break the byte-identical
+	// guarantee on stdout.
+	startRuns, startBusy := bench.SelfStats()
+	wall := time.Now()
+	results := make([]*bench.Result, len(selected))
+	times := make([]time.Duration, len(selected))
+	err := bench.ForEach(*parallel, len(selected), func(i int) error {
 		start := time.Now()
-		res, err := r.fn()
+		res, err := selected[i].fn()
 		if err != nil {
-			return fmt.Errorf("fig %s: %w", r.id, err)
+			return fmt.Errorf("fig %s: %w", selected[i].id, err)
 		}
+		results[i], times[i] = res, time.Since(start)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for i, res := range results {
 		if *csv && len(res.Series) > 0 {
 			fmt.Fprint(stdout, res.CSV())
 			continue
 		}
 		fmt.Fprint(stdout, res.Render())
-		fmt.Fprintf(stdout, "  (%.1fs)\n\n", time.Since(start).Seconds())
+		fmt.Fprintln(stdout)
+		fmt.Fprintf(stderr, "l3bench: fig %s in %.1fs\n", selected[i].id, times[i].Seconds())
+	}
+	elapsed := time.Since(wall)
+	workers := *parallel
+	if workers <= 0 { // ForEach's GOMAXPROCS fallback
+		workers = runtime.GOMAXPROCS(0)
+	}
+	runs, busy := bench.SelfStats()
+	if runs -= startRuns; runs > 0 {
+		busy -= startBusy
+		fmt.Fprintf(stderr,
+			"l3bench: %d runs, %.1fs busy across %d workers, %.1fs elapsed (%.1fx vs serial)\n",
+			int(runs), busy.Seconds(), workers, elapsed.Seconds(),
+			busy.Seconds()/elapsed.Seconds())
 	}
 	return nil
 }

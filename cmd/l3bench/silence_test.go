@@ -6,9 +6,10 @@ import (
 	"testing"
 )
 
-// TestMain silences the tool's stdout during tests so test logs stay
-// readable; errors still reach stderr.
+// TestMain silences the tool's stdout and timing stderr during tests so
+// test logs stay readable; errors still reach the process stderr.
 func TestMain(m *testing.M) {
 	stdout = io.Discard
+	stderr = io.Discard
 	os.Exit(m.Run())
 }

@@ -19,13 +19,18 @@ import (
 func AblationInflightExponent(opts Options) (*Result, error) {
 	opts = opts.withDefaults()
 	r := &Result{ID: "ablation-inflight-exponent", Title: "Equation 4 exponent on (Ri+1), scenario-2 P99"}
-	for _, exp := range []float64{1, 2, 3} {
-		o := opts
-		rec, err := runScenarioWithExponent(trace.Scenario2, o, exp)
-		if err != nil {
-			return nil, err
-		}
-		r.AddRow(fmt.Sprintf("exponent %.0f", exp), msOf(rec.Quantile(0.99)), "ms", NoPaper)
+	exps := []float64{1, 2, 3}
+	recs := make([]*loadgen.Recorder, len(exps))
+	err := ForEach(opts.Parallel, len(exps), func(i int) error {
+		rec, err := runScenarioWithExponent(trace.Scenario2, opts, exps[i])
+		recs[i] = rec
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, exp := range exps {
+		r.AddRow(fmt.Sprintf("exponent %.0f", exp), msOf(recs[i].Quantile(0.99)), "ms", NoPaper)
 	}
 	r.Note("paper default is 2 (squaring); 1 under-reacts to queue build-up, 3 overreacts")
 	return r, nil
@@ -37,14 +42,20 @@ func AblationInflightExponent(opts Options) (*Result, error) {
 func AblationPercentile(opts Options) (*Result, error) {
 	opts = opts.withDefaults()
 	r := &Result{ID: "ablation-percentile", Title: "Latency percentile feeding Algorithm 1, scenario-1 P99"}
-	for _, p := range []float64{0.90, 0.98, 0.99, 0.999} {
+	percentiles := []float64{0.90, 0.98, 0.99, 0.999}
+	recs := make([]*loadgen.Recorder, len(percentiles))
+	err := ForEach(opts.Parallel, len(percentiles), func(i int) error {
 		o := opts
-		o.Percentile = p
+		o.Percentile = percentiles[i]
 		rec, err := RunScenario(trace.Scenario1, AlgoL3, o)
-		if err != nil {
-			return nil, err
-		}
-		r.AddRow(fmt.Sprintf("P%g", p*100), msOf(rec.Quantile(0.99)), "ms", NoPaper)
+		recs[i] = rec
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, p := range percentiles {
+		r.AddRow(fmt.Sprintf("P%g", p*100), msOf(recs[i].Quantile(0.99)), "ms", NoPaper)
 	}
 	return r, nil
 }
@@ -58,37 +69,48 @@ func AblationPercentile(opts Options) (*Result, error) {
 func AblationRateControl(opts Options) (*Result, error) {
 	opts = opts.withDefaults()
 	r := &Result{ID: "ablation-rate-control", Title: "Algorithm 2 on/off under a 4x load surge"}
+	type combo struct{ autoscaled, disabled bool }
+	var combos []combo
 	for _, autoscaled := range []bool{false, true} {
 		for _, disabled := range []bool{false, true} {
-			o := opts
-			// The fast deployment is small (cap ≈ 180 RPS at its ~22 ms
-			// mean); the slower ones are wide (cap ≈ 350 RPS each).
-			// Algorithm 1 alone concentrates ~70 % of traffic on the fast
-			// one, which the surge onset then saturates; Algorithm 2
-			// detects the RPS jump within one update and spreads the
-			// surge, buying the autoscaler (when present) the time §3.2
-			// describes.
-			o.ConcurrencyByCluster = map[string]int{
-				"cluster-1": 4, "cluster-2": 40, "cluster-3": 40,
-			}
-			o.DisableRateControl = disabled
-			if autoscaled {
-				o.Autoscale = &autoscale.Config{Interval: 15 * time.Second}
-			}
-			rec, err := RunScenarioTrace(SurgeScenario(), AlgoL3, o)
-			if err != nil {
-				return nil, err
-			}
-			// Report the quantile of the surge onset window (30 s from
-			// the step, offset by the run's warm-up).
-			onset := rec.WindowQuantile(0.99, o.WarmUp+3*time.Minute, o.WarmUp+3*time.Minute+30*time.Second)
-			label := fmt.Sprintf("rate control %v, autoscaler %v",
-				map[bool]string{false: "on", true: "off"}[disabled],
-				map[bool]string{false: "off", true: "on"}[autoscaled])
-			r.AddRow(label+" (surge-onset P99)", msOf(onset), "ms", NoPaper)
-			r.AddRow(label+" (overall P99)", msOf(rec.Quantile(0.99)), "ms", NoPaper)
-			r.AddRow(label+" (overall P50)", msOf(rec.Quantile(0.5)), "ms", NoPaper)
+			combos = append(combos, combo{autoscaled, disabled})
 		}
+	}
+	recs := make([]*loadgen.Recorder, len(combos))
+	err := ForEach(opts.Parallel, len(combos), func(i int) error {
+		o := opts
+		// The fast deployment is small (cap ≈ 180 RPS at its ~22 ms
+		// mean); the slower ones are wide (cap ≈ 350 RPS each).
+		// Algorithm 1 alone concentrates ~70 % of traffic on the fast
+		// one, which the surge onset then saturates; Algorithm 2
+		// detects the RPS jump within one update and spreads the
+		// surge, buying the autoscaler (when present) the time §3.2
+		// describes.
+		o.ConcurrencyByCluster = map[string]int{
+			"cluster-1": 4, "cluster-2": 40, "cluster-3": 40,
+		}
+		o.DisableRateControl = combos[i].disabled
+		if combos[i].autoscaled {
+			o.Autoscale = &autoscale.Config{Interval: 15 * time.Second}
+		}
+		rec, err := RunScenarioTrace(SurgeScenario(), AlgoL3, o)
+		recs[i] = rec
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range combos {
+		rec := recs[i]
+		// Report the quantile of the surge onset window (30 s from
+		// the step, offset by the run's warm-up).
+		onset := rec.WindowQuantile(0.99, opts.WarmUp+3*time.Minute, opts.WarmUp+3*time.Minute+30*time.Second)
+		label := fmt.Sprintf("rate control %v, autoscaler %v",
+			map[bool]string{false: "on", true: "off"}[c.disabled],
+			map[bool]string{false: "off", true: "on"}[c.autoscaled])
+		r.AddRow(label+" (surge-onset P99)", msOf(onset), "ms", NoPaper)
+		r.AddRow(label+" (overall P99)", msOf(rec.Quantile(0.99)), "ms", NoPaper)
+		r.AddRow(label+" (overall P50)", msOf(rec.Quantile(0.5)), "ms", NoPaper)
 	}
 	r.Note("surge: 80 RPS stepping to 320 RPS for three minutes at minute 3; the fast backend is small, the slow ones wide")
 	r.Note("finding: the P99 is pinned by the onset's queue blast, which both Algorithm 2 and Equation 4's (Ri+1)^2 term correct only at the next 5 s update; the autoscaler's contribution (absorbing the sustained surge, §3.2) is visible at the median")
@@ -139,15 +161,21 @@ func SurgeScenario() *trace.Scenario {
 func AblationScrapeInterval(opts Options) (*Result, error) {
 	opts = opts.withDefaults()
 	r := &Result{ID: "ablation-scrape-interval", Title: "Scrape interval (data freshness), scenario-4 P99"}
-	for _, iv := range []time.Duration{time.Second, 5 * time.Second, 15 * time.Second} {
+	intervals := []time.Duration{time.Second, 5 * time.Second, 15 * time.Second}
+	recs := make([]*loadgen.Recorder, len(intervals))
+	err := ForEach(opts.Parallel, len(intervals), func(i int) error {
 		o := opts
-		o.ScrapeInterval = iv
-		o.Window = 2 * iv
+		o.ScrapeInterval = intervals[i]
+		o.Window = 2 * intervals[i]
 		rec, err := RunScenario(trace.Scenario4, AlgoL3, o)
-		if err != nil {
-			return nil, err
-		}
-		r.AddRow(fmt.Sprintf("scrape %v", iv), msOf(rec.Quantile(0.99)), "ms", NoPaper)
+		recs[i] = rec
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, iv := range intervals {
+		r.AddRow(fmt.Sprintf("scrape %v", iv), msOf(recs[i].Quantile(0.99)), "ms", NoPaper)
 	}
 	r.Note("faster scraping tracks scenario-4's short episodes better at higher pipeline cost (§4)")
 	return r, nil
@@ -159,12 +187,18 @@ func AblationScrapeInterval(opts Options) (*Result, error) {
 func AblationBaselines(opts Options) (*Result, error) {
 	opts = opts.withDefaults()
 	r := &Result{ID: "ablation-baselines", Title: "All strategies on scenario-1 (P99)"}
-	for _, algo := range []Algorithm{AlgoRoundRobin, AlgoP2C, AlgoC3, AlgoL3} {
-		rec, err := RunScenario(trace.Scenario1, algo, opts)
-		if err != nil {
-			return nil, err
-		}
-		r.AddRow(algo.String(), msOf(rec.Quantile(0.99)), "ms", NoPaper)
+	algos := []Algorithm{AlgoRoundRobin, AlgoP2C, AlgoC3, AlgoL3}
+	recs := make([]*loadgen.Recorder, len(algos))
+	err := ForEach(opts.Parallel, len(algos), func(i int) error {
+		rec, err := RunScenario(trace.Scenario1, algos[i], opts)
+		recs[i] = rec
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, algo := range algos {
+		r.AddRow(algo.String(), msOf(recs[i].Quantile(0.99)), "ms", NoPaper)
 	}
 	return r, nil
 }
@@ -178,24 +212,29 @@ func AblationBaselines(opts Options) (*Result, error) {
 func AblationDynamicPenalty(opts Options) (*Result, error) {
 	opts = opts.withDefaults()
 	r := &Result{ID: "ablation-dynamic-penalty", Title: "Static vs dynamic penalty factor on failure-1"}
-	for _, p := range []time.Duration{100 * time.Millisecond, 600 * time.Millisecond, 1500 * time.Millisecond} {
+	statics := []time.Duration{100 * time.Millisecond, 600 * time.Millisecond, 1500 * time.Millisecond}
+	recs := make([]*loadgen.Recorder, len(statics)+1)
+	err := ForEach(opts.Parallel, len(statics)+1, func(i int) error {
 		o := opts
-		o.Penalty = p
-		rec, err := RunScenario(trace.Failure1, AlgoL3, o)
-		if err != nil {
-			return nil, err
+		if i < len(statics) {
+			o.Penalty = statics[i]
+		} else {
+			o.DynamicPenalty = true
 		}
-		r.AddRow(fmt.Sprintf("static P=%v (P99)", p), msOf(rec.Quantile(0.99)), "ms", NoPaper)
-		r.AddRow(fmt.Sprintf("static P=%v (success)", p), rec.SuccessRate()*100, "%", NoPaper)
-	}
-	o := opts
-	o.DynamicPenalty = true
-	rec, err := RunScenario(trace.Failure1, AlgoL3, o)
+		rec, err := RunScenario(trace.Failure1, AlgoL3, o)
+		recs[i] = rec
+		return err
+	})
 	if err != nil {
 		return nil, err
 	}
-	r.AddRow("dynamic P (P99)", msOf(rec.Quantile(0.99)), "ms", NoPaper)
-	r.AddRow("dynamic P (success)", rec.SuccessRate()*100, "%", NoPaper)
+	for i, p := range statics {
+		r.AddRow(fmt.Sprintf("static P=%v (P99)", p), msOf(recs[i].Quantile(0.99)), "ms", NoPaper)
+		r.AddRow(fmt.Sprintf("static P=%v (success)", p), recs[i].SuccessRate()*100, "%", NoPaper)
+	}
+	dyn := recs[len(statics)]
+	r.AddRow("dynamic P (P99)", msOf(dyn.Quantile(0.99)), "ms", NoPaper)
+	r.AddRow("dynamic P (success)", dyn.SuccessRate()*100, "%", NoPaper)
 	return r, nil
 }
 
@@ -209,22 +248,30 @@ func AblationPenaltyWithRetries(opts Options) (*Result, error) {
 	opts = opts.withDefaults()
 	opts.Retry = &retry.Policy{MaxAttempts: 3, Backoff: 10 * time.Millisecond}
 	r := &Result{ID: "ablation-penalty-retries", Title: "Penalty factor with client retries, failure-2"}
-	rr, err := RunScenario(trace.Failure2, AlgoRoundRobin, opts)
+	penalties := []time.Duration{100 * time.Millisecond, 600 * time.Millisecond, 1500 * time.Millisecond}
+	var rr *loadgen.Recorder
+	recs := make([]*loadgen.Recorder, len(penalties))
+	err := ForEach(opts.Parallel, len(penalties)+1, func(i int) error {
+		if i == 0 {
+			rec, err := RunScenario(trace.Failure2, AlgoRoundRobin, opts)
+			rr = rec
+			return err
+		}
+		o := opts
+		o.Penalty = penalties[i-1]
+		rec, err := RunScenario(trace.Failure2, AlgoL3, o)
+		recs[i-1] = rec
+		return err
+	})
 	if err != nil {
 		return nil, err
 	}
 	r.AddRow("Round-robin (P99)", msOf(rr.Quantile(0.99)), "ms", NoPaper)
 	r.AddRow("Round-robin (success)", rr.SuccessRate()*100, "%", NoPaper)
-	for _, p := range []time.Duration{100 * time.Millisecond, 600 * time.Millisecond, 1500 * time.Millisecond} {
-		o := opts
-		o.Penalty = p
-		rec, err := RunScenario(trace.Failure2, AlgoL3, o)
-		if err != nil {
-			return nil, err
-		}
-		dec := (1 - rec.Quantile(0.99).Seconds()/rr.Quantile(0.99).Seconds()) * 100
+	for i, p := range penalties {
+		dec := (1 - recs[i].Quantile(0.99).Seconds()/rr.Quantile(0.99).Seconds()) * 100
 		r.AddRow(fmt.Sprintf("L3 P=%v (P99 decrease)", p), dec, "%", NoPaper)
-		r.AddRow(fmt.Sprintf("L3 P=%v (success)", p), rec.SuccessRate()*100, "%", NoPaper)
+		r.AddRow(fmt.Sprintf("L3 P=%v (success)", p), recs[i].SuccessRate()*100, "%", NoPaper)
 	}
 	r.Note("retried latency spans all attempts, so every strategy's tail includes genuine failure costs")
 	return r, nil
@@ -240,13 +287,20 @@ func AblationPenaltyWithRetries(opts Options) (*Result, error) {
 func AblationCostAwareness(opts Options) (*Result, error) {
 	opts = opts.withDefaults()
 	r := &Result{ID: "ablation-cost", Title: "Cost-aware L3 on scenario-1 (λ sweep)"}
-	for _, lambda := range []float64{0, 1e5, 3e5, 1e6, 3e6} {
+	lambdas := []float64{0, 1e5, 3e5, 1e6, 3e6}
+	allStats := make([]*ScenarioStats, len(lambdas))
+	err := ForEach(opts.Parallel, len(lambdas), func(i int) error {
 		o := opts
-		o.CostLambda = lambda
+		o.CostLambda = lambdas[i]
 		stats, err := RunScenarioWithStats(trace.Scenario1, AlgoL3, o)
-		if err != nil {
-			return nil, err
-		}
+		allStats[i] = stats
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, lambda := range lambdas {
+		stats := allStats[i]
 		label := fmt.Sprintf("λ=%.0es/$", lambda)
 		if lambda == 0 {
 			label = "λ=0 (plain L3)"
@@ -268,13 +322,19 @@ func AblationCostAwareness(opts Options) (*Result, error) {
 func AblationFailover(opts Options) (*Result, error) {
 	opts = opts.withDefaults()
 	r := &Result{ID: "ablation-failover", Title: "Health-check failover vs L3 on failure-1"}
-	for _, algo := range []Algorithm{AlgoRoundRobin, AlgoFailover, AlgoL3} {
-		rec, err := RunScenario(trace.Failure1, algo, opts)
-		if err != nil {
-			return nil, err
-		}
-		r.AddRow(algo.String()+" (P99)", msOf(rec.Quantile(0.99)), "ms", NoPaper)
-		r.AddRow(algo.String()+" (success)", rec.SuccessRate()*100, "%", NoPaper)
+	algos := []Algorithm{AlgoRoundRobin, AlgoFailover, AlgoL3}
+	recs := make([]*loadgen.Recorder, len(algos))
+	err := ForEach(opts.Parallel, len(algos), func(i int) error {
+		rec, err := RunScenario(trace.Failure1, algos[i], opts)
+		recs[i] = rec
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, algo := range algos {
+		r.AddRow(algo.String()+" (P99)", msOf(recs[i].Quantile(0.99)), "ms", NoPaper)
+		r.AddRow(algo.String()+" (success)", recs[i].SuccessRate()*100, "%", NoPaper)
 	}
 	r.Note("probes answer with the backend's probabilistic success, so a 30%%-success dip needs 3 consecutive probe failures (p≈0.34 per round) to eject — L3 steers on the measured rate instead")
 	return r, nil

@@ -6,6 +6,7 @@ import (
 
 	"l3/internal/core"
 	"l3/internal/ewma"
+	"l3/internal/loadgen"
 	"l3/internal/trace"
 )
 
@@ -108,24 +109,34 @@ func Fig7(opts Options) (*Result, error) {
 		r.AddSeries("failure-2/"+ct.Cluster+"/success", ct.Success.Values)
 	}
 
-	rr, err := RunScenario(trace.Failure2, AlgoRoundRobin, opts)
-	if err != nil {
-		return nil, err
-	}
 	penalties := []time.Duration{
 		100 * time.Millisecond, 200 * time.Millisecond, 300 * time.Millisecond,
 		400 * time.Millisecond, 500 * time.Millisecond, 600 * time.Millisecond,
 		700 * time.Millisecond, 800 * time.Millisecond, 900 * time.Millisecond,
 		1000 * time.Millisecond, 1500 * time.Millisecond,
 	}
-	var ps, succ, d50, d90, d99 []float64
-	for _, p := range penalties {
-		o := opts
-		o.Penalty = p
-		rec, err := RunScenario(trace.Failure2, AlgoL3, o)
-		if err != nil {
-			return nil, err
+	// Job 0 is the round-robin baseline; jobs 1..n sweep the penalty. All
+	// run concurrently; the reduction below walks the original order.
+	var rr *loadgen.Recorder
+	runs := make([]*loadgen.Recorder, len(penalties))
+	err = ForEach(opts.Parallel, len(penalties)+1, func(i int) error {
+		if i == 0 {
+			rec, err := RunScenario(trace.Failure2, AlgoRoundRobin, opts)
+			rr = rec
+			return err
 		}
+		o := opts
+		o.Penalty = penalties[i-1]
+		rec, err := RunScenario(trace.Failure2, AlgoL3, o)
+		runs[i-1] = rec
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	var ps, succ, d50, d90, d99 []float64
+	for i, p := range penalties {
+		rec := runs[i]
 		dec := func(q float64) float64 {
 			base := rr.Quantile(q).Seconds()
 			if base <= 0 {
@@ -158,25 +169,32 @@ func Fig8(opts Options) (*Result, error) {
 	opts = opts.withDefaults()
 	r := &Result{ID: "fig8", Title: "EWMA vs PeakEWMA on scenario-4 (P99)"}
 
-	rr, err := RunScenario(trace.Scenario4, AlgoRoundRobin, opts)
+	configs := []struct {
+		algo   Algorithm
+		filter ewma.Kind
+		label  string
+		paper  float64
+	}{
+		{AlgoRoundRobin, 0, "Round-robin", 805.7},
+		{AlgoL3, ewma.KindPeak, "L3 (PeakEWMA)", 590.4},
+		{AlgoL3, ewma.KindEWMA, "L3 (EWMA)", 577.1},
+	}
+	recs := make([]*loadgen.Recorder, len(configs))
+	err := ForEach(opts.Parallel, len(configs), func(i int) error {
+		o := opts
+		if configs[i].filter != 0 {
+			o.FilterKind = configs[i].filter
+		}
+		rec, err := RunScenario(trace.Scenario4, configs[i].algo, o)
+		recs[i] = rec
+		return err
+	})
 	if err != nil {
 		return nil, err
 	}
-	peakOpts := opts
-	peakOpts.FilterKind = ewma.KindPeak
-	peak, err := RunScenario(trace.Scenario4, AlgoL3, peakOpts)
-	if err != nil {
-		return nil, err
+	for i, cfg := range configs {
+		r.AddRow(cfg.label, msOf(recs[i].Quantile(0.99)), "ms", cfg.paper)
 	}
-	plainOpts := opts
-	plainOpts.FilterKind = ewma.KindEWMA
-	plain, err := RunScenario(trace.Scenario4, AlgoL3, plainOpts)
-	if err != nil {
-		return nil, err
-	}
-	r.AddRow("Round-robin", msOf(rr.Quantile(0.99)), "ms", 805.7)
-	r.AddRow("L3 (PeakEWMA)", msOf(peak.Quantile(0.99)), "ms", 590.4)
-	r.AddRow("L3 (EWMA)", msOf(plain.Quantile(0.99)), "ms", 577.1)
 	r.Note("paper: both variants beat round-robin; EWMA edges PeakEWMA by ~2.3%%")
 	return r, nil
 }
@@ -200,13 +218,19 @@ func Fig9WithDuration(opts Options, duration time.Duration) (*Result, error) {
 func fig9At(opts Options, rps float64, duration time.Duration) (*Result, error) {
 	opts = opts.withDefaults()
 	r := &Result{ID: "fig9", Title: "DeathStarBench hotel-reservation (P99)"}
-	for _, algo := range []Algorithm{AlgoRoundRobin, AlgoC3, AlgoL3} {
-		rec, err := RunDSB(algo, rps, duration, opts)
-		if err != nil {
-			return nil, err
-		}
-		r.AddRow(algo.String(), msOf(rec.Quantile(0.99)), "ms", paperFig9[algo])
-		if sr := rec.SuccessRate(); sr < 0.999 {
+	algos := []Algorithm{AlgoRoundRobin, AlgoC3, AlgoL3}
+	recs := make([]*loadgen.Recorder, len(algos))
+	err := ForEach(opts.Parallel, len(algos), func(i int) error {
+		rec, err := RunDSB(algos[i], rps, duration, opts)
+		recs[i] = rec
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, algo := range algos {
+		r.AddRow(algo.String(), msOf(recs[i].Quantile(0.99)), "ms", paperFig9[algo])
+		if sr := recs[i].SuccessRate(); sr < 0.999 {
 			r.Note("%s success rate %.3f (expected ~1.0)", algo, sr)
 		}
 	}
@@ -228,14 +252,27 @@ var paperFig10 = map[string]map[Algorithm]float64{
 func Fig10(opts Options) (*Result, error) {
 	opts = opts.withDefaults()
 	r := &Result{ID: "fig10", Title: "P99 latency per scenario (RR / C3 / L3)"}
+	type cell struct {
+		sc   string
+		algo Algorithm
+	}
+	var cells []cell
 	for _, sc := range []string{trace.Scenario1, trace.Scenario2, trace.Scenario3, trace.Scenario4, trace.Scenario5} {
 		for _, algo := range []Algorithm{AlgoRoundRobin, AlgoC3, AlgoL3} {
-			rec, err := RunScenario(sc, algo, opts)
-			if err != nil {
-				return nil, err
-			}
-			r.AddRow(fmt.Sprintf("%s %s", sc, algo), msOf(rec.Quantile(0.99)), "ms", paperFig10[sc][algo])
+			cells = append(cells, cell{sc, algo})
 		}
+	}
+	recs := make([]*loadgen.Recorder, len(cells))
+	err := ForEach(opts.Parallel, len(cells), func(i int) error {
+		rec, err := RunScenario(cells[i].sc, cells[i].algo, opts)
+		recs[i] = rec
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range cells {
+		r.AddRow(fmt.Sprintf("%s %s", c.sc, c.algo), msOf(recs[i].Quantile(0.99)), "ms", paperFig10[c.sc][c.algo])
 	}
 	r.Note("paper: L3 < C3 < round-robin on every scenario")
 	return r, nil
@@ -257,19 +294,34 @@ var (
 // both Figure 11 (P99) and Figure 12 (success rate).
 func failureRuns(opts Options) (map[string]map[Algorithm]*runStats, error) {
 	opts = opts.withDefaults()
-	out := make(map[string]map[Algorithm]*runStats)
+	type cell struct {
+		sc   string
+		algo Algorithm
+	}
+	var cells []cell
 	for _, sc := range []string{trace.Failure1, trace.Failure2} {
-		out[sc] = make(map[Algorithm]*runStats)
 		for _, algo := range []Algorithm{AlgoRoundRobin, AlgoC3, AlgoL3} {
-			rec, err := RunScenario(sc, algo, opts)
-			if err != nil {
-				return nil, err
-			}
-			out[sc][algo] = &runStats{
-				p99:     rec.Quantile(0.99),
-				success: rec.SuccessRate(),
-			}
+			cells = append(cells, cell{sc, algo})
 		}
+	}
+	stats := make([]*runStats, len(cells))
+	err := ForEach(opts.Parallel, len(cells), func(i int) error {
+		rec, err := RunScenario(cells[i].sc, cells[i].algo, opts)
+		if err != nil {
+			return err
+		}
+		stats[i] = &runStats{p99: rec.Quantile(0.99), success: rec.SuccessRate()}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]map[Algorithm]*runStats)
+	for i, c := range cells {
+		if out[c.sc] == nil {
+			out[c.sc] = make(map[Algorithm]*runStats)
+		}
+		out[c.sc][c.algo] = stats[i]
 	}
 	return out, nil
 }

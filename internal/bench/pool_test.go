@@ -1,0 +1,179 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"l3/internal/trace"
+)
+
+func TestForEachRunsEveryIndexExactlyOnce(t *testing.T) {
+	for _, parallel := range []int{0, 1, 3, 8, 100} {
+		const n = 37
+		var counts [n]atomic.Int64
+		err := ForEach(parallel, n, func(i int) error {
+			counts[i].Add(1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("parallel=%d: %v", parallel, err)
+		}
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("parallel=%d: index %d ran %d times", parallel, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachZeroAndNegativeN(t *testing.T) {
+	called := false
+	if err := ForEach(4, 0, func(int) error { called = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := ForEach(4, -3, func(int) error { called = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if called {
+		t.Fatal("fn called for n <= 0")
+	}
+}
+
+func TestForEachReturnsLowestIndexedError(t *testing.T) {
+	// Error selection must not depend on which goroutine finishes first.
+	errOf := func(i int) error { return fmt.Errorf("fail-%d", i) }
+	for _, parallel := range []int{1, 2, 8} {
+		err := ForEach(parallel, 20, func(i int) error {
+			if i == 7 || i == 13 {
+				return errOf(i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "fail-7" {
+			t.Fatalf("parallel=%d: err = %v, want fail-7", parallel, err)
+		}
+	}
+}
+
+func TestForEachSerialStopsAtFirstError(t *testing.T) {
+	// parallel == 1 degenerates to a plain loop: indices after the failure
+	// never run.
+	var ran []int
+	sentinel := errors.New("boom")
+	err := ForEach(1, 10, func(i int) error {
+		ran = append(ran, i)
+		if i == 3 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v", err)
+	}
+	if len(ran) != 4 {
+		t.Fatalf("serial loop ran %v after the failure", ran)
+	}
+}
+
+func TestForEachBoundsConcurrency(t *testing.T) {
+	const parallel = 3
+	var cur, peak atomic.Int64
+	var mu sync.Mutex
+	err := ForEach(parallel, 50, func(int) error {
+		c := cur.Add(1)
+		mu.Lock()
+		if c > peak.Load() {
+			peak.Store(c)
+		}
+		mu.Unlock()
+		time.Sleep(time.Millisecond)
+		cur.Add(-1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > parallel {
+		t.Fatalf("observed %d concurrent calls, cap is %d", p, parallel)
+	}
+}
+
+func TestSelfStatsCountRuns(t *testing.T) {
+	startRuns, startBusy := SelfStats()
+	o := quick()
+	o.Duration = 30 * time.Second
+	if _, err := RunScenario(trace.Scenario1, AlgoRoundRobin, o); err != nil {
+		t.Fatal(err)
+	}
+	runs, busy := SelfStats()
+	if runs-startRuns != 1 {
+		t.Fatalf("runs delta = %v, want 1", runs-startRuns)
+	}
+	if busy <= startBusy {
+		t.Fatal("busy seconds did not grow")
+	}
+}
+
+// TestParallelMatchesSerial is the determinism guarantee of the issue: the
+// same scenario fanned out across 8 workers must produce a recorder that is
+// bit-for-bit identical to the serial run — every bucket, every histogram
+// count, every float.
+func TestParallelMatchesSerial(t *testing.T) {
+	base := Options{Seed: 1, WarmUp: 30 * time.Second, Duration: time.Minute, Reps: 4}
+
+	serial := base
+	serial.Parallel = 1
+	a, err := RunScenario(trace.Scenario5, AlgoL3, serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wide := base
+	wide.Parallel = 8
+	b, err := RunScenario(trace.Scenario5, AlgoL3, wide)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if a.Count() == 0 {
+		t.Fatal("no traffic recorded")
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("parallel run diverged from serial: n=%d/%d p99=%v/%v",
+			a.Count(), b.Count(), a.Quantile(0.99), b.Quantile(0.99))
+	}
+}
+
+// TestParallelStatsMatchSerial covers the cost-accounting path, whose
+// floating-point reductions (transfer cost, remote share) are the easiest
+// place to silently lose determinism.
+func TestParallelStatsMatchSerial(t *testing.T) {
+	base := Options{Seed: 1, WarmUp: 30 * time.Second, Duration: time.Minute, Reps: 3}
+
+	serial := base
+	serial.Parallel = 1
+	a, err := RunScenarioWithStats(trace.Scenario1, AlgoL3, serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wide := base
+	wide.Parallel = 8
+	b, err := RunScenarioWithStats(trace.Scenario1, AlgoL3, wide)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if a.TransferCost != b.TransferCost || a.RemoteShare != b.RemoteShare {
+		t.Fatalf("cost accounting diverged: cost=%v/%v remote=%v/%v",
+			a.TransferCost, b.TransferCost, a.RemoteShare, b.RemoteShare)
+	}
+	if !reflect.DeepEqual(a.Recorder, b.Recorder) {
+		t.Fatal("recorders diverged")
+	}
+}

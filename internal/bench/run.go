@@ -2,6 +2,8 @@ package bench
 
 import (
 	"fmt"
+	"runtime"
+	"sort"
 	"strings"
 	"time"
 
@@ -71,6 +73,12 @@ type Options struct {
 	// Reps is the number of repetitions merged per configuration
 	// (default 1; the paper used 2-3).
 	Reps int
+	// Parallel caps the worker goroutines fanning out independent runs —
+	// repetitions and sweep configurations (default runtime.GOMAXPROCS(0);
+	// 1 forces serial execution). Every run derives its own seed and owns
+	// its engine, and results merge in index order, so the output is
+	// bit-for-bit identical for any value.
+	Parallel int
 	// WarmUp precedes measurement (default 30 s); the scenario's t=0
 	// state is held during warm-up.
 	WarmUp time.Duration
@@ -123,6 +131,9 @@ func (o Options) withDefaults() Options {
 	if o.Reps <= 0 {
 		o.Reps = 1
 	}
+	if o.Parallel <= 0 {
+		o.Parallel = runtime.GOMAXPROCS(0)
+	}
 	if o.WarmUp <= 0 {
 		o.WarmUp = 30 * time.Second
 	}
@@ -174,24 +185,33 @@ func RunScenarioWithStats(scenarioName string, algo Algorithm, opts Options) (*S
 	opts = opts.withDefaults()
 	stats := &ScenarioStats{Recorder: loadgen.NewRecorder(time.Second)}
 	model := cost.NewModel(cost.DefaultRates(), 0)
-	var local, remote float64
-	for rep := 0; rep < opts.Reps; rep++ {
+	recs := make([]*loadgen.Recorder, opts.Reps)
+	repCounts := make([]map[[2]string]float64, opts.Reps)
+	err := ForEach(opts.Parallel, opts.Reps, func(rep int) error {
 		seed := opts.Seed + uint64(rep)*1000003
 		sc, err := trace.Generate(scenarioName, seed)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		rec, counts, err := runOnceCounted(sc, algo, opts, seed)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		stats.Recorder.Merge(rec)
-		stats.TransferCost += model.TrafficCost(counts)
-		for link, n := range counts {
+		recs[rep], repCounts[rep] = rec, counts
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var local, remote float64
+	for rep := 0; rep < opts.Reps; rep++ {
+		stats.Recorder.Merge(recs[rep])
+		stats.TransferCost += model.TrafficCost(repCounts[rep])
+		for _, link := range sortedLinks(repCounts[rep]) {
 			if link[0] == link[1] {
-				local += n
+				local += repCounts[rep][link]
 			} else {
-				remote += n
+				remote += repCounts[rep][link]
 			}
 		}
 	}
@@ -210,20 +230,50 @@ func RunScenarioWithStats(scenarioName string, algo Algorithm, opts Options) (*S
 // assigner — updating one TrafficSplit every 5 s.
 func RunScenario(scenarioName string, algo Algorithm, opts Options) (*loadgen.Recorder, error) {
 	opts = opts.withDefaults()
-	merged := loadgen.NewRecorder(time.Second)
-	for rep := 0; rep < opts.Reps; rep++ {
+	recs := make([]*loadgen.Recorder, opts.Reps)
+	err := ForEach(opts.Parallel, opts.Reps, func(rep int) error {
 		seed := opts.Seed + uint64(rep)*1000003
 		sc, err := trace.Generate(scenarioName, seed)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		rec, _, err := runOnceCounted(sc, algo, opts, seed)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		recs[rep] = rec
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return mergeRecorders(recs), nil
+}
+
+// mergeRecorders folds per-repetition recorders into one, in index order —
+// the deterministic reduction behind every parallel fan-out here.
+func mergeRecorders(recs []*loadgen.Recorder) *loadgen.Recorder {
+	merged := loadgen.NewRecorder(time.Second)
+	for _, rec := range recs {
 		merged.Merge(rec)
 	}
-	return merged, nil
+	return merged
+}
+
+// sortedLinks returns the count matrix's keys in lexicographic order, so
+// floating-point reductions over it are reproducible.
+func sortedLinks(counts map[[2]string]float64) [][2]string {
+	links := make([][2]string, 0, len(counts))
+	for link := range counts {
+		links = append(links, link)
+	}
+	sort.Slice(links, func(i, j int) bool {
+		if links[i][0] != links[j][0] {
+			return links[i][0] < links[j][0]
+		}
+		return links[i][1] < links[j][1]
+	})
+	return links
 }
 
 // RunScenarioTrace is RunScenario for a caller-built scenario (custom RPS
@@ -231,20 +281,28 @@ func RunScenario(scenarioName string, algo Algorithm, opts Options) (*loadgen.Re
 // with different simulation seeds.
 func RunScenarioTrace(sc *trace.Scenario, algo Algorithm, opts Options) (*loadgen.Recorder, error) {
 	opts = opts.withDefaults()
-	merged := loadgen.NewRecorder(time.Second)
-	for rep := 0; rep < opts.Reps; rep++ {
+	recs := make([]*loadgen.Recorder, opts.Reps)
+	err := ForEach(opts.Parallel, opts.Reps, func(rep int) error {
 		rec, _, err := runOnceCounted(sc, algo, opts, opts.Seed+uint64(rep)*1000003)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		merged.Merge(rec)
+		recs[rep] = rec
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return merged, nil
+	return mergeRecorders(recs), nil
 }
 
 // runOnceCounted runs one scenario replay and additionally returns the
 // per-(src, dst-cluster) request counts read from the data-plane metrics.
+// Every call is fully self-contained — own engine, RNG, WAN model and
+// metrics registry — which is what makes the rep/sweep fan-outs above safe
+// and deterministic.
 func runOnceCounted(sc *trace.Scenario, algo Algorithm, opts Options, seed uint64) (*loadgen.Recorder, map[[2]string]float64, error) {
+	defer func(start time.Time) { recordRun(time.Since(start)) }(time.Now())
 	engine := sim.NewEngine()
 	rng := sim.NewRand(seed)
 	wcfg := wan.DefaultConfig()
@@ -455,19 +513,24 @@ func perClusterControllers(clusters []string) []controllerSpec {
 // load entering at the cluster-local frontend at a constant rate.
 func RunDSB(algo Algorithm, rps float64, duration time.Duration, opts Options) (*loadgen.Recorder, error) {
 	opts = opts.withDefaults()
-	merged := loadgen.NewRecorder(time.Second)
-	for rep := 0; rep < opts.Reps; rep++ {
+	recs := make([]*loadgen.Recorder, opts.Reps)
+	err := ForEach(opts.Parallel, opts.Reps, func(rep int) error {
 		seed := opts.Seed + uint64(rep)*1000003
 		rec, err := runDSBOnce(algo, rps, duration, opts, seed)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		merged.Merge(rec)
+		recs[rep] = rec
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return merged, nil
+	return mergeRecorders(recs), nil
 }
 
 func runDSBOnce(algo Algorithm, rps float64, duration time.Duration, opts Options, seed uint64) (*loadgen.Recorder, error) {
+	defer func(start time.Time) { recordRun(time.Since(start)) }(time.Now())
 	engine := sim.NewEngine()
 	rng := sim.NewRand(seed)
 	wcfg := wan.DefaultConfig()

@@ -37,5 +37,5 @@ func ExampleWeighter() {
 	fmt.Printf("west %.1f\n", weights["api-west"])
 	// Output:
 	// east 20.0
-	// west 3.7
+	// west 3.8
 }

@@ -79,13 +79,12 @@ func NewRateController(cfg RateControlConfig) *RateController {
 // against the EWMA before the sample is folded in, since the EWMA's lag is
 // exactly what makes the comparison meaningful.
 func (rc *RateController) Apply(now time.Duration, weights map[string]float64, rpsLast float64) map[string]float64 {
-	if len(weights) == 0 {
-		rc.observe(now, rpsLast)
-		return weights
-	}
 	c := rc.relativeChange(rpsLast)
 	rc.observe(now, rpsLast)
 	rc.lastC = c
+	if len(weights) == 0 {
+		return weights
+	}
 
 	var sum float64
 	names := make([]string, 0, len(weights))

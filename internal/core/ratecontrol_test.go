@@ -167,8 +167,28 @@ func TestRateControllerEmptyWeights(t *testing.T) {
 	if len(out) != 0 {
 		t.Fatal("empty weights grew")
 	}
-	if rc.RPSEWMA() != 100 {
-		t.Fatalf("RPS still observed on empty weights: %v", rc.RPSEWMA())
+	// The RPS sample must still be folded in (λ-seed blend: (0+100)/2).
+	if rc.RPSEWMA() != 50 {
+		t.Fatalf("RPS not observed on empty weights: %v", rc.RPSEWMA())
+	}
+}
+
+func TestRateControllerEmptyWeightsUpdatesRelativeChange(t *testing.T) {
+	// Regression: an Apply with no backends must still run the full
+	// observation cycle, so LastRelativeChange reflects the newest sample
+	// instead of going stale.
+	rc := NewRateController(RateControlConfig{})
+	for i := 0; i < 20; i++ {
+		rc.Apply(time.Duration(i)*5*time.Second, map[string]float64{"a": 1000}, 100)
+	}
+	priorC := rc.LastRelativeChange()
+	rc.Apply(100*time.Second, map[string]float64{}, 400)
+	if c := rc.LastRelativeChange(); c < 2 {
+		t.Fatalf("c after empty-weights surge = %v (prior %v), want ~3", c, priorC)
+	}
+	// And the EWMA moved, so the next cycle compares against fresh state.
+	if rc.RPSEWMA() <= 100 {
+		t.Fatalf("EWMA did not fold in the surge sample: %v", rc.RPSEWMA())
 	}
 }
 

@@ -92,19 +92,33 @@ func TestFailurePenaltyLowersWeight(t *testing.T) {
 
 func TestZeroSuccessRateUsesLsBranch(t *testing.T) {
 	// Rs = 0 must not divide by zero: Lest = Ls (Algorithm 1 line 11).
+	// Exercised directly: with λ-seeding the success EWMA only asymptotes
+	// toward zero, so the branch is a guard rather than a steady state.
 	w := NewWeighter(WeightingConfig{})
+	f := &backendFilters{
+		latency:  ewma.New(5*time.Second, 0.2),
+		success:  ewma.New(10*time.Second, 0), // Rs = 0 before any sample
+		rps:      ewma.New(10*time.Second, 0),
+		inflight: ewma.New(5*time.Second, 0),
+		failRTT:  ewma.New(10*time.Second, 0.6),
+	}
+	if got := w.weightOf(f); math.Abs(got-5) > 1e-9 { // 1/0.2
+		t.Fatalf("weight = %v, want 5 (Lest = Ls)", got)
+	}
+	// End to end, a backend whose every request fails converges to the
+	// minimum weight: Rs decays toward 0 and Equation 3 explodes.
 	m := map[string]BackendMetrics{"dead": {
 		RPS: 100, SuccessRate: 0, P99: 0.2, P99Valid: true, HasTraffic: true,
 	}}
 	var weights map[string]float64
-	for i := 0; i < 200; i++ { // long enough for the success EWMA to hit 0
+	for i := 0; i < 200; i++ {
 		weights = w.Update(time.Duration(i)*5*time.Second, m)
 	}
 	if math.IsInf(weights["dead"], 0) || math.IsNaN(weights["dead"]) {
 		t.Fatalf("weight = %v", weights["dead"])
 	}
-	if math.Abs(weights["dead"]-5) > 0.5 { // 1/0.2
-		t.Fatalf("weight = %v, want ~5 (Lest = Ls)", weights["dead"])
+	if weights["dead"] != 1 {
+		t.Fatalf("weight = %v, want floored to 1", weights["dead"])
 	}
 }
 
@@ -245,7 +259,9 @@ func TestViewAndForget(t *testing.T) {
 	}
 	w.Update(0, map[string]BackendMetrics{"b": observed(0.1, 1, 50, 2)})
 	view, ok := w.View("b")
-	if !ok || view.RPS != 50 || view.Weight <= 0 {
+	// One sample in: the RPS filter blends its λ seed (0) with the sample,
+	// (0+50)/2 = 25.
+	if !ok || view.RPS != 25 || view.Weight <= 0 {
 		t.Fatalf("view = %+v, %v", view, ok)
 	}
 	w.Forget("b")

@@ -14,6 +14,7 @@ package cost
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"l3/internal/core"
@@ -69,10 +70,22 @@ func (m *Model) RequestCost(src, dst string) float64 {
 }
 
 // TrafficCost prices a request-count matrix keyed by (src, dst) cluster.
+// Links are summed in sorted order so the floating-point total is
+// reproducible across runs (map iteration order is not).
 func (m *Model) TrafficCost(counts map[[2]string]float64) float64 {
+	links := make([][2]string, 0, len(counts))
+	for link := range counts {
+		links = append(links, link)
+	}
+	sort.Slice(links, func(i, j int) bool {
+		if links[i][0] != links[j][0] {
+			return links[i][0] < links[j][0]
+		}
+		return links[i][1] < links[j][1]
+	})
 	var total float64
-	for link, n := range counts {
-		total += n * m.RequestCost(link[0], link[1])
+	for _, link := range links {
+		total += counts[link] * m.RequestCost(link[0], link[1])
 	}
 	return total
 }

@@ -43,14 +43,16 @@ func New(halfLife time.Duration, def float64) *EWMA {
 // Observe folds sample y observed at virtual time now into the average and
 // returns the updated value. The first observation initialises the filter
 // with λ before folding in y, per Equation 1's E_prev = ∅ branch followed by
-// the regular update on subsequent samples: the paper initialises E to λ and
-// then treats every sample uniformly, so we mirror that by seeding with λ at
-// construction-equivalent time.
+// the regular update: the paper initialises E to λ and then treats every
+// sample uniformly. The λ seed carries no timestamp, so the first sample
+// folds in with one half-life of decay — weight ½ each for λ and y, the
+// timestamp-free choice consistent with the filter's half-life semantics.
+// Subsequent samples weight by their actual elapsed time.
 func (e *EWMA) Observe(now time.Duration, y float64) float64 {
 	if !e.initialized {
 		e.initialized = true
 		e.lastSample = now
-		e.value = y
+		e.value = (e.def + y) / 2
 		return e.value
 	}
 	dt := now - e.lastSample
@@ -118,8 +120,16 @@ func NewPeak(halfLife time.Duration, def float64) *PeakEWMA {
 	return &PeakEWMA{inner: *New(halfLife, def)}
 }
 
-// Observe folds sample y at time now per Equation 2.
+// Observe folds sample y at time now per Equation 2. The pre-observation
+// value is the λ seed, so Equation 2's peak rule applies to the first
+// sample too: y above λ replaces the seed outright, y below it decays in.
 func (p *PeakEWMA) Observe(now time.Duration, y float64) float64 {
+	if !p.inner.initialized && y > p.inner.def {
+		p.inner.initialized = true
+		p.inner.value = y
+		p.inner.lastSample = now
+		return y
+	}
 	if p.inner.initialized && y > p.inner.value {
 		p.inner.value = y
 		p.inner.lastSample = now

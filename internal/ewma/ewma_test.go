@@ -17,18 +17,41 @@ func TestValueBeforeObservationIsDefault(t *testing.T) {
 	}
 }
 
-func TestFirstObservationSetsValue(t *testing.T) {
+func TestFirstObservationSeedsFromDefault(t *testing.T) {
+	// Regression: the filter is seeded with λ before folding in the first
+	// sample (Equation 1's E_prev = ∅ branch), so the default influences
+	// the first output. The seed has no timestamp, so the first sample
+	// folds in with one half-life of decay: (λ + y)/2.
 	e := New(5*time.Second, 42)
-	e.Observe(time.Second, 10)
-	if e.Value() != 10 {
-		t.Fatalf("Value after first sample = %v, want 10", e.Value())
+	if got := e.Observe(time.Second, 10); got != 26 {
+		t.Fatalf("first sample = %v, want (42+10)/2 = 26", got)
+	}
+	if e.Value() != 26 {
+		t.Fatalf("Value after first sample = %v, want 26", e.Value())
+	}
+	// The first-sample timestamp anchors later decay: one half-life on,
+	// a zero sample halves the value.
+	if got := e.Observe(6*time.Second, 0); math.Abs(got-13) > 1e-9 {
+		t.Fatalf("one half-life after first sample = %v, want 13", got)
+	}
+}
+
+func TestFirstObservationIndependentOfTimestamp(t *testing.T) {
+	// The λ seed carries no timestamp, so the first blend must not depend
+	// on when the first sample arrives.
+	for _, at := range []time.Duration{0, time.Second, time.Hour} {
+		e := New(5*time.Second, 42)
+		if got := e.Observe(at, 10); got != 26 {
+			t.Fatalf("first sample at %v = %v, want 26", at, got)
+		}
 	}
 }
 
 func TestHalfLifeSemantics(t *testing.T) {
 	// After exactly one half-life, the old value and new sample each
-	// contribute 50%.
-	e := New(5*time.Second, 0)
+	// contribute 50%. λ matches the first sample so the seed blend is a
+	// no-op and the decay arithmetic stays visible.
+	e := New(5*time.Second, 100)
 	e.Observe(0, 100)
 	got := e.Observe(5*time.Second, 0)
 	if math.Abs(got-50) > 1e-9 {
@@ -43,7 +66,7 @@ func TestHalfLifeSemantics(t *testing.T) {
 func TestRapidSamplesBarelyMove(t *testing.T) {
 	// Equation 1 weights by elapsed time: samples arriving almost
 	// simultaneously have almost no effect.
-	e := New(5*time.Second, 0)
+	e := New(5*time.Second, 100)
 	e.Observe(0, 100)
 	got := e.Observe(time.Millisecond, 0)
 	if got < 99.9 {
@@ -52,7 +75,7 @@ func TestRapidSamplesBarelyMove(t *testing.T) {
 }
 
 func TestOutOfOrderTimestampClamped(t *testing.T) {
-	e := New(5*time.Second, 0)
+	e := New(5*time.Second, 100)
 	e.Observe(10*time.Second, 100)
 	// Sample "before" the previous one: Δt clamps to 0, no decay, so the
 	// prior value is retained entirely.
@@ -63,18 +86,20 @@ func TestOutOfOrderTimestampClamped(t *testing.T) {
 }
 
 func TestConvergesToConstantInput(t *testing.T) {
+	// The λ seed (0) leaves a geometrically vanishing residue, so the
+	// tolerance is loose enough for 100 half-life-fifth steps.
 	e := New(5*time.Second, 0)
 	for i := 0; i <= 100; i++ {
 		e.Observe(time.Duration(i)*time.Second, 7)
 	}
-	if math.Abs(e.Value()-7) > 1e-9 {
+	if math.Abs(e.Value()-7) > 1e-5 {
 		t.Fatalf("did not converge to constant input: %v", e.Value())
 	}
 }
 
 func TestRelaxMovesTowardDefault(t *testing.T) {
 	e := New(5*time.Second, 5)
-	e.Observe(0, 105)
+	e.Observe(0, 205) // seed blend: (5+205)/2 = 105
 	e.Relax(time.Second, 0.1)
 	if math.Abs(e.Value()-95) > 1e-9 {
 		t.Fatalf("Relax(0.1) = %v, want 95", e.Value())
@@ -92,9 +117,9 @@ func TestRelaxEdgeCases(t *testing.T) {
 	if got := e.Relax(0, 0.5); got != 5 {
 		t.Fatalf("Relax before init = %v, want default", got)
 	}
-	e.Observe(0, 100)
-	if got := e.Relax(time.Second, 0); got != 100 {
-		t.Fatalf("Relax(0 fraction) = %v, want unchanged", got)
+	e.Observe(0, 100) // seed blend: (5+100)/2 = 52.5
+	if got := e.Relax(time.Second, 0); got != 52.5 {
+		t.Fatalf("Relax(0 fraction) = %v, want unchanged 52.5", got)
 	}
 	if got := e.Relax(time.Second, 5); got != 5 {
 		t.Fatalf("Relax(fraction>1) = %v, want snapped to default", got)
@@ -186,10 +211,12 @@ func TestPeakNeverBelowEWMAProperty(t *testing.T) {
 }
 
 func TestEWMABoundedByInputRangeProperty(t *testing.T) {
+	// Bounded by the range of its inputs — which, with λ-seeding, includes
+	// the default as a virtual first sample.
 	f := func(seed int64) bool {
 		x := uint64(seed)
 		e := New(2*time.Second, 50)
-		lo, hi := math.Inf(1), math.Inf(-1)
+		lo, hi := 50.0, 50.0
 		for i := 0; i < 100; i++ {
 			x = x*6364136223846793005 + 1442695040888963407
 			s := float64(x % 500)

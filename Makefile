@@ -1,11 +1,16 @@
 GO ?= go
 
-.PHONY: check vet build test race
+.PHONY: check fmt vet build test race chaos-smoke
 
-## check: the pre-merge gate — vet, build, and the full suite under the
-## race detector. Run before every merge; CI and the tier-1 verify in
-## ROADMAP.md assume it passes.
-check: vet build race
+## check: the pre-merge gate — formatting, vet, build, the full suite under
+## the race detector, and a chaos smoke run. Run before every merge; CI and
+## the tier-1 verify in ROADMAP.md assume it passes.
+check: fmt vet build race chaos-smoke
+
+## fmt: fail if any file needs gofmt (prints the offenders).
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...
@@ -18,3 +23,9 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+## chaos-smoke: a quick partition+heal chaos run through the CLI — proves
+## the fault engine injects, heals and reports end to end.
+chaos-smoke:
+	$(GO) run ./cmd/l3bench -chaos 'partition@48s+24s:cluster-1/cluster-2' \
+		-scenario scenario-1 -quick >/dev/null

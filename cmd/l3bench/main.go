@@ -9,6 +9,17 @@
 //	l3bench -fig 1 -csv              # emit series as CSV for plotting
 //	l3bench -fig ablations           # the ablation suite
 //	l3bench -fig all -parallel 8     # fan runs out across 8 workers
+//	l3bench -fig C1                  # chaos: partition + heal recovery figure
+//	l3bench -fig C2                  # chaos: leader-kill transparency figure
+//
+// A custom fault schedule runs against any scenario:
+//
+//	l3bench -chaos 'partition@120s+60s:cluster-1/cluster-2' -scenario scenario-1
+//
+// Schedules are semicolon-separated events, each
+// kind@start[+duration][:operands] with kinds partition, delay, flap,
+// crash, saturate, scrapedrop and leaderkill; times are relative to the
+// start of the measured window. See internal/chaos for the full grammar.
 //
 // Figure durations follow the paper (10-minute scenarios); -quick shrinks
 // the measured window for a fast sanity pass.
@@ -30,6 +41,8 @@ import (
 	"time"
 
 	"l3/internal/bench"
+	"l3/internal/chaos"
+	"l3/internal/trace"
 )
 
 // stdout/stderr are swappable so tests can silence the tool's output.
@@ -48,7 +61,9 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("l3bench", flag.ContinueOnError)
 	var (
-		fig      = fs.String("fig", "all", "figure to regenerate: 1,2,4,6,7,8,9,10,11,12, 'ablations' or 'all'")
+		fig      = fs.String("fig", "all", "figure to regenerate: 1,2,4,6,7,8,9,10,11,12, C1, C2, 'ablations' or 'all'")
+		chaosStr = fs.String("chaos", "", "fault schedule to inject (kind@start[+dur][:operands];...); overrides -fig")
+		scenario = fs.String("scenario", trace.Scenario1, "scenario a -chaos schedule runs against")
 		seed     = fs.Uint64("seed", 1, "base random seed")
 		reps     = fs.Int("reps", 1, "repetitions per configuration (paper used 2-3)")
 		quick    = fs.Bool("quick", false, "shrink measured windows for a fast pass")
@@ -84,6 +99,8 @@ func run(args []string) error {
 		{"10", func() (*bench.Result, error) { return bench.Fig10(opts) }},
 		{"11", func() (*bench.Result, error) { return bench.Fig11(opts) }},
 		{"12", func() (*bench.Result, error) { return bench.Fig12(opts) }},
+		{"C1", func() (*bench.Result, error) { return bench.FigC1(opts) }},
+		{"C2", func() (*bench.Result, error) { return bench.FigC2(opts) }},
 	}
 	ablations := []runner{
 		{"ablation-inflight-exponent", func() (*bench.Result, error) { return bench.AblationInflightExponent(opts) }},
@@ -98,10 +115,19 @@ func run(args []string) error {
 	}
 
 	var selected []runner
-	switch *fig {
-	case "all":
+	switch {
+	case *chaosStr != "":
+		sched, err := chaos.ParseSchedule(*chaosStr)
+		if err != nil {
+			return fmt.Errorf("-chaos: %w", err)
+		}
+		scen := *scenario
+		selected = []runner{{"chaos", func() (*bench.Result, error) {
+			return bench.FigChaosCustom(scen, sched, opts)
+		}}}
+	case *fig == "all":
 		selected = runners
-	case "ablations":
+	case *fig == "ablations":
 		selected = ablations
 	default:
 		for _, r := range append(runners, ablations...) {

@@ -28,3 +28,22 @@ func TestRunFig1CSV(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestRunChaosBadSchedule(t *testing.T) {
+	if err := run([]string{"-chaos", "partition@nope"}); err == nil {
+		t.Fatal("malformed schedule accepted")
+	}
+	if err := run([]string{"-chaos", "meteor@10s"}); err == nil {
+		t.Fatal("unknown fault kind accepted")
+	}
+}
+
+func TestRunChaosCustom(t *testing.T) {
+	err := run([]string{
+		"-chaos", "partition@48s+24s:cluster-1/cluster-2",
+		"-scenario", "scenario-1", "-quick",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

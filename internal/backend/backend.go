@@ -49,10 +49,21 @@ type Replica struct {
 	busy  int
 	queue []queued
 
+	// down marks a crashed deployment: requests fail fast (connection
+	// refused) until Restart. epoch invalidates executions that were
+	// in-flight when the crash hit.
+	down  bool
+	epoch uint64
+
 	served   uint64
 	rejected uint64
+	crashes  uint64
 	maxQueue int
 }
+
+// connRefusedDelay is how quickly a request to a crashed deployment fails —
+// the RST round-trip of a dead endpoint, much faster than a timeout.
+const connRefusedDelay = time.Millisecond
 
 type queued struct {
 	enqueued time.Duration
@@ -79,6 +90,12 @@ func (r *Replica) Serve(done func(Result)) {
 	if done == nil {
 		panic(fmt.Sprintf("backend %q: Serve with nil done", r.cfg.Name))
 	}
+	if r.down {
+		r.engine.After(connRefusedDelay, func() {
+			done(Result{Latency: connRefusedDelay, Success: false})
+		})
+		return
+	}
 	if r.busy < r.cfg.Concurrency {
 		r.start(0, done)
 		return
@@ -103,7 +120,14 @@ func (r *Replica) start(wait time.Duration, done func(Result)) {
 	if exec < 0 {
 		exec = 0
 	}
+	epoch := r.epoch
 	r.engine.After(exec, func() {
+		if epoch != r.epoch {
+			// The deployment crashed while this request was executing: the
+			// connection died with it. The client has waited exec anyway.
+			done(Result{Latency: wait + exec, Success: false})
+			return
+		}
 		r.busy--
 		r.served++
 		r.next()
@@ -133,6 +157,63 @@ func (r *Replica) SetConcurrency(n int) {
 		r.next()
 	}
 }
+
+// Crash takes the deployment down, as a pod kill would: every queued
+// request fails immediately, every executing request's connection dies (the
+// client sees a failure once its execution time elapses), and subsequent
+// requests are refused fast until Restart. Crashing an already-down replica
+// is a no-op.
+func (r *Replica) Crash() {
+	if r.down {
+		return
+	}
+	r.down = true
+	r.epoch++
+	r.crashes++
+	queue := r.queue
+	r.queue = nil
+	r.busy = 0
+	for _, q := range queue {
+		q := q
+		r.engine.After(0, func() {
+			q.done(Result{Latency: r.engine.Now() - q.enqueued, Success: false})
+		})
+	}
+}
+
+// Restart brings a crashed deployment back. A positive slowStart models a
+// cold start: the worker pool comes back at a quarter capacity and ramps
+// linearly to full over the window, so a freshly restarted backend saturates
+// easily — the transient L3's symptom steering is supposed to notice.
+// Restarting a live replica is a no-op.
+func (r *Replica) Restart(slowStart time.Duration) {
+	if !r.down {
+		return
+	}
+	r.down = false
+	if slowStart <= 0 {
+		return
+	}
+	target := r.cfg.Concurrency
+	epoch := r.epoch
+	const steps = 4
+	r.SetConcurrency(target / steps)
+	for i := 2; i <= steps; i++ {
+		frac := i
+		r.engine.After(slowStart*time.Duration(i-1)/(steps-1), func() {
+			if r.down || epoch != r.epoch {
+				return // crashed again mid-ramp
+			}
+			r.SetConcurrency(target * frac / steps)
+		})
+	}
+}
+
+// Down reports whether the deployment is currently crashed.
+func (r *Replica) Down() bool { return r.down }
+
+// Crashes returns how many times the deployment has crashed.
+func (r *Replica) Crashes() uint64 { return r.crashes }
 
 // Utilization returns busy workers over pool size, in [0, 1+]: queued work
 // shows up as saturation (1.0) rather than pushing past it.

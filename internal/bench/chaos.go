@@ -1,0 +1,282 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"l3/internal/chaos"
+	"l3/internal/loadgen"
+	"l3/internal/trace"
+)
+
+// Recovery scoring parameters shared by the chaos figures: the SLO is the
+// per-second success rate staying at or above 95%, recovery must hold for
+// five consecutive seconds to filter single-bucket blips, and TrafficSplit
+// weights count as reconverged within 5% normalized L1 distance of their
+// final steady state.
+const (
+	chaosSLOThreshold   = 0.95
+	chaosSustainBuckets = 5
+	chaosReconvergeTol  = 0.05
+)
+
+// ChaosStats is one algorithm's outcome under a fault schedule: the merged
+// latency recorder plus the recovery scorecard averaged across
+// repetitions in index order.
+type ChaosStats struct {
+	Recorder *loadgen.Recorder
+	Report   chaos.Report
+	// Ejections and Restores total the health checker's transitions
+	// (non-zero only for AlgoFailover).
+	Ejections float64
+	Restores  float64
+}
+
+// RunChaosScenario replays a trace scenario under one algorithm with
+// opts.Chaos injected into every repetition, and scores the recovery.
+func RunChaosScenario(scenarioName string, algo Algorithm, opts Options) (*ChaosStats, error) {
+	opts = opts.withDefaults()
+	if opts.Chaos == nil {
+		return nil, fmt.Errorf("bench: RunChaosScenario requires Options.Chaos")
+	}
+	recs := make([]*loadgen.Recorder, opts.Reps)
+	arts := make([]*chaosArtifacts, opts.Reps)
+	durations := make([]time.Duration, opts.Reps)
+	err := ForEach(opts.Parallel, opts.Reps, func(rep int) error {
+		seed := DeriveSeed(opts.Seed, rep)
+		sc, err := trace.Generate(scenarioName, seed)
+		if err != nil {
+			return err
+		}
+		rec, _, art, err := runOnceCounted(sc, algo, opts, seed)
+		if err != nil {
+			return err
+		}
+		duration := opts.Duration
+		if duration <= 0 {
+			duration = sc.Duration
+		}
+		recs[rep], arts[rep], durations[rep] = rec, art, duration
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	stats := &ChaosStats{Recorder: mergeRecorders(recs)}
+	reports := make([]chaos.Report, opts.Reps)
+	for rep := 0; rep < opts.Reps; rep++ {
+		reports[rep] = scoreRun(recs[rep], arts[rep], opts.WarmUp, durations[rep], opts.Chaos)
+		stats.Ejections += arts[rep].ejections
+		stats.Restores += arts[rep].restores
+	}
+	stats.Report = mergeReports(reports)
+	return stats, nil
+}
+
+// scoreRun turns one repetition's recorder and artifacts into a recovery
+// report. Recorder buckets are indexed by absolute request-start time
+// (warm-up included), so schedule times shift by warm here exactly as the
+// injector shifted them.
+func scoreRun(rec *loadgen.Recorder, art *chaosArtifacts, warm, duration time.Duration, sched *chaos.Schedule) chaos.Report {
+	var r chaos.Report
+	width := rec.BucketWidth()
+	series := rec.SuccessRateSeries()
+	faultAbs := warm + sched.Start()
+
+	r.TimeToRecover, r.Recovered = chaos.TimeToRecover(series, width, faultAbs, chaosSLOThreshold, chaosSustainBuckets)
+	from := int(faultAbs / width)
+	if from > len(series) {
+		from = len(series)
+	}
+	r.SLOViolation = chaos.SLOViolation(series[from:], width, chaosSLOThreshold)
+	r.Trough = chaos.Trough(series, width, faultAbs)
+
+	if end, ok := sched.End(); ok {
+		r.Reconverge, r.ReconvergeOK = chaos.ReconvergeTime(art.snaps, warm+end, chaosReconvergeTol)
+	}
+	for _, ev := range sched.Events {
+		if ev.Kind == chaos.LeaderKill {
+			r.FailoverGap = chaos.FailoverGap(art.updates, warm+ev.At, warm+duration)
+			break
+		}
+	}
+	return r
+}
+
+// mergeReports averages per-repetition reports in index order. Boolean
+// outcomes AND across reps: a configuration only counts as recovered (or
+// reconverged) when every repetition did, and the averaged durations span
+// just those reps.
+func mergeReports(reports []chaos.Report) chaos.Report {
+	if len(reports) == 0 {
+		return chaos.Report{}
+	}
+	out := chaos.Report{Recovered: true, ReconvergeOK: true}
+	n := time.Duration(len(reports))
+	for _, r := range reports {
+		out.Recovered = out.Recovered && r.Recovered
+		out.ReconvergeOK = out.ReconvergeOK && r.ReconvergeOK
+		out.TimeToRecover += r.TimeToRecover / n
+		out.SLOViolation += r.SLOViolation / n
+		out.Trough += r.Trough / float64(len(reports))
+		out.Reconverge += r.Reconverge / n
+		out.FailoverGap += r.FailoverGap / n
+	}
+	return out
+}
+
+// chaosWindow places the standard fault window inside the measured
+// duration: injection at 2/5 of the run, healing after another 1/5, so a
+// healthy baseline precedes the fault and at least 2/5 of the run observes
+// the recovery — at any -quick or -full duration.
+func chaosWindow(opts Options) (at, dur time.Duration) {
+	total := opts.Duration
+	if total <= 0 {
+		total = 10 * time.Minute
+	}
+	return total * 2 / 5, total / 5
+}
+
+// FigC1 is the cluster-partition recovery figure: the WAN link between the
+// source cluster and cluster-2 blackholes mid-run and heals, under L3, C3,
+// plain round-robin and health-check failover. It reports the depth of the
+// availability dip, the SLO damage, and how fast each strategy steers away
+// from — and back to — the partitioned cluster.
+func FigC1(opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	at, dur := chaosWindow(opts)
+	sched := &chaos.Schedule{Events: []chaos.Event{{
+		Kind: chaos.Partition, At: at, Duration: dur,
+		From: sourceCluster, To: "cluster-2",
+	}}}
+	opts.Chaos = sched
+
+	algos := []Algorithm{AlgoL3, AlgoC3, AlgoRoundRobin, AlgoFailover}
+	stats := make([]*ChaosStats, len(algos))
+	err := ForEach(opts.Parallel, len(algos), func(i int) error {
+		s, err := RunChaosScenario(trace.Scenario1, algos[i], opts)
+		stats[i] = s
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	r := &Result{ID: "figC1", Title: "Partition recovery (WAN blackhole + heal)", SeriesStep: time.Second}
+	for i, algo := range algos {
+		s := stats[i]
+		label := algo.String()
+		r.AddRow(label+" P99", msOf(s.Recorder.Quantile(0.99)), "ms", NoPaper)
+		r.AddRow(label+" success", s.Recorder.SuccessRate()*100, "%", NoPaper)
+		r.AddRow(label+" trough", s.Report.Trough*100, "%", NoPaper)
+		r.AddRow(label+" SLO violation", s.Report.SLOViolation.Seconds(), "s", NoPaper)
+		if s.Report.Recovered {
+			r.AddRow(label+" time-to-recover", s.Report.TimeToRecover.Seconds(), "s", NoPaper)
+		} else {
+			r.Note("%s never recovered above %.0f%% success", label, chaosSLOThreshold*100)
+		}
+		r.AddSeries("success_"+label, s.Recorder.SuccessRateSeries())
+	}
+	if l3 := stats[0]; l3.Report.ReconvergeOK {
+		r.AddRow("L3 weight reconverge", l3.Report.Reconverge.Seconds(), "s", NoPaper)
+	}
+	fo := stats[len(stats)-1]
+	r.AddRow("RR+failover ejections", fo.Ejections, "", NoPaper)
+	r.AddRow("RR+failover restores", fo.Restores, "", NoPaper)
+	r.Note("chaos schedule: %s (shifted by %v warm-up)", sched, opts.WarmUp)
+	r.Note("expectation: L3 recovers fastest (symptom-driven reweighting); health-check failover waits out probe thresholds; plain round-robin stays degraded until the heal")
+	return r, nil
+}
+
+// FigC2 is the leader-failover transparency figure: the leader L3
+// controller instance is killed mid-run without releasing its lease, the
+// standby takes over after the lease TTL, and the figure compares the run
+// against an unperturbed leader-elected run. The split keeps its last
+// written weights across the gap, so the data plane should barely notice.
+func FigC2(opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	opts.LeaderElection = true
+	at, dur := chaosWindow(opts)
+	sched := &chaos.Schedule{Events: []chaos.Event{{
+		Kind: chaos.LeaderKill, At: at, Duration: dur,
+	}}}
+
+	var killed *ChaosStats
+	var baseline *loadgen.Recorder
+	err := ForEach(opts.Parallel, 2, func(i int) error {
+		if i == 0 {
+			chaosOpts := opts
+			chaosOpts.Chaos = sched
+			s, err := RunChaosScenario(trace.Scenario1, AlgoL3, chaosOpts)
+			killed = s
+			return err
+		}
+		rec, err := RunScenario(trace.Scenario1, AlgoL3, opts)
+		baseline = rec
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	r := &Result{ID: "figC2", Title: "Leader-kill failover transparency (lease TTL takeover)", SeriesStep: time.Second}
+	r.AddRow("leader-killed P99", msOf(killed.Recorder.Quantile(0.99)), "ms", NoPaper)
+	r.AddRow("baseline P99", msOf(baseline.Quantile(0.99)), "ms", NoPaper)
+	r.AddRow("leader-killed success", killed.Recorder.SuccessRate()*100, "%", NoPaper)
+	r.AddRow("baseline success", baseline.SuccessRate()*100, "%", NoPaper)
+	r.AddRow("failover gap", killed.Report.FailoverGap.Seconds(), "s", NoPaper)
+	r.AddSeries("success_killed", killed.Recorder.SuccessRateSeries())
+	r.AddSeries("success_baseline", baseline.SuccessRateSeries())
+	r.Note("chaos schedule: %s (shifted by %v warm-up)", sched, opts.WarmUp)
+	r.Note("expectation: failover gap ≈ lease TTL (15 s) + one reconcile interval; data-plane latency and success match the baseline — stale weights keep routing while no leader writes")
+	return r, nil
+}
+
+// FigChaosCustom runs a caller-supplied schedule (the -chaos flag) under
+// the standard algorithm set and reports the same recovery scorecard as
+// FigC1.
+func FigChaosCustom(scenarioName string, sched *chaos.Schedule, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	opts.Chaos = sched
+	needsLeaders := false
+	for _, ev := range sched.Events {
+		if ev.Kind == chaos.LeaderKill {
+			needsLeaders = true
+		}
+	}
+	algos := []Algorithm{AlgoL3, AlgoC3, AlgoRoundRobin, AlgoFailover}
+	if needsLeaders {
+		// Only L3/C3 have controller instances to kill.
+		algos = []Algorithm{AlgoL3, AlgoC3}
+		opts.LeaderElection = true
+	}
+	stats := make([]*ChaosStats, len(algos))
+	err := ForEach(opts.Parallel, len(algos), func(i int) error {
+		s, err := RunChaosScenario(scenarioName, algos[i], opts)
+		stats[i] = s
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	r := &Result{ID: "chaos", Title: fmt.Sprintf("Custom chaos schedule on %s", scenarioName), SeriesStep: time.Second}
+	for i, algo := range algos {
+		s := stats[i]
+		label := algo.String()
+		r.AddRow(label+" P99", msOf(s.Recorder.Quantile(0.99)), "ms", NoPaper)
+		r.AddRow(label+" success", s.Recorder.SuccessRate()*100, "%", NoPaper)
+		r.AddRow(label+" trough", s.Report.Trough*100, "%", NoPaper)
+		r.AddRow(label+" SLO violation", s.Report.SLOViolation.Seconds(), "s", NoPaper)
+		if s.Report.Recovered {
+			r.AddRow(label+" time-to-recover", s.Report.TimeToRecover.Seconds(), "s", NoPaper)
+		} else {
+			r.Note("%s never recovered above %.0f%% success", label, chaosSLOThreshold*100)
+		}
+		if needsLeaders {
+			r.AddRow(label+" failover gap", s.Report.FailoverGap.Seconds(), "s", NoPaper)
+		}
+		r.AddSeries("success_"+label, s.Recorder.SuccessRateSeries())
+	}
+	r.Note("chaos schedule: %s (shifted by %v warm-up)", sched, opts.WarmUp)
+	return r, nil
+}

@@ -11,6 +11,8 @@ import (
 	"l3/internal/backend"
 	"l3/internal/balancer"
 	"l3/internal/c3"
+	"l3/internal/chaos"
+	"l3/internal/cluster"
 	"l3/internal/core"
 	"l3/internal/cost"
 	"l3/internal/dsb"
@@ -121,6 +123,14 @@ type Options struct {
 	Percentile float64
 	// RPSScale multiplies the scenario's offered load (default 1).
 	RPSScale float64
+	// Chaos injects this fault schedule into every repetition. Event times
+	// are relative to measurement start; the harness shifts them by WarmUp.
+	Chaos *chaos.Schedule
+	// LeaderElection runs two leader-elected controller instances per
+	// split scope (ids l3-0, l3-1, …) sharing one lease instead of a
+	// single always-on instance, so chaos leader kills have a standby to
+	// fail over to. L3/C3 only.
+	LeaderElection bool
 
 	// inflightExponent overrides Equation 4's exponent for the ablation
 	// bench (0 = the paper's default of 2).
@@ -188,12 +198,12 @@ func RunScenarioWithStats(scenarioName string, algo Algorithm, opts Options) (*S
 	recs := make([]*loadgen.Recorder, opts.Reps)
 	repCounts := make([]map[[2]string]float64, opts.Reps)
 	err := ForEach(opts.Parallel, opts.Reps, func(rep int) error {
-		seed := opts.Seed + uint64(rep)*1000003
+		seed := DeriveSeed(opts.Seed, rep)
 		sc, err := trace.Generate(scenarioName, seed)
 		if err != nil {
 			return err
 		}
-		rec, counts, err := runOnceCounted(sc, algo, opts, seed)
+		rec, counts, _, err := runOnceCounted(sc, algo, opts, seed)
 		if err != nil {
 			return err
 		}
@@ -232,12 +242,12 @@ func RunScenario(scenarioName string, algo Algorithm, opts Options) (*loadgen.Re
 	opts = opts.withDefaults()
 	recs := make([]*loadgen.Recorder, opts.Reps)
 	err := ForEach(opts.Parallel, opts.Reps, func(rep int) error {
-		seed := opts.Seed + uint64(rep)*1000003
+		seed := DeriveSeed(opts.Seed, rep)
 		sc, err := trace.Generate(scenarioName, seed)
 		if err != nil {
 			return err
 		}
-		rec, _, err := runOnceCounted(sc, algo, opts, seed)
+		rec, _, _, err := runOnceCounted(sc, algo, opts, seed)
 		if err != nil {
 			return err
 		}
@@ -283,7 +293,7 @@ func RunScenarioTrace(sc *trace.Scenario, algo Algorithm, opts Options) (*loadge
 	opts = opts.withDefaults()
 	recs := make([]*loadgen.Recorder, opts.Reps)
 	err := ForEach(opts.Parallel, opts.Reps, func(rep int) error {
-		rec, _, err := runOnceCounted(sc, algo, opts, opts.Seed+uint64(rep)*1000003)
+		rec, _, _, err := runOnceCounted(sc, algo, opts, DeriveSeed(opts.Seed, rep))
 		if err != nil {
 			return err
 		}
@@ -296,24 +306,39 @@ func RunScenarioTrace(sc *trace.Scenario, algo Algorithm, opts Options) (*loadge
 	return mergeRecorders(recs), nil
 }
 
+// chaosArtifacts is what one chaos-perturbed run yields beyond its
+// recorder: the observed TrafficSplit write times and weight snapshots
+// (for reconvergence and failover-gap metrics), the health checker's
+// ejection/restore totals, and the injector's own accounting.
+type chaosArtifacts struct {
+	injector  *chaos.Injector
+	updates   []time.Duration
+	snaps     []chaos.WeightSnapshot
+	ejections float64
+	restores  float64
+}
+
 // runOnceCounted runs one scenario replay and additionally returns the
-// per-(src, dst-cluster) request counts read from the data-plane metrics.
-// Every call is fully self-contained — own engine, RNG, WAN model and
-// metrics registry — which is what makes the rep/sweep fan-outs above safe
-// and deterministic.
-func runOnceCounted(sc *trace.Scenario, algo Algorithm, opts Options, seed uint64) (*loadgen.Recorder, map[[2]string]float64, error) {
+// per-(src, dst-cluster) request counts read from the data-plane metrics,
+// plus — when a chaos schedule is set — the run's chaos artifacts. Every
+// call is fully self-contained — own engine, RNG, WAN model and metrics
+// registry — which is what makes the rep/sweep fan-outs above safe and
+// deterministic.
+func runOnceCounted(sc *trace.Scenario, algo Algorithm, opts Options, seed uint64) (*loadgen.Recorder, map[[2]string]float64, *chaosArtifacts, error) {
 	defer func(start time.Time) { recordRun(time.Since(start)) }(time.Now())
 	engine := sim.NewEngine()
 	rng := sim.NewRand(seed)
 	wcfg := wan.DefaultConfig()
 	wcfg.Seed = seed
-	m := mesh.New(engine, rng.Fork(), wan.New(wcfg), metrics.NewRegistry())
+	wanModel := wan.New(wcfg)
+	m := mesh.New(engine, rng.Fork(), wanModel, metrics.NewRegistry())
 
 	if _, err := m.AddService(apiService); err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	warm := opts.WarmUp
 	var backends []smi.Backend
+	injectors := make(map[string]chaos.BackendInjector)
 	for i := range sc.Clusters {
 		ct := &sc.Clusters[i]
 		name := apiService + "-" + ct.Cluster
@@ -330,12 +355,15 @@ func runOnceCounted(sc *trace.Scenario, algo Algorithm, opts Options, seed uint6
 		b, err := m.AddBackend(apiService, name, ct.Cluster,
 			backend.Config{Concurrency: conc}, profile)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
+		}
+		if replica, ok := b.Server.(*backend.Replica); ok {
+			injectors[name] = replica
 		}
 		if opts.Autoscale != nil {
 			replica, ok := b.Server.(*backend.Replica)
 			if !ok {
-				return nil, nil, fmt.Errorf("bench: backend %s is not a replica pool", name)
+				return nil, nil, nil, fmt.Errorf("bench: backend %s is not a replica pool", name)
 			}
 			cfg := *opts.Autoscale
 			if cfg.Max == 0 {
@@ -351,11 +379,43 @@ func runOnceCounted(sc *trace.Scenario, algo Algorithm, opts Options, seed uint6
 	if err := m.Splits().Create(&smi.TrafficSplit{
 		Name: apiService, RootService: apiService, Backends: backends,
 	}); err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 
-	if err := installAlgorithm(m, engine, rng, algo, opts, []string{apiService}, nil, globalController()); err != nil {
-		return nil, nil, err
+	handles, err := installAlgorithm(m, engine, rng, algo, opts, []string{apiService}, nil, globalController())
+	if err != nil {
+		return nil, nil, nil, err
+	}
+
+	var art *chaosArtifacts
+	if opts.Chaos != nil {
+		art = &chaosArtifacts{}
+		m.Splits().Watch(false, func(e cluster.Event[*smi.TrafficSplit]) {
+			if e.Type != cluster.Updated || e.Object.Name != apiService {
+				return
+			}
+			weights := make(map[string]int64, len(e.Object.Backends))
+			for _, b := range e.Object.Backends {
+				weights[b.Service] = b.Weight
+			}
+			art.updates = append(art.updates, engine.Now())
+			art.snaps = append(art.snaps, chaos.WeightSnapshot{At: engine.Now(), Weights: weights})
+		})
+		scrapers := make([]chaos.ScrapeGate, len(handles.scrapers))
+		for i, s := range handles.scrapers {
+			scrapers[i] = s
+		}
+		inj := chaos.New(engine, *opts.Chaos, chaos.Targets{
+			Clusters: sc.ClusterNames(),
+			Links:    wanModel,
+			Backends: injectors,
+			Scrapers: scrapers,
+			Leaders:  handles.leaders,
+		}, warm)
+		if err := inj.Start(); err != nil {
+			return nil, nil, nil, err
+		}
+		art.injector = inj
 	}
 
 	issue := func(done func(time.Duration, bool)) error {
@@ -386,15 +446,44 @@ func runOnceCounted(sc *trace.Scenario, algo Algorithm, opts Options, seed uint6
 
 	counts := make(map[[2]string]float64)
 	for _, sample := range m.Registry().Snapshot() {
-		if sample.Name != mesh.MetricResponseTotal {
-			continue
+		switch sample.Name {
+		case mesh.MetricResponseTotal:
+			src := sample.Labels["src"]
+			dst := strings.TrimPrefix(sample.Labels["backend"], apiService+"-")
+			counts[[2]string{src, dst}] += sample.Value
+		case health.MetricEjectionsTotal:
+			if art != nil {
+				art.ejections += sample.Value
+			}
+		case health.MetricRestoresTotal:
+			if art != nil {
+				art.restores += sample.Value
+			}
 		}
-		src := sample.Labels["src"]
-		dst := strings.TrimPrefix(sample.Labels["backend"], apiService+"-")
-		counts[[2]string{src, dst}] += sample.Value
 	}
-	return gen.Recorder(), counts, nil
+	return gen.Recorder(), counts, art, nil
 }
+
+// algoHandles exposes the control-plane pieces installAlgorithm built, so
+// the chaos injector can reach into them. All fields may be empty — a
+// round-robin run has no scraper, controller or checker.
+type algoHandles struct {
+	scrapers []*core.Scraper
+	checker  *health.Checker
+	leaders  map[string]chaos.Leader
+}
+
+// leaderHandle adapts one controller instance (controller + elector) to the
+// chaos Leader interface: Kill crashes it without releasing the lease,
+// Revive restarts it (it rejoins as standby until it re-acquires).
+type leaderHandle struct {
+	ctrl    *core.Controller
+	elector *cluster.Elector
+}
+
+func (h leaderHandle) Kill()          { h.ctrl.Crash() }
+func (h leaderHandle) Revive()        { h.ctrl.Start() }
+func (h leaderHandle) IsLeader() bool { return h.elector.IsLeader() }
 
 // installAlgorithm wires the routing strategy (and, for L3/C3, the
 // controller pipeline) for the given services. splitName maps (source
@@ -405,46 +494,59 @@ func runOnceCounted(sc *trace.Scenario, algo Algorithm, opts Options, seed uint6
 // reading its own cluster's proxy metrics and managing its own splits, as
 // §3 describes for production deployments.
 func installAlgorithm(m *mesh.Mesh, engine *sim.Engine, rng *sim.Rand, algo Algorithm, opts Options,
-	services []string, splitName func(src, service string) string, controllers []controllerSpec) error {
+	services []string, splitName func(src, service string) string, controllers []controllerSpec) (*algoHandles, error) {
+	handles := &algoHandles{}
 	switch algo {
 	case AlgoRoundRobin:
 		for _, svc := range services {
 			if err := m.SetPicker(svc, balancer.NewRoundRobin()); err != nil {
-				return err
+				return nil, err
 			}
 		}
-		return nil
+		return handles, nil
 	case AlgoP2C:
 		for _, svc := range services {
 			if err := m.SetPicker(svc, balancer.NewP2C(rng.Fork(), 5*time.Second, time.Second)); err != nil {
-				return err
+				return nil, err
 			}
 		}
-		return nil
+		return handles, nil
 	case AlgoFailover:
-		checker := health.NewChecker(engine, health.Config{})
+		hcfg := health.Config{Registry: m.Registry()}
+		if opts.Chaos != nil {
+			// Under chaos the checker probes through the mesh so WAN
+			// faults (partitions, delay spikes) are visible to it, as they
+			// are to Istio/Linkerd cross-cluster health checks.
+			hcfg.Probe = func(b *mesh.Backend, done func(success bool)) {
+				m.Probe(sourceCluster, b, done)
+			}
+		}
+		checker := health.NewChecker(engine, hcfg)
+		handles.checker = checker
 		for _, svc := range services {
 			s, ok := m.Service(svc)
 			if !ok {
-				return fmt.Errorf("bench: unknown service %q", svc)
+				return nil, fmt.Errorf("bench: unknown service %q", svc)
 			}
 			checker.WatchAll(s.Backends())
 			if err := m.SetPicker(svc, &health.FailoverPicker{
 				Checker: checker,
 				Inner:   balancer.NewRoundRobin(),
 			}); err != nil {
-				return err
+				return nil, err
 			}
 		}
-		return nil
+		return handles, nil
 	case AlgoL3, AlgoC3:
 		for _, svc := range services {
 			if err := m.SetPicker(svc, balancer.NewWeightedSplit(m.Splits(), rng.Fork(), splitName)); err != nil {
-				return err
+				return nil, err
 			}
 		}
 		db := timeseries.NewDB(time.Minute)
-		core.NewScraper(engine, db, m.Registry(), opts.ScrapeInterval).Start()
+		scraper := core.NewScraper(engine, db, m.Registry(), opts.ScrapeInterval)
+		scraper.Start()
+		handles.scrapers = append(handles.scrapers, scraper)
 		newAssigner := func() core.Assigner {
 			if algo == AlgoC3 {
 				return c3.New(c3.Config{})
@@ -463,21 +565,43 @@ func installAlgorithm(m *mesh.Mesh, engine *sim.Engine, rng *sim.Rand, algo Algo
 			}
 			return assigner
 		}
-		for _, spec := range controllers {
-			collector := &core.Collector{
-				DB: db, Window: opts.Window, Percentile: opts.Percentile,
-				Match: spec.match,
+		handles.leaders = make(map[string]chaos.Leader)
+		for si, spec := range controllers {
+			newController := func(elector *cluster.Elector) *core.Controller {
+				collector := &core.Collector{
+					DB: db, Window: opts.Window, Percentile: opts.Percentile,
+					Match: spec.match,
+				}
+				return core.NewController(engine, m.Splits(), collector, core.ControllerConfig{
+					Interval:    opts.ScrapeInterval,
+					NewAssigner: newAssigner,
+					SplitFilter: spec.filter,
+					Elector:     elector,
+				})
 			}
-			ctrl := core.NewController(engine, m.Splits(), collector, core.ControllerConfig{
-				Interval:    opts.ScrapeInterval,
-				NewAssigner: newAssigner,
-				SplitFilter: spec.filter,
-			})
-			ctrl.Start()
+			if !opts.LeaderElection {
+				newController(nil).Start()
+				continue
+			}
+			// Leader-elected pair: both instances run the full pipeline,
+			// one lease gates the split writes. Instance 0 starts first and
+			// campaigns first, so it is deterministically the initial
+			// leader.
+			lock := cluster.NewLeaseLock()
+			for i := 0; i < 2; i++ {
+				id := fmt.Sprintf("l3-%d", i)
+				if len(controllers) > 1 {
+					id = fmt.Sprintf("l3-%d-%d", si, i)
+				}
+				elector := cluster.NewElector(engine, lock, cluster.ElectorConfig{ID: id})
+				ctrl := newController(elector)
+				ctrl.Start()
+				handles.leaders[id] = leaderHandle{ctrl: ctrl, elector: elector}
+			}
 		}
-		return nil
+		return handles, nil
 	default:
-		return fmt.Errorf("bench: unknown algorithm %v", algo)
+		return nil, fmt.Errorf("bench: unknown algorithm %v", algo)
 	}
 }
 
@@ -515,7 +639,7 @@ func RunDSB(algo Algorithm, rps float64, duration time.Duration, opts Options) (
 	opts = opts.withDefaults()
 	recs := make([]*loadgen.Recorder, opts.Reps)
 	err := ForEach(opts.Parallel, opts.Reps, func(rep int) error {
-		seed := opts.Seed + uint64(rep)*1000003
+		seed := DeriveSeed(opts.Seed, rep)
 		rec, err := runDSBOnce(algo, rps, duration, opts, seed)
 		if err != nil {
 			return err
@@ -545,7 +669,7 @@ func runDSBOnce(algo Algorithm, rps float64, duration time.Duration, opts Option
 	if err := app.CreateSplits(); err != nil {
 		return nil, err
 	}
-	if err := installAlgorithm(m, engine, rng, algo, opts, app.Services(),
+	if _, err := installAlgorithm(m, engine, rng, algo, opts, app.Services(),
 		dsb.SplitName, perClusterControllers(clusters)); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,18 @@
+package bench
+
+// DeriveSeed maps (base seed, repetition index) to the seed that repetition
+// runs with, using a splitmix64-style finalizer: the rep index strides the
+// state by the golden-ratio increment and the mix scrambles it, so
+// neighbouring reps get decorrelated streams. The previous affine scheme
+// (base + rep*1000003) kept reps on one arithmetic progression, which a
+// seeded PCG partially echoes in its low bits; the mixed seeds share no
+// structure.
+func DeriveSeed(base uint64, rep int) uint64 {
+	z := base + (uint64(rep)+1)*0x9e3779b97f4a7c15
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}

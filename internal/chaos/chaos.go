@@ -1,0 +1,249 @@
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"l3/internal/sim"
+)
+
+// LinkInjector is the WAN-layer hook (implemented by wan.Model): install and
+// remove structural faults on directed links.
+type LinkInjector interface {
+	InjectLinkFault(from, to string, extra time.Duration, partitioned bool, flap time.Duration)
+	HealLinkFault(from, to string)
+}
+
+// BackendInjector is the data-plane hook (implemented by backend.Replica):
+// crash/restart a deployment and resize its worker pool.
+type BackendInjector interface {
+	Crash()
+	Restart(slowStart time.Duration)
+	Concurrency() int
+	SetConcurrency(n int)
+}
+
+// ScrapeGate is the control-plane metrics hook (implemented by
+// core.Scraper): drop scrapes while a fault is active.
+type ScrapeGate interface {
+	SetDropping(drop bool)
+}
+
+// Leader is one killable controller instance (a core.Controller plus its
+// elector, adapted by the harness): Kill crashes it without releasing the
+// leadership lease, Revive restarts it, IsLeader reports whether it
+// currently leads.
+type Leader interface {
+	Kill()
+	Revive()
+	IsLeader() bool
+}
+
+// Targets binds a schedule's events to the substrates of one simulation
+// run. Only the layers a schedule actually touches need to be set; Start
+// fails fast when an event has no target.
+type Targets struct {
+	// Clusters lists every cluster name, for expanding "*" link events.
+	Clusters []string
+	// Links injects WAN faults.
+	Links LinkInjector
+	// Backends maps backend name to its injector.
+	Backends map[string]BackendInjector
+	// Scrapers are the control plane's scrape gates.
+	Scrapers []ScrapeGate
+	// Leaders maps controller instance id to its kill handle.
+	Leaders map[string]Leader
+}
+
+// Injector schedules a fault schedule onto a simulation engine. One
+// injector serves one run; the schedule itself is reusable across runs.
+type Injector struct {
+	engine  *sim.Engine
+	sched   Schedule
+	targets Targets
+	shift   time.Duration
+	applied int
+	healed  int
+	// killed remembers, per event index, which instance a LeaderKill hit,
+	// so the heal revives that one even though it no longer leads.
+	killed map[int]Leader
+}
+
+// New returns an injector for one run. shift displaces every event time
+// (schedules are written relative to measurement start; harnesses pass
+// their warm-up so faults land in measured time).
+func New(engine *sim.Engine, sched Schedule, targets Targets, shift time.Duration) *Injector {
+	return &Injector{engine: engine, sched: sched, targets: targets, shift: shift, killed: make(map[int]Leader)}
+}
+
+// Start validates the schedule against the targets and schedules every
+// inject/heal pair on the engine.
+func (in *Injector) Start() error {
+	if err := in.sched.Validate(); err != nil {
+		return err
+	}
+	for _, ev := range in.sched.Events {
+		if err := in.check(ev); err != nil {
+			return err
+		}
+	}
+	for i, ev := range in.sched.Events {
+		i, ev := i, ev
+		in.engine.At(in.shift+ev.At, func() {
+			in.apply(i, ev)
+			in.applied++
+		})
+		if ev.Duration > 0 {
+			in.engine.At(in.shift+ev.At+ev.Duration, func() {
+				in.heal(i, ev)
+				in.healed++
+			})
+		}
+	}
+	return nil
+}
+
+// Applied returns how many events have been injected so far.
+func (in *Injector) Applied() int { return in.applied }
+
+// Healed returns how many events have been healed so far.
+func (in *Injector) Healed() int { return in.healed }
+
+// check verifies the run exposes the target an event needs.
+func (in *Injector) check(ev Event) error {
+	switch ev.Kind {
+	case Partition, DelaySpike, LinkFlap:
+		if in.targets.Links == nil {
+			return fmt.Errorf("chaos: %s event but no link injector", ev.Kind.name())
+		}
+		if ev.To == "*" && len(in.targets.Clusters) == 0 {
+			return fmt.Errorf("chaos: %s event with wildcard link but no cluster list", ev.Kind.name())
+		}
+	case BackendCrash, Saturate:
+		if _, ok := in.targets.Backends[ev.Backend]; !ok {
+			return fmt.Errorf("chaos: %s event targets unknown backend %q", ev.Kind.name(), ev.Backend)
+		}
+	case ScrapeDrop:
+		if len(in.targets.Scrapers) == 0 {
+			return fmt.Errorf("chaos: scrapedrop event but no scrapers")
+		}
+	case LeaderKill:
+		if len(in.targets.Leaders) == 0 {
+			return fmt.Errorf("chaos: leaderkill event but no leader handles")
+		}
+		if ev.Target != "" {
+			if _, ok := in.targets.Leaders[ev.Target]; !ok {
+				return fmt.Errorf("chaos: leaderkill targets unknown instance %q", ev.Target)
+			}
+		}
+	}
+	return nil
+}
+
+// links expands an event's From/To into the directed links it covers.
+func (in *Injector) links(ev Event) [][2]string {
+	others := func(c string) []string {
+		var out []string
+		for _, o := range in.targets.Clusters {
+			if o != c {
+				out = append(out, o)
+			}
+		}
+		return out
+	}
+	var out [][2]string
+	tos := []string{ev.To}
+	if ev.To == "*" {
+		tos = others(ev.From)
+	}
+	for _, to := range tos {
+		out = append(out, [2]string{ev.From, to})
+		if ev.Kind == Partition {
+			// Partitions cut the pair in both directions; delay spikes and
+			// flaps stay directed (asymmetric by design).
+			out = append(out, [2]string{to, ev.From})
+		}
+	}
+	return out
+}
+
+func (in *Injector) apply(idx int, ev Event) {
+	switch ev.Kind {
+	case Partition:
+		for _, l := range in.links(ev) {
+			in.targets.Links.InjectLinkFault(l[0], l[1], 0, true, 0)
+		}
+	case DelaySpike:
+		for _, l := range in.links(ev) {
+			in.targets.Links.InjectLinkFault(l[0], l[1], ev.Extra, false, 0)
+		}
+	case LinkFlap:
+		for _, l := range in.links(ev) {
+			in.targets.Links.InjectLinkFault(l[0], l[1], ev.Extra, false, ev.Flap)
+		}
+	case BackendCrash:
+		in.targets.Backends[ev.Backend].Crash()
+	case Saturate:
+		b := in.targets.Backends[ev.Backend]
+		kept := int(float64(b.Concurrency()) * ev.Factor)
+		if kept < 1 {
+			kept = 1
+		}
+		b.SetConcurrency(kept)
+	case ScrapeDrop:
+		for _, s := range in.targets.Scrapers {
+			s.SetDropping(true)
+		}
+	case LeaderKill:
+		l := in.leader(ev)
+		in.killed[idx] = l
+		l.Kill()
+	}
+}
+
+func (in *Injector) heal(idx int, ev Event) {
+	switch ev.Kind {
+	case Partition, DelaySpike, LinkFlap:
+		for _, l := range in.links(ev) {
+			in.targets.Links.HealLinkFault(l[0], l[1])
+		}
+	case BackendCrash:
+		in.targets.Backends[ev.Backend].Restart(ev.SlowStart)
+	case Saturate:
+		b := in.targets.Backends[ev.Backend]
+		restored := int(float64(b.Concurrency()) / ev.Factor)
+		if restored < 1 {
+			restored = 1
+		}
+		b.SetConcurrency(restored)
+	case ScrapeDrop:
+		for _, s := range in.targets.Scrapers {
+			s.SetDropping(false)
+		}
+	case LeaderKill:
+		if l, ok := in.killed[idx]; ok {
+			l.Revive()
+		}
+	}
+}
+
+// leader resolves an event's target instance: the named one, or — for an
+// empty target — the instance currently leading (falling back to the first
+// by name, so the choice is deterministic even when no one leads).
+func (in *Injector) leader(ev Event) Leader {
+	if ev.Target != "" {
+		return in.targets.Leaders[ev.Target]
+	}
+	ids := make([]string, 0, len(in.targets.Leaders))
+	for id := range in.targets.Leaders {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		if in.targets.Leaders[id].IsLeader() {
+			return in.targets.Leaders[id]
+		}
+	}
+	return in.targets.Leaders[ids[0]]
+}

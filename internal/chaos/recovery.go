@@ -1,0 +1,206 @@
+package chaos
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// Report is the recovery scorecard of one run under a fault schedule — the
+// quantities the chaos figures compare across load-balancing algorithms.
+type Report struct {
+	// TimeToRecover is how long after fault injection the success rate
+	// stayed back above threshold (zero if it never dipped). Valid only
+	// when Recovered.
+	TimeToRecover time.Duration
+	// Recovered reports whether the success rate came back at all.
+	Recovered bool
+	// SLOViolation is the total measured time the success rate spent below
+	// threshold.
+	SLOViolation time.Duration
+	// Trough is the lowest per-bucket success rate observed after
+	// injection (1 = unscathed, 0 = full blackout).
+	Trough float64
+	// Reconverge is how long after heal the TrafficSplit weights settled
+	// back to their final steady state. Valid only when ReconvergeOK.
+	Reconverge time.Duration
+	// ReconvergeOK reports whether the weights settled within the run.
+	ReconvergeOK bool
+	// FailoverGap is the longest interval without a TrafficSplit update
+	// spanning a leader kill (zero when no kill was scheduled).
+	FailoverGap time.Duration
+}
+
+// WeightSnapshot is one observed TrafficSplit state: the virtual time of
+// the update and the integer weight per backend.
+type WeightSnapshot struct {
+	At      time.Duration
+	Weights map[string]int64
+}
+
+// TimeToRecover scans a per-bucket success-rate series (fractions in
+// [0,1], bucket i covering [i*bucket, (i+1)*bucket)) for recovery from a
+// fault injected at faultStart: the first moment at or after injection
+// where the rate holds at or above threshold for sustain consecutive
+// buckets. It returns the delay from injection to that moment, and false
+// if the series never recovers. A series that never dips returns (0,
+// true).
+func TimeToRecover(success []float64, bucket time.Duration, faultStart time.Duration, threshold float64, sustain int) (time.Duration, bool) {
+	if bucket <= 0 || len(success) == 0 {
+		return 0, false
+	}
+	if sustain < 1 {
+		sustain = 1
+	}
+	from := int(faultStart / bucket)
+	if from < 0 {
+		from = 0
+	}
+	if from >= len(success) {
+		return 0, false
+	}
+	dipped := false
+	run := 0
+	for i := from; i < len(success); i++ {
+		if success[i] < threshold {
+			dipped = true
+			run = 0
+			continue
+		}
+		run++
+		if run >= sustain {
+			if !dipped {
+				return 0, true
+			}
+			start := time.Duration(i-sustain+1) * bucket
+			if d := start - faultStart; d > 0 {
+				return d, true
+			}
+			return 0, true
+		}
+	}
+	if !dipped {
+		return 0, true
+	}
+	return 0, false
+}
+
+// SLOViolation totals the time the success-rate series spent below
+// threshold, counting each violating bucket at full width.
+func SLOViolation(success []float64, bucket time.Duration, threshold float64) time.Duration {
+	var total time.Duration
+	for _, v := range success {
+		if v < threshold {
+			total += bucket
+		}
+	}
+	return total
+}
+
+// Trough returns the lowest success rate at or after faultStart — the
+// depth of the availability dip. An empty window returns 1 (no data, no
+// observed dip).
+func Trough(success []float64, bucket time.Duration, faultStart time.Duration) float64 {
+	if bucket <= 0 {
+		return 1
+	}
+	from := int(faultStart / bucket)
+	if from < 0 {
+		from = 0
+	}
+	low := 1.0
+	for i := from; i < len(success); i++ {
+		if success[i] < low {
+			low = success[i]
+		}
+	}
+	return low
+}
+
+// ReconvergeTime measures how long after heal the TrafficSplit weights
+// settled: the earliest snapshot at or after heal from which every later
+// snapshot (itself included) stays within tol normalized-L1 distance of
+// the final snapshot. It returns the delay from heal to that snapshot, and
+// false when no snapshot after heal settles (or none exists).
+func ReconvergeTime(snaps []WeightSnapshot, heal time.Duration, tol float64) (time.Duration, bool) {
+	if len(snaps) == 0 {
+		return 0, false
+	}
+	ordered := make([]WeightSnapshot, len(snaps))
+	copy(ordered, snaps)
+	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].At < ordered[j].At })
+	final := ordered[len(ordered)-1].Weights
+	settled := -1
+	for i := len(ordered) - 1; i >= 0; i-- {
+		if weightDistance(ordered[i].Weights, final) > tol {
+			break
+		}
+		settled = i
+	}
+	if settled < 0 {
+		return 0, false
+	}
+	for i := settled; i < len(ordered); i++ {
+		if ordered[i].At >= heal {
+			return ordered[i].At - heal, true
+		}
+	}
+	// Settled before the heal even landed — converged instantly.
+	return 0, true
+}
+
+// weightDistance is the normalized L1 distance between two weight vectors:
+// half the sum of per-backend share differences, so 0 means identical
+// traffic shares and 1 means fully disjoint.
+func weightDistance(a, b map[string]int64) float64 {
+	norm := func(w map[string]int64) map[string]float64 {
+		var sum float64
+		for _, v := range w {
+			sum += float64(v)
+		}
+		out := make(map[string]float64, len(w))
+		if sum <= 0 {
+			return out
+		}
+		for k, v := range w {
+			out[k] = float64(v) / sum
+		}
+		return out
+	}
+	na, nb := norm(a), norm(b)
+	keys := make(map[string]bool, len(na)+len(nb))
+	for k := range na {
+		keys[k] = true
+	}
+	for k := range nb {
+		keys[k] = true
+	}
+	var dist float64
+	for k := range keys {
+		dist += math.Abs(na[k] - nb[k])
+	}
+	return dist / 2
+}
+
+// FailoverGap returns the longest stretch without a TrafficSplit update
+// that spans killAt — the window in which no controller was writing
+// weights. updates are the virtual times of observed split writes; end is
+// the end of the run (bounding the gap when no update ever followed the
+// kill). No updates before the kill anchor the gap at the kill itself.
+func FailoverGap(updates []time.Duration, killAt, end time.Duration) time.Duration {
+	ordered := make([]time.Duration, len(updates))
+	copy(ordered, updates)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i] < ordered[j] })
+	last := killAt
+	for _, u := range ordered {
+		if u <= killAt {
+			last = u
+			continue
+		}
+		return u - last
+	}
+	if end > last {
+		return end - last
+	}
+	return 0
+}

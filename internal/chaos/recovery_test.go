@@ -1,0 +1,123 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTimeToRecover(t *testing.T) {
+	bucket := time.Second
+	// Fault at 2s: dips at buckets 2-4, back up from bucket 5 onward.
+	series := []float64{1, 1, 0.4, 0.3, 0.8, 0.99, 1, 1}
+	d, ok := TimeToRecover(series, bucket, 2*time.Second, 0.95, 2)
+	if !ok || d != 3*time.Second { // recovered window starts at bucket 5
+		t.Fatalf("TimeToRecover = %v, %v; want 3s, true", d, ok)
+	}
+
+	// Never recovers.
+	if _, ok := TimeToRecover([]float64{1, 0.2, 0.3, 0.1}, bucket, time.Second, 0.95, 2); ok {
+		t.Fatal("recovered from a permanent outage")
+	}
+
+	// Never dips.
+	d, ok = TimeToRecover([]float64{1, 1, 1, 1}, bucket, time.Second, 0.95, 2)
+	if !ok || d != 0 {
+		t.Fatalf("undipped series: got %v, %v; want 0, true", d, ok)
+	}
+
+	// Sustain filters a one-bucket blip from counting as recovery.
+	blip := []float64{1, 0.2, 0.96, 0.2, 0.2, 0.97, 0.98, 0.99}
+	d, ok = TimeToRecover(blip, bucket, time.Second, 0.95, 3)
+	if !ok || d != 4*time.Second { // sustained run starts at bucket 5
+		t.Fatalf("blip series: got %v, %v; want 4s, true", d, ok)
+	}
+}
+
+func TestSLOViolationAndTrough(t *testing.T) {
+	bucket := 2 * time.Second
+	series := []float64{1, 0.9, 0.4, 0.97, 1}
+	if got := SLOViolation(series, bucket, 0.95); got != 4*time.Second {
+		t.Fatalf("SLOViolation = %v, want 4s", got)
+	}
+	if got := Trough(series, bucket, 0); got != 0.4 {
+		t.Fatalf("Trough = %v, want 0.4", got)
+	}
+	// Window start past the dip: dip not counted.
+	if got := Trough(series, bucket, 6*time.Second); got != 0.97 {
+		t.Fatalf("Trough(from 6s) = %v, want 0.97", got)
+	}
+	if got := Trough(nil, bucket, 0); got != 1 {
+		t.Fatalf("Trough(empty) = %v, want 1", got)
+	}
+}
+
+func snap(at time.Duration, a, b int64) WeightSnapshot {
+	return WeightSnapshot{At: at, Weights: map[string]int64{"a": a, "b": b}}
+}
+
+func TestReconvergeTime(t *testing.T) {
+	// Weights shift away during the fault, then settle back from 70s on.
+	snaps := []WeightSnapshot{
+		snap(10*time.Second, 500, 500),
+		snap(30*time.Second, 950, 50),
+		snap(50*time.Second, 800, 200),
+		snap(70*time.Second, 510, 490),
+		snap(90*time.Second, 500, 500),
+	}
+	d, ok := ReconvergeTime(snaps, 60*time.Second, 0.05)
+	if !ok || d != 10*time.Second {
+		t.Fatalf("ReconvergeTime = %v, %v; want 10s, true", d, ok)
+	}
+
+	// Still drifting at the end relative to tolerance: the last snapshot
+	// alone always matches itself, so reconvergence is its timestamp.
+	drifting := []WeightSnapshot{
+		snap(10*time.Second, 500, 500),
+		snap(80*time.Second, 900, 100),
+	}
+	d, ok = ReconvergeTime(drifting, 60*time.Second, 0.05)
+	if !ok || d != 20*time.Second {
+		t.Fatalf("drifting ReconvergeTime = %v, %v; want 20s, true", d, ok)
+	}
+
+	// No snapshot at all.
+	if _, ok := ReconvergeTime(nil, 0, 0.05); ok {
+		t.Fatal("ReconvergeTime ok with no snapshots")
+	}
+
+	// Weights already settled before heal → instant reconvergence.
+	settled := []WeightSnapshot{snap(10*time.Second, 500, 500), snap(20*time.Second, 500, 500)}
+	d, ok = ReconvergeTime(settled, 40*time.Second, 0.05)
+	if !ok || d != 0 {
+		t.Fatalf("settled ReconvergeTime = %v, %v; want 0, true", d, ok)
+	}
+}
+
+func TestWeightDistance(t *testing.T) {
+	a := map[string]int64{"x": 500, "y": 500}
+	if d := weightDistance(a, map[string]int64{"x": 50, "y": 50}); d != 0 {
+		t.Fatalf("same shares: distance = %v, want 0", d)
+	}
+	if d := weightDistance(a, map[string]int64{"x": 1000}); d != 0.5 {
+		t.Fatalf("half-moved shares: distance = %v, want 0.5", d)
+	}
+	if d := weightDistance(map[string]int64{"x": 1}, map[string]int64{"y": 1}); d != 1 {
+		t.Fatalf("disjoint shares: distance = %v, want 1", d)
+	}
+}
+
+func TestFailoverGap(t *testing.T) {
+	updates := []time.Duration{5 * time.Second, 10 * time.Second, 40 * time.Second, 45 * time.Second}
+	// Kill at 12s: gap spans 10s → 40s.
+	if g := FailoverGap(updates, 12*time.Second, time.Minute); g != 30*time.Second {
+		t.Fatalf("FailoverGap = %v, want 30s", g)
+	}
+	// No update after the kill: bounded by run end.
+	if g := FailoverGap(updates, 50*time.Second, time.Minute); g != 15*time.Second {
+		t.Fatalf("tail FailoverGap = %v, want 15s", g)
+	}
+	// No updates at all: whole remainder of the run.
+	if g := FailoverGap(nil, 50*time.Second, time.Minute); g != 10*time.Second {
+		t.Fatalf("empty FailoverGap = %v, want 10s", g)
+	}
+}

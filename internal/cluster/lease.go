@@ -111,8 +111,10 @@ func NewElector(engine *sim.Engine, lock *LeaseLock, cfg ElectorConfig) *Elector
 }
 
 // Run starts the campaign loop. The first acquisition attempt happens
-// immediately (on the next engine step).
+// immediately (on the next engine step). Run after Stop or Crash resumes
+// campaigning.
 func (e *Elector) Run() {
+	e.stopped = false
 	e.engine.After(0, e.tick)
 }
 
@@ -129,6 +131,18 @@ func (e *Elector) Stop() {
 			e.cfg.OnStoppedLeading()
 		}
 	}
+}
+
+// Crash halts campaigning without releasing the lease and without firing
+// OnStoppedLeading — the failure mode of a killed leader process. A held
+// lease stays on the books until it expires, so standbys take over only
+// after the lease TTL, matching Kubernetes leader-election semantics.
+func (e *Elector) Crash() {
+	e.stopped = true
+	if e.timer != nil {
+		e.timer.Cancel()
+	}
+	e.leading = false
 }
 
 // IsLeader reports whether this candidate currently holds the lease.

@@ -117,11 +117,7 @@ func TestFailoverAfterLeaderCrashes(t *testing.T) {
 	a.Run()
 	b.Run()
 	e.RunUntil(10 * time.Second)
-	// Simulate crash: cancel a's renewals directly without Release.
-	a.stopped = true
-	if a.timer != nil {
-		a.timer.Cancel()
-	}
+	a.Crash() // stops renewing without Release and without OnStoppedLeading
 	crash := e.Now()
 	e.RunUntil(crash + 10*time.Second)
 	if b.IsLeader() {
@@ -130,6 +126,58 @@ func TestFailoverAfterLeaderCrashes(t *testing.T) {
 	e.RunUntil(crash + 20*time.Second)
 	if !b.IsLeader() {
 		t.Fatal("b did not take over after lease expiry")
+	}
+}
+
+// TestLeaderKillFailoverWithinTTL pins the failover window the chaos
+// engine's leaderkill fault relies on: a crashed leader's lease stays on
+// the books, the standby acquires within one lease TTL plus one retry
+// interval, and at no instant do two electors both report leadership.
+func TestLeaderKillFailoverWithinTTL(t *testing.T) {
+	e := sim.NewEngine()
+	lock := NewLeaseLock()
+	const ttl = 15 * time.Second
+	a := NewElector(e, lock, ElectorConfig{ID: "a", LeaseDuration: ttl})
+	b := NewElector(e, lock, ElectorConfig{ID: "b", LeaseDuration: ttl})
+	a.Run()
+	e.RunUntil(time.Second) // deterministic initial leader
+	b.Run()
+
+	// Sample the both-leaders invariant continuously, finer than any
+	// renew/retry interval.
+	overlaps := 0
+	e.Every(500*time.Millisecond, func() {
+		if a.IsLeader() && b.IsLeader() {
+			overlaps++
+		}
+	})
+
+	e.RunUntil(30 * time.Second)
+	if !a.IsLeader() {
+		t.Fatal("a is not the initial leader")
+	}
+	kill := e.Now()
+	a.Crash()
+
+	// The standby must NOT lead before the crashed leader's lease expires…
+	e.RunUntil(kill + ttl - time.Second)
+	if b.IsLeader() {
+		t.Fatal("b led before the crashed leader's lease expired")
+	}
+	// …and MUST lead within TTL + one retry interval.
+	e.RunUntil(kill + ttl + 2*time.Second + time.Second)
+	if !b.IsLeader() {
+		t.Fatal("b did not take over within lease TTL + retry interval")
+	}
+
+	// A revived ex-leader rejoins as a standby, not a second leader.
+	a.Run()
+	e.RunUntil(e.Now() + 30*time.Second)
+	if a.IsLeader() || !b.IsLeader() {
+		t.Fatalf("after revival: a=%v b=%v, want b sole leader", a.IsLeader(), b.IsLeader())
+	}
+	if overlaps != 0 {
+		t.Fatalf("observed %d instants with two leaders", overlaps)
 	}
 }
 

@@ -72,6 +72,8 @@ type Scraper struct {
 	registry *metrics.Registry
 	interval time.Duration
 	timer    *sim.Timer
+	dropping bool
+	dropped  uint64
 }
 
 // NewScraper returns a scraper; call Start to begin scraping.
@@ -85,6 +87,10 @@ func NewScraper(engine *sim.Engine, db *timeseries.DB, reg *metrics.Registry, in
 // Start begins periodic scraping (first scrape one interval from now).
 func (s *Scraper) Start() {
 	s.timer = s.engine.Every(s.interval, func() {
+		if s.dropping {
+			s.dropped++
+			return
+		}
 		s.db.Scrape(s.engine.Now(), s.registry)
 	})
 }
@@ -95,6 +101,15 @@ func (s *Scraper) Stop() {
 		s.timer.Cancel()
 	}
 }
+
+// SetDropping toggles scrape loss: while dropping, scheduled scrapes are
+// skipped and the TSDB goes stale, starving the collector of fresh samples —
+// the metric-scrape-loss fault of internal/chaos. It implements the
+// scrape-gate hook of internal/chaos.
+func (s *Scraper) SetDropping(drop bool) { s.dropping = drop }
+
+// Dropped returns how many scheduled scrapes were dropped.
+func (s *Scraper) Dropped() uint64 { return s.dropped }
 
 // Self-metric families the controller exports about its own state, so
 // operators (and the benches) can inspect L3's internals — the paper
@@ -178,16 +193,34 @@ func (c *Controller) Start() {
 	}
 }
 
-// Stop halts both loops.
+// Stop halts both loops and resigns leadership gracefully. A stopped
+// controller can be started again with Start.
 func (c *Controller) Stop() {
+	c.halt()
+	if c.cfg.Elector != nil {
+		c.cfg.Elector.Stop()
+	}
+}
+
+// Crash halts the controller the way a killed process would: loops stop and
+// the elector abandons campaigning WITHOUT releasing the lease, so a standby
+// acquires only after the lease TTL runs out — the leader-failover fault of
+// internal/chaos. Revive with Start.
+func (c *Controller) Crash() {
+	c.halt()
+	if c.cfg.Elector != nil {
+		c.cfg.Elector.Crash()
+	}
+}
+
+func (c *Controller) halt() {
 	if c.cancelWatch != nil {
 		c.cancelWatch()
+		c.cancelWatch = nil
 	}
 	if c.ticker != nil {
 		c.ticker.Cancel()
-	}
-	if c.cfg.Elector != nil {
-		c.cfg.Elector.Stop()
+		c.ticker = nil
 	}
 }
 

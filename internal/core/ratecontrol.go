@@ -14,7 +14,12 @@ type RateControlConfig struct {
 	// change is computed against (default 10 s, like the per-backend RPS
 	// filter).
 	RPSHalfLife time.Duration
-	// MinWeight is the floor of Algorithm 2 line 13 (default 1).
+	// MinWeight floors adjusted weights so braking can never zero a
+	// backend out (default 0.001). Algorithm 2 line 13's floor of one
+	// weight unit is in *integer* TrafficSplit units, which the
+	// controller's scaling already enforces; flooring at 1 in natural
+	// 1/seconds units would override Algorithm 1's verdict on degraded
+	// backends, whose healthy weights are the same order of magnitude.
 	MinWeight float64
 }
 
@@ -23,7 +28,7 @@ func (c RateControlConfig) withDefaults() RateControlConfig {
 		c.RPSHalfLife = 10 * time.Second
 	}
 	if c.MinWeight <= 0 {
-		c.MinWeight = 1
+		c.MinWeight = 0.001
 	}
 	return c
 }

@@ -150,7 +150,7 @@ func TestRateControllerDropShiftsToFastBackends(t *testing.T) {
 }
 
 func TestRateControllerFloor(t *testing.T) {
-	rc := NewRateController(RateControlConfig{})
+	rc := NewRateController(RateControlConfig{MinWeight: 1})
 	for i := 0; i < 20; i++ {
 		rc.Apply(time.Duration(i)*5*time.Second, map[string]float64{"a": 1000, "b": 1.2}, 100)
 	}
@@ -158,6 +158,17 @@ func TestRateControllerFloor(t *testing.T) {
 	rc.Apply(100*time.Second, w, 10)
 	if w["b"] < 1 {
 		t.Fatalf("weight %v below the floor", w["b"])
+	}
+	// The default floor is only a keep-positive guard, so braking is free
+	// to push a weight well below 1 natural unit.
+	rc = NewRateController(RateControlConfig{})
+	for i := 0; i < 20; i++ {
+		rc.Apply(time.Duration(i)*5*time.Second, map[string]float64{"a": 1000, "b": 1.2}, 100)
+	}
+	w = map[string]float64{"a": 1000, "b": 1.2}
+	rc.Apply(100*time.Second, w, 10)
+	if w["b"] >= 1.2 || w["b"] < rc.cfg.MinWeight {
+		t.Fatalf("weight = %v, want shrunk but no lower than %v", w["b"], rc.cfg.MinWeight)
 	}
 }
 

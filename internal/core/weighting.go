@@ -28,8 +28,13 @@ type WeightingConfig struct {
 	// (default 2; exposed for the ablation the paper motivates when it
 	// says squaring is a deliberate trade-off).
 	InflightExponent float64
-	// MinWeight is the floor keeping starved backends measurable
-	// (default 1, matching Algorithm 1 line 16).
+	// MinWeight floors Equation 4's output so weights stay positive and
+	// finite (default 0.001). Algorithm 1 line 16's floor of one weight
+	// unit applies to the *integer* TrafficSplit weight — the controller's
+	// scaling already clamps every backend to at least 1 of ~1000 units —
+	// so the natural-unit floor here is only a numerical guard: flooring
+	// at 1 in 1/seconds units would pin a quarter of a healthy backend's
+	// share onto a backend that answers nothing.
 	MinWeight float64
 
 	// Filter half-lives (§4): latency and in-flight 5 s; success rate and
@@ -61,7 +66,7 @@ func (c WeightingConfig) withDefaults() WeightingConfig {
 		c.InflightExponent = 2
 	}
 	if c.MinWeight <= 0 {
-		c.MinWeight = 1
+		c.MinWeight = 0.001
 	}
 	if c.LatencyHalfLife <= 0 {
 		c.LatencyHalfLife = 5 * time.Second

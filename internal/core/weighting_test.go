@@ -28,7 +28,7 @@ func TestWeighterDefaultsApplied(t *testing.T) {
 	if cfg.FilterKind != ewma.KindEWMA {
 		t.Fatalf("FilterKind default = %v", cfg.FilterKind)
 	}
-	if cfg.InflightExponent != 2 || cfg.MinWeight != 1 {
+	if cfg.InflightExponent != 2 || cfg.MinWeight != 0.001 {
 		t.Fatalf("exponent/min = %v/%v", cfg.InflightExponent, cfg.MinWeight)
 	}
 	if cfg.LatencyHalfLife != 5*time.Second || cfg.SuccessHalfLife != 10*time.Second {
@@ -117,8 +117,8 @@ func TestZeroSuccessRateUsesLsBranch(t *testing.T) {
 	if math.IsInf(weights["dead"], 0) || math.IsNaN(weights["dead"]) {
 		t.Fatalf("weight = %v", weights["dead"])
 	}
-	if weights["dead"] != 1 {
-		t.Fatalf("weight = %v, want floored to 1", weights["dead"])
+	if weights["dead"] != w.Config().MinWeight {
+		t.Fatalf("weight = %v, want floored to MinWeight %v", weights["dead"], w.Config().MinWeight)
 	}
 }
 
@@ -192,8 +192,8 @@ func TestZeroRPSMeansZeroNormalizedInflight(t *testing.T) {
 }
 
 func TestMinWeightFloor(t *testing.T) {
-	w := NewWeighter(WeightingConfig{})
-	// Lest = 5s (very slow) -> raw weight 0.2 -> floored to 1.
+	// An explicit floor clamps: Lest = 5s -> raw weight 0.2 -> floored to 1.
+	w := NewWeighter(WeightingConfig{MinWeight: 1})
 	m := map[string]BackendMetrics{"slow": observed(5.0, 1, 100, 0)}
 	var weights map[string]float64
 	for i := 0; i < 30; i++ {
@@ -201,6 +201,16 @@ func TestMinWeightFloor(t *testing.T) {
 	}
 	if weights["slow"] != 1 {
 		t.Fatalf("weight = %v, want floored to 1", weights["slow"])
+	}
+	// The default floor is only a numerical guard: the same slow backend
+	// keeps its honest Equation 4 weight (the integer TrafficSplit floor
+	// downstream is what keeps it measurable).
+	w = NewWeighter(WeightingConfig{})
+	for i := 0; i < 30; i++ {
+		weights = w.Update(time.Duration(i)*5*time.Second, m)
+	}
+	if math.Abs(weights["slow"]-0.2) > 0.02 {
+		t.Fatalf("weight = %v, want ~0.2 unfloored", weights["slow"])
 	}
 }
 
@@ -284,7 +294,7 @@ func TestWeightsAlwaysPositiveFiniteProperty(t *testing.T) {
 		for i := 0; i < 5; i++ {
 			weights := w.Update(time.Duration(i)*5*time.Second, m)
 			v := weights["b"]
-			if v < 1 || math.IsNaN(v) || math.IsInf(v, 0) {
+			if v < w.Config().MinWeight || math.IsNaN(v) || math.IsInf(v, 0) {
 				return false
 			}
 		}

@@ -19,8 +19,27 @@ import (
 
 	"l3/internal/backend"
 	"l3/internal/mesh"
+	"l3/internal/metrics"
 	"l3/internal/sim"
 )
+
+// Metric families the checker exports when given a registry, so failover
+// activity (ejections, restores) can be plotted next to L3's weight moves in
+// the chaos recovery figures.
+const (
+	// MetricEjectionsTotal counts healthy→unhealthy transitions per backend.
+	MetricEjectionsTotal = "health_ejections_total"
+	// MetricRestoresTotal counts unhealthy→healthy transitions per backend.
+	MetricRestoresTotal = "health_restores_total"
+)
+
+// Prober carries one probe to a backend and reports the outcome. The
+// default prober calls the backend's server directly (a kubelet probing the
+// pod from the same node); a mesh-level prober (mesh.Probe) adds WAN
+// transit, so partitions and delay spikes become visible to the checker. A
+// prober that never calls done (e.g. a blackholed link) counts as a failure
+// once the probe timeout trips.
+type Prober func(b *mesh.Backend, done func(success bool))
 
 // Config parameterises a Checker, with Kubernetes-liveness-probe-flavoured
 // defaults.
@@ -36,6 +55,10 @@ type Config struct {
 	// HealthyThreshold is the consecutive successes that restore it
 	// (default 2).
 	HealthyThreshold int
+	// Probe overrides how probes reach backends (default: direct serve).
+	Probe Prober
+	// Registry receives ejection/restore counters when set.
+	Registry *metrics.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -55,6 +78,7 @@ func (c Config) withDefaults() Config {
 }
 
 type probeState struct {
+	name        string
 	healthy     bool
 	consecFail  int
 	consecOK    int
@@ -86,7 +110,7 @@ func (c *Checker) Watch(b *mesh.Backend) {
 	if _, ok := c.states[b.Name]; ok {
 		return
 	}
-	st := &probeState{healthy: true}
+	st := &probeState{healthy: true, name: b.Name}
 	c.states[b.Name] = st
 	c.timers = append(c.timers, c.engine.Every(c.cfg.Interval, func() {
 		c.probe(b, st)
@@ -122,9 +146,9 @@ func (c *Checker) Transitions(name string) int {
 	return 0
 }
 
-// probe issues one synthetic request directly to the backend's server
-// (bypassing load balancing, like a kubelet probe hitting the pod) and
-// applies the thresholds.
+// probe issues one synthetic request through the configured prober (by
+// default directly to the backend's server, bypassing load balancing like a
+// kubelet probe hitting the pod) and applies the thresholds.
 func (c *Checker) probe(b *mesh.Backend, st *probeState) {
 	answered := false
 	timedOut := false
@@ -135,13 +159,20 @@ func (c *Checker) probe(b *mesh.Backend, st *probeState) {
 		timedOut = true
 		c.record(st, false)
 	})
-	b.Server.Serve(func(res backend.Result) {
+	deliver := func(ok bool) {
 		if timedOut {
 			return // too late; already counted as failure
 		}
 		answered = true
 		timeout.Cancel()
-		c.record(st, res.Success && !res.Rejected)
+		c.record(st, ok)
+	}
+	if c.cfg.Probe != nil {
+		c.cfg.Probe(b, deliver)
+		return
+	}
+	b.Server.Serve(func(res backend.Result) {
+		deliver(res.Success && !res.Rejected)
 	})
 }
 
@@ -152,6 +183,9 @@ func (c *Checker) record(st *probeState, ok bool) {
 		if !st.healthy && st.consecOK >= c.cfg.HealthyThreshold {
 			st.healthy = true
 			st.transitions++
+			if c.cfg.Registry != nil {
+				c.cfg.Registry.Counter(MetricRestoresTotal, metrics.Labels{"backend": st.name}).Inc()
+			}
 		}
 		return
 	}
@@ -160,6 +194,9 @@ func (c *Checker) record(st *probeState, ok bool) {
 	if st.healthy && st.consecFail >= c.cfg.UnhealthyThreshold {
 		st.healthy = false
 		st.transitions++
+		if c.cfg.Registry != nil {
+			c.cfg.Registry.Counter(MetricEjectionsTotal, metrics.Labels{"backend": st.name}).Inc()
+		}
 	}
 }
 

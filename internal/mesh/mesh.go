@@ -110,15 +110,21 @@ type Service struct {
 // Backends returns the service's deployments (shared slice; do not mutate).
 func (s *Service) Backends() []*Backend { return s.backends }
 
+// DefaultLostTimeout is how long a client waits on a request lost to a WAN
+// partition before counting it as failed — the request timeout of an HTTP
+// client talking into a blackholed link.
+const DefaultLostTimeout = time.Second
+
 // Mesh wires clusters, services, WAN and metrics together.
 type Mesh struct {
-	engine   *sim.Engine
-	rng      *sim.Rand
-	wan      *wan.Model
-	registry *metrics.Registry
-	splits   *smi.Store
-	services map[string]*Service
-	spans    SpanRecorder
+	engine      *sim.Engine
+	rng         *sim.Rand
+	wan         *wan.Model
+	registry    *metrics.Registry
+	splits      *smi.Store
+	services    map[string]*Service
+	spans       SpanRecorder
+	lostTimeout time.Duration
 }
 
 // New returns an empty mesh. All arguments are required.
@@ -127,13 +133,24 @@ func New(engine *sim.Engine, rng *sim.Rand, wanModel *wan.Model, registry *metri
 		panic("mesh: New requires engine, rng, wan model and registry")
 	}
 	return &Mesh{
-		engine:   engine,
-		rng:      rng,
-		wan:      wanModel,
-		registry: registry,
-		splits:   smi.NewStore(),
-		services: make(map[string]*Service),
+		engine:      engine,
+		rng:         rng,
+		wan:         wanModel,
+		registry:    registry,
+		splits:      smi.NewStore(),
+		services:    make(map[string]*Service),
+		lostTimeout: DefaultLostTimeout,
 	}
+}
+
+// SetLostTimeout overrides the client timeout applied to requests lost to a
+// WAN partition. Non-positive values restore the default. Requests on
+// healthy links are never subject to this timeout.
+func (m *Mesh) SetLostTimeout(d time.Duration) {
+	if d <= 0 {
+		d = DefaultLostTimeout
+	}
+	m.lostTimeout = d
 }
 
 // Splits exposes the mesh's TrafficSplit store — the write-side interface
@@ -255,9 +272,27 @@ func (m *Mesh) Call(srcCluster, service string, done func(Result)) error {
 		done(Result{Backend: b.Name, Latency: latency, Success: success})
 	}
 
+	// A partitioned forward link swallows the request: the client observes
+	// nothing until its timeout trips and counts the request as failed. The
+	// return link is checked again at response time, so a partition injected
+	// mid-request still blackholes the response.
+	if m.wan.Partitioned(srcCluster, b.Cluster) {
+		m.engine.At(start+m.lostTimeout, func() {
+			finish(false, 0)
+		})
+		return nil
+	}
 	forward := m.wan.OneWayDelay(srcCluster, b.Cluster, now)
 	m.engine.After(forward, func() {
 		b.Server.Serve(func(res backend.Result) {
+			if m.wan.Partitioned(b.Cluster, srcCluster) {
+				// engine.At clamps to "now" when the timeout already passed
+				// while the backend was serving.
+				m.engine.At(start+m.lostTimeout, func() {
+					finish(false, res.Latency)
+				})
+				return
+			}
 			back := m.wan.OneWayDelay(b.Cluster, srcCluster, m.engine.Now())
 			m.engine.After(back, func() {
 				finish(res.Success && !res.Rejected, res.Latency)
@@ -265,4 +300,28 @@ func (m *Mesh) Call(srcCluster, service string, done func(Result)) error {
 		})
 	})
 	return nil
+}
+
+// Probe issues one health probe from cluster src directly to backend b: WAN
+// transit both ways, no load balancing, no data-plane metrics (probes are
+// not client traffic). done fires with the probe outcome — unless either
+// direction is partitioned, in which case done never fires and the caller's
+// probe timeout counts the probe as failed, exactly as a real checker
+// behind a blackholed link would observe.
+func (m *Mesh) Probe(src string, b *Backend, done func(success bool)) {
+	now := m.engine.Now()
+	if m.wan.Partitioned(src, b.Cluster) {
+		return
+	}
+	m.engine.After(m.wan.OneWayDelay(src, b.Cluster, now), func() {
+		b.Server.Serve(func(res backend.Result) {
+			back := m.engine.Now()
+			if m.wan.Partitioned(b.Cluster, src) {
+				return
+			}
+			m.engine.After(m.wan.OneWayDelay(b.Cluster, src, back), func() {
+				done(res.Success && !res.Rejected)
+			})
+		})
+	})
 }

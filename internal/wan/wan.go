@@ -7,11 +7,18 @@
 // The model is deterministic: jitter and path shifts are derived from a
 // seeded hash of (link, time epoch), so the same seed reproduces the same
 // delay series without the model keeping per-query state.
+//
+// On top of the statistical dynamics, the model exposes structural fault
+// hooks for chaos engineering (internal/chaos): a directed link can be
+// partitioned (blackholed), given a fixed extra delay, or made to flap
+// between its normal and degraded path. Fault state is the only mutable part
+// of a Model and is guarded for concurrent use.
 package wan
 
 import (
 	"fmt"
 	"math"
+	"sync"
 	"time"
 )
 
@@ -48,11 +55,22 @@ func DefaultConfig() Config {
 
 // Model answers "what is the one-way network delay from cluster A to
 // cluster B at virtual time t". Intra-cluster delay is a small constant.
-// Model is immutable after construction and safe for concurrent use.
+// Model is immutable after construction except for injected link faults, and
+// safe for concurrent use.
 type Model struct {
 	cfg      Config
 	overlays map[linkKey]time.Duration
 	local    time.Duration
+
+	mu     sync.RWMutex
+	faults map[linkKey]linkFault
+}
+
+// linkFault is the injected structural state of one directed link.
+type linkFault struct {
+	extra       time.Duration
+	partitioned bool
+	flap        time.Duration
 }
 
 type linkKey struct{ from, to string }
@@ -84,6 +102,7 @@ func New(cfg Config, opts ...Option) *Model {
 		cfg:      cfg,
 		overlays: make(map[linkKey]time.Duration),
 		local:    500 * time.Microsecond,
+		faults:   make(map[linkKey]linkFault),
 	}
 	for _, o := range opts {
 		o(m)
@@ -102,9 +121,49 @@ func (m *Model) BaseRTT(from, to string) time.Duration {
 	return m.cfg.BaseRTT
 }
 
+// InjectLinkFault installs a structural fault on the directed link from→to,
+// replacing any previous fault on it: extra is a fixed added one-way delay,
+// partitioned blackholes the link entirely (Partitioned reports true and
+// transit never completes), and a positive flap makes the extra delay apply
+// only in alternating flap-length epochs — a routing path bouncing between a
+// short and a long route. It implements the link-injector hook of
+// internal/chaos.
+func (m *Model) InjectLinkFault(from, to string, extra time.Duration, partitioned bool, flap time.Duration) {
+	m.mu.Lock()
+	m.faults[linkKey{from, to}] = linkFault{extra: extra, partitioned: partitioned, flap: flap}
+	m.mu.Unlock()
+}
+
+// HealLinkFault removes any injected fault from the directed link from→to.
+func (m *Model) HealLinkFault(from, to string) {
+	m.mu.Lock()
+	delete(m.faults, linkKey{from, to})
+	m.mu.Unlock()
+}
+
+// Partitioned reports whether the directed link from→to is currently
+// blackholed by an injected fault. Intra-cluster traffic never partitions.
+func (m *Model) Partitioned(from, to string) bool {
+	if from == to {
+		return false
+	}
+	m.mu.RLock()
+	f, ok := m.faults[linkKey{from, to}]
+	m.mu.RUnlock()
+	return ok && f.partitioned
+}
+
+// fault returns the injected fault of a link, if any.
+func (m *Model) fault(from, to string) (linkFault, bool) {
+	m.mu.RLock()
+	f, ok := m.faults[linkKey{from, to}]
+	m.mu.RUnlock()
+	return f, ok
+}
+
 // OneWayDelay returns the one-way delay from cluster from to cluster to at
-// virtual time t, including jitter and path-shift dynamics. The value is a
-// pure function of (from, to, t, seed).
+// virtual time t, including jitter and path-shift dynamics. Absent injected
+// faults the value is a pure function of (from, to, t, seed).
 func (m *Model) OneWayDelay(from, to string, t time.Duration) time.Duration {
 	if from == to {
 		return m.local
@@ -127,6 +186,11 @@ func (m *Model) OneWayDelay(from, to string, t time.Duration) time.Duration {
 	d := float64(base) * (1 + jitter + pathExtra)
 	if d < float64(m.local) {
 		d = float64(m.local)
+	}
+	if f, ok := m.fault(from, to); ok && f.extra > 0 {
+		if f.flap <= 0 || uint64(t/f.flap)%2 == 0 {
+			d += float64(f.extra)
+		}
 	}
 	return time.Duration(d)
 }

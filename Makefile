@@ -1,11 +1,11 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race chaos-smoke
+.PHONY: check fmt vet build test race chaos-smoke bench bench-smoke
 
 ## check: the pre-merge gate — formatting, vet, build, the full suite under
-## the race detector, and a chaos smoke run. Run before every merge; CI and
-## the tier-1 verify in ROADMAP.md assume it passes.
-check: fmt vet build race chaos-smoke
+## the race detector, and chaos + bench smoke runs. Run before every merge;
+## CI and the tier-1 verify in ROADMAP.md assume it passes.
+check: fmt vet build race chaos-smoke bench-smoke
 
 ## fmt: fail if any file needs gofmt (prints the offenders).
 fmt:
@@ -29,3 +29,13 @@ race:
 chaos-smoke:
 	$(GO) run ./cmd/l3bench -chaos 'partition@48s+24s:cluster-1/cluster-2' \
 		-scenario scenario-1 -quick >/dev/null
+
+## bench: the fast-path benchmark suite (mesh.Call, metrics, histogram, event
+## heap), machine-readable results in BENCH_fastpath.json.
+bench:
+	$(GO) run ./cmd/l3bench -bench -benchout BENCH_fastpath.json
+
+## bench-smoke: the same suite discarding results — proves the benchmark
+## harness runs end to end.
+bench-smoke:
+	$(GO) run ./cmd/l3bench -bench -benchout /dev/null

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"l3/internal/perf"
+)
+
+// TestRunBenchWritesJSON drives -bench end to end: the suite runs, results
+// land in -benchout as JSON, and every suite entry reports a measurement.
+func TestRunBenchWritesJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark suite takes ~1s per entry")
+	}
+	out := filepath.Join(t.TempDir(), "bench.json")
+	if err := run([]string{"-bench", "-benchout", out}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var results []perf.Result
+	if err := json.Unmarshal(data, &results); err != nil {
+		t.Fatalf("benchout is not valid JSON: %v", err)
+	}
+	if len(results) != len(perf.Suite()) {
+		t.Fatalf("got %d results, want %d (one per suite entry)", len(results), len(perf.Suite()))
+	}
+	for _, r := range results {
+		if r.Name == "" || r.Iterations <= 0 || r.NsPerOp <= 0 {
+			t.Fatalf("implausible measurement: %+v", r)
+		}
+	}
+	for _, name := range []string{"MeshCall", "MeshCallP2C"} {
+		found := false
+		for _, r := range results {
+			if r.Name == name {
+				found = true
+				if r.RequestsPerSec <= 0 {
+					t.Fatalf("%s missing derived requests/sec: %+v", name, r)
+				}
+			}
+		}
+		if !found {
+			t.Fatalf("suite result %s missing", name)
+		}
+	}
+}
+
+// TestRunProfilesWriteFiles checks -cpuprofile and -memprofile produce
+// non-empty pprof files around an ordinary figure run.
+func TestRunProfilesWriteFiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	if err := run([]string{"-fig", "6", "-cpuprofile", cpu, "-memprofile", mem}); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("profile %s is empty", p)
+		}
+	}
+}

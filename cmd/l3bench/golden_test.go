@@ -1,0 +1,62 @@
+package main
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"testing"
+)
+
+// captureStdout runs the CLI with stdout redirected into a buffer (stderr
+// stays silenced by TestMain: timings are nondeterministic by design).
+func captureStdout(t *testing.T, args ...string) []byte {
+	t.Helper()
+	old := stdout
+	defer func() { stdout = old }()
+	var buf bytes.Buffer
+	stdout = &buf
+	if err := run(args); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	return buf.Bytes()
+}
+
+// TestFigureOutputByteIdentical pins figure stdout two ways: serial and
+// fanned-out runs must produce the same bytes (the -parallel guarantee), and
+// those bytes must hash to the golden values captured before the fast-path
+// refactor — proving the route-cached metric handles, pooled request state,
+// atomic series and event recycling changed no observable result.
+func TestFigureOutputByteIdentical(t *testing.T) {
+	goldens := []struct {
+		name   string
+		args   []string
+		sha256 string
+	}{
+		{"fig6", []string{"-fig", "6"},
+			"019743b524369cce596ee98dbcd267e9e41b2262935e979dbf235a9361b8fe51"},
+		{"chaos-partition", []string{
+			"-chaos", "partition@48s+24s:cluster-1/cluster-2",
+			"-scenario", "scenario-1", "-quick"},
+			"b55805fa750b83df9978f71a6415b7b58363b2af3477a140b8cdd02dc71d09ac"},
+		{"C1-quick", []string{"-fig", "C1", "-quick"},
+			"670ec94202c375bbc0c3dcd0444563992a2dc3ebb33dc3bd0e8f0c230e0ec348"},
+		{"C2-quick", []string{"-fig", "C2", "-quick"},
+			"9d0bfaa46443fcf9b57fdc0371bd83237a54a0ef1f392e04e62422ac1024f2bc"},
+		{"fig10-quick", []string{"-fig", "10", "-quick"},
+			"fe841c542725856b8a05dfba01551793fa818d44d1cf7c755dc20ba259c86099"},
+	}
+	for _, g := range goldens {
+		g := g
+		t.Run(g.name, func(t *testing.T) {
+			serial := captureStdout(t, append([]string{"-parallel", "1"}, g.args...)...)
+			fanned := captureStdout(t, append([]string{"-parallel", "8"}, g.args...)...)
+			if !bytes.Equal(serial, fanned) {
+				t.Fatal("stdout differs between -parallel 1 and -parallel 8")
+			}
+			sum := sha256.Sum256(serial)
+			if got := hex.EncodeToString(sum[:]); got != g.sha256 {
+				t.Fatalf("stdout sha256 = %s, want golden %s (output changed)", got, g.sha256)
+			}
+		})
+	}
+}

@@ -24,6 +24,17 @@
 // Figure durations follow the paper (10-minute scenarios); -quick shrinks
 // the measured window for a fast sanity pass.
 //
+// The harness's own performance is measurable in place:
+//
+//	l3bench -bench                             # fast-path benchmark suite, JSON to stdout
+//	l3bench -bench -benchout BENCH.json        # machine-readable results to a file
+//	l3bench -fig 10 -cpuprofile cpu.pprof      # profile any run (figures or -bench)
+//	l3bench -bench -memprofile mem.pprof
+//
+// -bench runs the internal/perf suite (mesh.Call end to end, metric and
+// histogram recording, registry scrapes, the event heap) through
+// testing.Benchmark; profiles are standard pprof files.
+//
 // Independent runs (figures × configurations × repetitions) fan out across
 // -parallel worker goroutines; each run derives its own seed and owns its
 // simulation engine, and results are merged in a fixed order, so stdout is
@@ -38,10 +49,12 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"l3/internal/bench"
 	"l3/internal/chaos"
+	"l3/internal/perf"
 	"l3/internal/trace"
 )
 
@@ -70,9 +83,53 @@ func run(args []string) error {
 		csv      = fs.Bool("csv", false, "emit series results as CSV instead of summaries")
 		parallel = fs.Int("parallel", runtime.GOMAXPROCS(0),
 			"worker goroutines fanning out independent runs (1 = serial); output is identical for any value")
+		benchMode  = fs.Bool("bench", false, "run the fast-path benchmark suite instead of figures")
+		benchout   = fs.String("benchout", "", "write -bench results as JSON to this file (default: stdout)")
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memprofile = fs.String("memprofile", "", "write a heap profile at the end of the run to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(stderr, "l3bench: -memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(stderr, "l3bench: -memprofile:", err)
+			}
+		}()
+	}
+
+	if *benchMode {
+		results := perf.Run(stderr)
+		out := stdout
+		if *benchout != "" {
+			f, err := os.Create(*benchout)
+			if err != nil {
+				return fmt.Errorf("-benchout: %w", err)
+			}
+			defer f.Close()
+			out = f
+		}
+		return perf.WriteJSON(out, results)
 	}
 
 	opts := bench.Options{Seed: *seed, Reps: *reps, Parallel: *parallel}

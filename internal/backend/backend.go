@@ -59,6 +59,54 @@ type Replica struct {
 	rejected uint64
 	crashes  uint64
 	maxQueue int
+
+	// freeExecs recycles per-request execution state (and its pre-bound
+	// completion callback) between requests; the replica is single-threaded
+	// on its engine, so the free list needs no lock.
+	freeExecs []*execution
+}
+
+// execution is the pooled state of one in-flight request: what the
+// completion event needs, plus the event callback bound once per struct so
+// the steady-state serve path allocates nothing.
+type execution struct {
+	r       *Replica
+	wait    time.Duration
+	exec    time.Duration
+	epoch   uint64
+	success bool
+	done    func(Result)
+	fire    func()
+}
+
+func (r *Replica) getExec() *execution {
+	if n := len(r.freeExecs); n > 0 {
+		ex := r.freeExecs[n-1]
+		r.freeExecs[n-1] = nil
+		r.freeExecs = r.freeExecs[:n-1]
+		return ex
+	}
+	ex := &execution{r: r}
+	ex.fire = func() { ex.complete() }
+	return ex
+}
+
+// complete is the execution-finished event: recycle first (the callback may
+// issue nested requests), then settle the request with the caller.
+func (ex *execution) complete() {
+	r, wait, exec, epoch, success, done := ex.r, ex.wait, ex.exec, ex.epoch, ex.success, ex.done
+	ex.done = nil
+	r.freeExecs = append(r.freeExecs, ex)
+	if epoch != r.epoch {
+		// The deployment crashed while this request was executing: the
+		// connection died with it. The client has waited exec anyway.
+		done(Result{Latency: wait + exec, Success: false})
+		return
+	}
+	r.busy--
+	r.served++
+	r.next()
+	done(Result{Latency: wait + exec, Success: success})
 }
 
 // connRefusedDelay is how quickly a request to a crashed deployment fails —
@@ -120,19 +168,9 @@ func (r *Replica) start(wait time.Duration, done func(Result)) {
 	if exec < 0 {
 		exec = 0
 	}
-	epoch := r.epoch
-	r.engine.After(exec, func() {
-		if epoch != r.epoch {
-			// The deployment crashed while this request was executing: the
-			// connection died with it. The client has waited exec anyway.
-			done(Result{Latency: wait + exec, Success: false})
-			return
-		}
-		r.busy--
-		r.served++
-		r.next()
-		done(Result{Latency: wait + exec, Success: success})
-	})
+	ex := r.getExec()
+	ex.wait, ex.exec, ex.epoch, ex.success, ex.done = wait, exec, r.epoch, success, done
+	r.engine.ScheduleAfter(exec, ex.fire)
 }
 
 func (r *Replica) next() {

@@ -20,16 +20,23 @@ import (
 	"l3/internal/smi"
 )
 
+// routeKey identifies per-(source cluster, service/backend) picker state
+// without building a string per request: struct keys hash directly.
+type routeKey struct {
+	src  string
+	name string
+}
+
 // RoundRobin cycles through a service's backends in order. State is kept
 // per (source cluster, service) — one counter per client proxy, like a real
 // mesh — and the strategy is deterministic.
 type RoundRobin struct {
-	counters map[string]int
+	counters map[routeKey]int
 }
 
 // NewRoundRobin returns a fresh round-robin picker.
 func NewRoundRobin() *RoundRobin {
-	return &RoundRobin{counters: make(map[string]int)}
+	return &RoundRobin{counters: make(map[routeKey]int)}
 }
 
 // Pick implements mesh.Picker.
@@ -37,7 +44,7 @@ func (r *RoundRobin) Pick(_ time.Duration, src, service string, backends []*mesh
 	if len(backends) == 0 {
 		return nil
 	}
-	key := src + "\x00" + service
+	key := routeKey{src, service}
 	i := r.counters[key] % len(backends)
 	r.counters[key]++
 	return backends[i]
@@ -52,6 +59,9 @@ type WeightedSplit struct {
 	splits *smi.Store
 	name   func(src, service string) string
 	rng    *sim.Rand
+	// weights is Pick's scratch buffer; like the mesh that calls it, a
+	// picker is single-threaded, so reusing it keeps picks allocation-free.
+	weights []int64
 }
 
 // NewWeightedSplit returns a picker reading weights from splits. splitName
@@ -75,9 +85,13 @@ func (w *WeightedSplit) Pick(_ time.Duration, src, service string, backends []*m
 	if !ok {
 		return backends[w.rng.IntN(len(backends))]
 	}
-	weights := make([]int64, len(backends))
+	if cap(w.weights) < len(backends) {
+		w.weights = make([]int64, len(backends))
+	}
+	weights := w.weights[:len(backends)]
 	var total int64
 	for i, b := range backends {
+		weights[i] = 0
 		for _, tb := range ts.Backends {
 			if tb.Service == b.Name {
 				weights[i] = tb.Weight
@@ -108,7 +122,7 @@ type P2C struct {
 	rng      *sim.Rand
 	halfLife time.Duration
 	defaultL float64
-	state    map[string]*p2cState
+	state    map[routeKey]*p2cState
 }
 
 type p2cState struct {
@@ -129,12 +143,12 @@ func NewP2C(rng *sim.Rand, halfLife, defaultLatency time.Duration) *P2C {
 		rng:      rng,
 		halfLife: halfLife,
 		defaultL: defaultLatency.Seconds(),
-		state:    make(map[string]*p2cState),
+		state:    make(map[routeKey]*p2cState),
 	}
 }
 
 func (p *P2C) stateFor(src, name string) *p2cState {
-	key := src + "\x00" + name
+	key := routeKey{src, name}
 	s, ok := p.state[key]
 	if !ok {
 		s = &p2cState{latency: ewma.NewPeak(p.halfLife, p.defaultL)}
@@ -188,7 +202,8 @@ type PreferCluster struct {
 	Cluster  string
 	Fallback mesh.Picker
 
-	rr RoundRobin
+	rr    RoundRobin
+	local []*mesh.Backend // Pick's scratch buffer (single-threaded)
 }
 
 // NewPreferCluster returns a locality picker for the given cluster.
@@ -196,18 +211,19 @@ func NewPreferCluster(cluster string, fallback mesh.Picker) *PreferCluster {
 	return &PreferCluster{
 		Cluster:  cluster,
 		Fallback: fallback,
-		rr:       RoundRobin{counters: make(map[string]int)},
+		rr:       RoundRobin{counters: make(map[routeKey]int)},
 	}
 }
 
 // Pick implements mesh.Picker.
 func (p *PreferCluster) Pick(now time.Duration, src, service string, backends []*mesh.Backend) *mesh.Backend {
-	var local []*mesh.Backend
+	local := p.local[:0]
 	for _, b := range backends {
 		if b.Cluster == p.Cluster {
 			local = append(local, b)
 		}
 	}
+	p.local = local
 	if len(local) > 0 {
 		return p.rr.Pick(now, src, service, local)
 	}

@@ -14,6 +14,7 @@ package histogram
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"time"
 )
 
@@ -28,20 +29,102 @@ const (
 
 var (
 	logGrowth  = math.Log(growth)
-	numBuckets = bucketIndex(1000*time.Second) + 2
+	numBuckets = logBucketIndex(1000*time.Second) + 2
+
+	// bucketStarts[i] is the smallest duration mapped to bucket i, derived
+	// once from the log formula so the table-driven index below reproduces
+	// it bit-for-bit without a math.Log per Record.
+	bucketStarts []time.Duration
+	// bucketUppers[i] is the representative upper-bound value of bucket i,
+	// the precomputed form of the old per-call math.Pow.
+	bucketUppers []time.Duration
+	// octaveLo/octaveHi clamp the index search to the buckets whose range
+	// intersects the value's power-of-two octave (~36 buckets at growth
+	// 1.02), so a Record costs a handful of compares instead of a log.
+	octaveLo [65]int32
+	octaveHi [65]int32
 )
 
-func bucketIndex(v time.Duration) int {
+// logBucketIndex is the original logarithmic bucket mapping, kept as the
+// reference the tables are calibrated against (and tests compare to).
+func logBucketIndex(v time.Duration) int {
 	if v <= minTrackable {
 		return 0
 	}
 	return 1 + int(math.Log(float64(v)/float64(minTrackable))/logGrowth)
 }
 
+func init() {
+	bucketStarts = make([]time.Duration, numBuckets)
+	bucketUppers = make([]time.Duration, numBuckets)
+	bucketUppers[0] = minTrackable
+	for i := 1; i < numBuckets; i++ {
+		// Seed near the analytic boundary, then calibrate against the log
+		// formula so float rounding cannot shift any bucket edge.
+		v := time.Duration(math.Exp(float64(i-1)*logGrowth) * float64(minTrackable))
+		for v > 0 && logBucketIndex(v) >= i {
+			v--
+		}
+		for logBucketIndex(v) < i {
+			v++
+		}
+		bucketStarts[i] = v
+		bucketUppers[i] = time.Duration(float64(minTrackable) * math.Pow(growth, float64(i)))
+	}
+	for b := 0; b <= 64; b++ {
+		var lowest, highest time.Duration
+		if b > 0 {
+			lowest = 1 << (b - 1)
+			highest = 1<<b - 1
+			if b == 64 {
+				highest = math.MaxInt64
+			}
+		}
+		lo := sortSearchStarts(lowest)
+		hi := sortSearchStarts(highest)
+		octaveLo[b], octaveHi[b] = int32(lo), int32(hi)
+	}
+}
+
+// sortSearchStarts returns the bucket index of v by full binary search over
+// bucketStarts (used only to build the octave tables).
+func sortSearchStarts(v time.Duration) int {
+	lo, hi := 0, numBuckets-1
+	for lo < hi {
+		mid := int(uint(lo+hi+1) >> 1)
+		if bucketStarts[mid] <= v {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}
+
+// bucketIndex maps a duration to its bucket using the precomputed tables:
+// identical to logBucketIndex (clamped to the table) with no transcendental
+// math on the hot path.
+func bucketIndex(v time.Duration) int {
+	if v <= minTrackable {
+		return 0
+	}
+	lo := int(octaveLo[bits.Len64(uint64(v))])
+	hi := int(octaveHi[bits.Len64(uint64(v))])
+	for lo < hi {
+		mid := int(uint(lo+hi+1) >> 1)
+		if bucketStarts[mid] <= v {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}
+
 // bucketUpper returns a representative (upper-bound) value for bucket i.
 func bucketUpper(i int) time.Duration {
-	if i == 0 {
-		return minTrackable
+	if i < len(bucketUppers) {
+		return bucketUppers[i]
 	}
 	return time.Duration(float64(minTrackable) * math.Pow(growth, float64(i)))
 }

@@ -64,6 +64,11 @@ type Backend struct {
 	Cluster string
 	// Server models the deployment's serving behaviour.
 	Server Server
+
+	// routes caches the resolved metric handles per source cluster. The
+	// slice is tiny (one entry per source cluster) so a linear scan beats
+	// any map, and the steady-state request path touches no maps at all.
+	routes []*routeStats
 }
 
 // Picker chooses a backend for one request. Implementations may keep state
@@ -105,6 +110,10 @@ type Service struct {
 	name     string
 	backends []*Backend
 	picker   Picker
+	// observer is picker's Observer view, resolved once at SetPicker time so
+	// the per-request path skips the type assertion and a mid-flight picker
+	// swap cannot feed responses to a picker that never saw the pick.
+	observer Observer
 }
 
 // Backends returns the service's deployments (shared slice; do not mutate).
@@ -125,6 +134,110 @@ type Mesh struct {
 	services    map[string]*Service
 	spans       SpanRecorder
 	lostTimeout time.Duration
+	// freeCalls recycles per-request state (and its pre-bound closures)
+	// between requests; like the engine, a Mesh is single-threaded, so the
+	// free list needs no lock.
+	freeCalls []*call
+}
+
+// classStats holds the resolved response handles of one classification
+// (success or failure) of one route. Handles resolve lazily on the first
+// response of that classification, so the registry's series set and
+// registration order are exactly what the label-built path produced.
+type classStats struct {
+	total   *metrics.Counter
+	latency *metrics.Histogram
+}
+
+// routeStats caches the metric handles of one (service, backend, src)
+// route. After the first few requests resolve its handles, a request
+// records its metrics through pointer loads alone: no label maps, no series
+// keys, no registry lock.
+type routeStats struct {
+	src     string
+	service string
+	backend string
+	// inflight resolves when the route is first used (call time).
+	inflight *metrics.Gauge
+	success  classStats
+	failure  classStats
+}
+
+// class returns the classification's resolved handles, registering the
+// counter and histogram series on first use — counter first, histogram
+// second, matching the order the label-built path registered them in.
+func (rs *routeStats) class(reg *metrics.Registry, success bool) *classStats {
+	cs, name := &rs.failure, ClassFailure
+	if success {
+		cs, name = &rs.success, ClassSuccess
+	}
+	if cs.total == nil {
+		labels := metrics.Labels{
+			"service": rs.service, "backend": rs.backend, "src": rs.src,
+			"classification": name,
+		}
+		cs.total = reg.Counter(MetricResponseTotal, labels)
+		cs.latency = reg.Histogram(MetricResponseLatency, labels, histogram.LinkerdLatencyBounds)
+	}
+	return cs
+}
+
+// route returns the cached routeStats for (service, b, src), resolving the
+// inflight gauge (and the cache entry) on the route's first request.
+func (m *Mesh) route(service string, b *Backend, src string) *routeStats {
+	for _, rs := range b.routes {
+		if rs.src == src {
+			return rs
+		}
+	}
+	labels := metrics.Labels{"service": service, "backend": b.Name, "src": src}
+	rs := &routeStats{
+		src: src, service: service, backend: b.Name,
+		inflight: m.registry.Gauge(MetricInflight, labels),
+	}
+	b.routes = append(b.routes, rs)
+	return rs
+}
+
+// call is the pooled per-request state: everything the completion path
+// needs, plus the three callbacks of the request lifecycle bound once per
+// struct (they capture only the struct pointer), so a steady-state request
+// allocates neither closures nor state.
+type call struct {
+	m         *Mesh
+	b         *Backend
+	rs        *routeStats
+	obs       Observer
+	src       string
+	start     time.Duration
+	serverDur time.Duration
+	success   bool
+	done      func(Result)
+
+	forward   func()               // fires after the forward WAN hop
+	serveDone func(backend.Result) // the backend's completion callback
+	finishFn  func()               // fires after the return WAN hop/timeout
+}
+
+// getCall pops a recycled request (or builds one, binding its callbacks).
+func (m *Mesh) getCall() *call {
+	if n := len(m.freeCalls); n > 0 {
+		c := m.freeCalls[n-1]
+		m.freeCalls[n-1] = nil
+		m.freeCalls = m.freeCalls[:n-1]
+		return c
+	}
+	c := &call{m: m}
+	c.forward = func() { c.b.Server.Serve(c.serveDone) }
+	c.serveDone = func(res backend.Result) { c.onServed(res) }
+	c.finishFn = func() { c.finish() }
+	return c
+}
+
+// putCall recycles a finished request, dropping caller references.
+func (m *Mesh) putCall(c *call) {
+	c.b, c.rs, c.obs, c.done = nil, nil, nil, nil
+	m.freeCalls = append(m.freeCalls, c)
 }
 
 // New returns an empty mesh. All arguments are required.
@@ -214,13 +327,16 @@ func (m *Mesh) AddServerBackend(service, backendName, cluster string, srv Server
 	return b, nil
 }
 
-// SetPicker installs the routing strategy for a service.
+// SetPicker installs the routing strategy for a service. The picker's
+// Observer view is resolved here, once, so requests in flight across a
+// picker swap keep reporting to the picker that made their pick.
 func (m *Mesh) SetPicker(service string, p Picker) error {
 	svc, ok := m.services[service]
 	if !ok {
 		return fmt.Errorf("mesh: unknown service %q", service)
 	}
 	svc.picker = p
+	svc.observer, _ = p.(Observer)
 	return nil
 }
 
@@ -238,68 +354,73 @@ func (m *Mesh) Call(srcCluster, service string, done func(Result)) error {
 	}
 
 	now := m.engine.Now()
+	// Bind the picker and its Observer view at pick time: a SetPicker swap
+	// mid-flight must not feed this response to a picker that never saw the
+	// pick.
+	picker, obs := svc.picker, svc.observer
 	var b *Backend
-	if svc.picker != nil {
-		b = svc.picker.Pick(now, srcCluster, service, svc.backends)
+	if picker != nil {
+		b = picker.Pick(now, srcCluster, service, svc.backends)
 	}
 	if b == nil {
 		b = svc.backends[m.rng.IntN(len(svc.backends))]
 	}
 
-	labels := metrics.Labels{"service": service, "backend": b.Name, "src": srcCluster}
-	inflight := m.registry.Gauge(MetricInflight, labels)
-	inflight.Inc()
-	start := now
-
-	finish := func(success bool, serverDuration time.Duration) {
-		end := m.engine.Now()
-		latency := end - start
-		inflight.Dec()
-		if m.spans != nil {
-			m.spans.RecordSpan(service, b.Name, srcCluster, start, end, serverDuration, success)
-		}
-		class := ClassFailure
-		if success {
-			class = ClassSuccess
-		}
-		classified := labels.With("classification", class)
-		m.registry.Counter(MetricResponseTotal, classified).Inc()
-		m.registry.Histogram(MetricResponseLatency, classified, histogram.LinkerdLatencyBounds).
-			Observe(latency.Seconds())
-		if obs, ok := svc.picker.(Observer); ok && svc.picker != nil {
-			obs.Observe(end, srcCluster, b.Name, latency, success)
-		}
-		done(Result{Backend: b.Name, Latency: latency, Success: success})
-	}
+	c := m.getCall()
+	c.b, c.rs, c.obs = b, m.route(service, b, srcCluster), obs
+	c.src, c.start, c.done = srcCluster, now, done
+	c.rs.inflight.Inc()
 
 	// A partitioned forward link swallows the request: the client observes
 	// nothing until its timeout trips and counts the request as failed. The
 	// return link is checked again at response time, so a partition injected
 	// mid-request still blackholes the response.
 	if m.wan.Partitioned(srcCluster, b.Cluster) {
-		m.engine.At(start+m.lostTimeout, func() {
-			finish(false, 0)
-		})
+		c.success, c.serverDur = false, 0
+		m.engine.Schedule(now+m.lostTimeout, c.finishFn)
 		return nil
 	}
 	forward := m.wan.OneWayDelay(srcCluster, b.Cluster, now)
-	m.engine.After(forward, func() {
-		b.Server.Serve(func(res backend.Result) {
-			if m.wan.Partitioned(b.Cluster, srcCluster) {
-				// engine.At clamps to "now" when the timeout already passed
-				// while the backend was serving.
-				m.engine.At(start+m.lostTimeout, func() {
-					finish(false, res.Latency)
-				})
-				return
-			}
-			back := m.wan.OneWayDelay(b.Cluster, srcCluster, m.engine.Now())
-			m.engine.After(back, func() {
-				finish(res.Success && !res.Rejected, res.Latency)
-			})
-		})
-	})
+	m.engine.ScheduleAfter(forward, c.forward)
 	return nil
+}
+
+// onServed is the backend-completion leg of a request: check the return
+// link, then schedule the finish after the return hop (or at the client
+// timeout when the link is partitioned — Schedule clamps to "now" when the
+// timeout already passed while the backend was serving).
+func (c *call) onServed(res backend.Result) {
+	m := c.m
+	if m.wan.Partitioned(c.b.Cluster, c.src) {
+		c.success, c.serverDur = false, res.Latency
+		m.engine.Schedule(c.start+m.lostTimeout, c.finishFn)
+		return
+	}
+	back := m.wan.OneWayDelay(c.b.Cluster, c.src, m.engine.Now())
+	c.success, c.serverDur = res.Success && !res.Rejected, res.Latency
+	m.engine.ScheduleAfter(back, c.finishFn)
+}
+
+// finish records the response at the client proxy — inflight, spans,
+// response_total, response_latency, Observer feedback — through the route's
+// cached handles, recycles the request state, and completes the caller.
+func (c *call) finish() {
+	m := c.m
+	end := m.engine.Now()
+	latency := end - c.start
+	c.rs.inflight.Dec()
+	if m.spans != nil {
+		m.spans.RecordSpan(c.rs.service, c.b.Name, c.src, c.start, end, c.serverDur, c.success)
+	}
+	cs := c.rs.class(m.registry, c.success)
+	cs.total.Inc()
+	cs.latency.Observe(latency.Seconds())
+	if c.obs != nil {
+		c.obs.Observe(end, c.src, c.b.Name, latency, c.success)
+	}
+	done, backendName, success := c.done, c.b.Name, c.success
+	m.putCall(c) // recycle before done: the callback may issue nested Calls
+	done(Result{Backend: backendName, Latency: latency, Success: success})
 }
 
 // Probe issues one health probe from cluster src directly to backend b: WAN

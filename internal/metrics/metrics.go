@@ -8,14 +8,24 @@
 // upper bounds (response_latency). Histograms flatten into *_bucket samples
 // with an "le" label plus *_sum and *_count, exactly as a Prometheus scrape
 // would render them.
+//
+// Series are lock-free on the write side: counters, gauges and histogram
+// buckets are atomics, so a data-plane observation costs a few atomic
+// operations and allocates nothing. The registry lock only guards series
+// registration and the scrape pass. Like Prometheus itself, a scrape
+// concurrent with writers has no cross-series atomicity guarantee; in the
+// simulator both run on the engine's single thread, where a scrape is
+// coherent by construction.
 package metrics
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Labels is a set of label name/value pairs identifying one time series of
@@ -83,10 +93,31 @@ type Sample struct {
 	Value  float64
 }
 
-// Counter is a monotonically increasing value. Safe for concurrent use.
+// atomicFloat is a float64 updated through compare-and-swap on its bit
+// pattern — the lock-free substrate under counters, gauges and histogram
+// sums.
+type atomicFloat struct {
+	bits atomic.Uint64
+}
+
+func (f *atomicFloat) add(delta float64) {
+	for {
+		old := f.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if f.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) store(v float64) { f.bits.Store(math.Float64bits(v)) }
+
+func (f *atomicFloat) load() float64 { return math.Float64frombits(f.bits.Load()) }
+
+// Counter is a monotonically increasing value. Safe for concurrent use;
+// updates are lock-free and allocation-free.
 type Counter struct {
-	mu sync.Mutex
-	v  float64
+	v atomicFloat
 }
 
 // Inc adds one.
@@ -98,37 +129,23 @@ func (c *Counter) Add(delta float64) {
 	if delta < 0 {
 		return
 	}
-	c.mu.Lock()
-	c.v += delta
-	c.mu.Unlock()
+	c.v.add(delta)
 }
 
 // Value returns the current count.
-func (c *Counter) Value() float64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.v
-}
+func (c *Counter) Value() float64 { return c.v.load() }
 
-// Gauge is a value that can go up and down. Safe for concurrent use.
+// Gauge is a value that can go up and down. Safe for concurrent use;
+// updates are lock-free and allocation-free.
 type Gauge struct {
-	mu sync.Mutex
-	v  float64
+	v atomicFloat
 }
 
 // Set replaces the value.
-func (g *Gauge) Set(v float64) {
-	g.mu.Lock()
-	g.v = v
-	g.mu.Unlock()
-}
+func (g *Gauge) Set(v float64) { g.v.store(v) }
 
 // Add shifts the value by delta (may be negative).
-func (g *Gauge) Add(delta float64) {
-	g.mu.Lock()
-	g.v += delta
-	g.mu.Unlock()
-}
+func (g *Gauge) Add(delta float64) { g.v.add(delta) }
 
 // Inc adds one.
 func (g *Gauge) Inc() { g.Add(1) }
@@ -137,63 +154,57 @@ func (g *Gauge) Inc() { g.Add(1) }
 func (g *Gauge) Dec() { g.Add(-1) }
 
 // Value returns the current value.
-func (g *Gauge) Value() float64 {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.v
-}
+func (g *Gauge) Value() float64 { return g.v.load() }
 
 // Histogram is a cumulative-bucket histogram over explicit upper bounds
-// (seconds for latency histograms). Safe for concurrent use.
+// (seconds for latency histograms). Safe for concurrent use; observations
+// are lock-free (a binary search plus three atomic updates) and
+// allocation-free.
 type Histogram struct {
-	mu     sync.Mutex
-	bounds []float64 // sorted ascending; +Inf bucket implied
-	counts []float64 // len(bounds)+1, cumulative at scrape time only
-	sum    float64
-	total  float64
+	bounds []float64       // sorted ascending; +Inf bucket implied
+	counts []atomic.Uint64 // len(bounds)+1, per-bucket (cumulated at scrape)
+	sum    atomicFloat
+	total  atomic.Uint64
 }
 
 func newHistogram(bounds []float64) *Histogram {
 	b := make([]float64, len(bounds))
 	copy(b, bounds)
 	sort.Float64s(b)
-	return &Histogram{bounds: b, counts: make([]float64, len(b)+1)}
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
 }
 
 // Observe records one value (same unit as the bounds).
 func (h *Histogram) Observe(v float64) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	i := sort.SearchFloat64s(h.bounds, v)
-	h.counts[i]++
-	h.sum += v
-	h.total++
+	// Inlined sort.SearchFloat64s: find the first bound >= v.
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if h.bounds[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	h.counts[lo].Add(1)
+	h.sum.add(v)
+	h.total.Add(1)
 }
 
 // Count returns the number of observations.
-func (h *Histogram) Count() float64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.total
-}
+func (h *Histogram) Count() float64 { return float64(h.total.Load()) }
 
 // Sum returns the sum of observations.
-func (h *Histogram) Sum() float64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.sum
-}
+func (h *Histogram) Sum() float64 { return h.sum.load() }
 
 // Bounds returns the histogram's upper bounds (shared, do not mutate).
 func (h *Histogram) Bounds() []float64 { return h.bounds }
 
 // snapshot appends the histogram's flattened samples.
 func (h *Histogram) snapshot(name string, labels Labels, out []Sample) []Sample {
-	h.mu.Lock()
-	defer h.mu.Unlock()
 	cum := 0.0
-	for i, c := range h.counts {
-		cum += c
+	for i := range h.counts {
+		cum += float64(h.counts[i].Load())
 		le := "+Inf"
 		if i < len(h.bounds) {
 			le = strconv.FormatFloat(h.bounds[i], 'g', -1, 64)
@@ -205,8 +216,8 @@ func (h *Histogram) snapshot(name string, labels Labels, out []Sample) []Sample 
 		})
 	}
 	out = append(out,
-		Sample{Name: name + "_sum", Labels: labels.Clone(), Value: h.sum},
-		Sample{Name: name + "_count", Labels: labels.Clone(), Value: h.total},
+		Sample{Name: name + "_sum", Labels: labels.Clone(), Value: h.sum.load()},
+		Sample{Name: name + "_count", Labels: labels.Clone(), Value: float64(h.total.Load())},
 	)
 	return out
 }
@@ -221,11 +232,14 @@ type Registry struct {
 	order      []registered
 }
 
+// registered is one series in registration order, holding the series
+// directly so a scrape never goes back through the lookup maps.
 type registered struct {
-	name   string
-	labels Labels
-	kind   byte // 'c', 'g', 'h'
-	key    string
+	name      string
+	labels    Labels
+	counter   *Counter
+	gauge     *Gauge
+	histogram *Histogram
 }
 
 // NewRegistry returns an empty registry.
@@ -251,7 +265,7 @@ func (r *Registry) Counter(name string, labels Labels) *Counter {
 	if !ok {
 		c = &Counter{}
 		r.counters[key] = c
-		r.order = append(r.order, registered{name: name, labels: labels.Clone(), kind: 'c', key: key})
+		r.order = append(r.order, registered{name: name, labels: labels.Clone(), counter: c})
 	}
 	return c
 }
@@ -266,7 +280,7 @@ func (r *Registry) Gauge(name string, labels Labels) *Gauge {
 	if !ok {
 		g = &Gauge{}
 		r.gauges[key] = g
-		r.order = append(r.order, registered{name: name, labels: labels.Clone(), kind: 'g', key: key})
+		r.order = append(r.order, registered{name: name, labels: labels.Clone(), gauge: g})
 	}
 	return g
 }
@@ -286,7 +300,7 @@ func (r *Registry) Histogram(name string, labels Labels, bounds []float64) *Hist
 	if !ok {
 		h = newHistogram(bounds)
 		r.histograms[key] = h
-		r.order = append(r.order, registered{name: name, labels: labels.Clone(), kind: 'h', key: key})
+		r.order = append(r.order, registered{name: name, labels: labels.Clone(), histogram: h})
 		return h
 	}
 	if len(h.bounds) != len(bounds) {
@@ -297,30 +311,27 @@ func (r *Registry) Histogram(name string, labels Labels, bounds []float64) *Hist
 
 // Snapshot renders every series into flat samples, in registration order
 // (stable across scrapes). Histograms expand into _bucket/_sum/_count.
+//
+// The whole pass runs under one lock acquisition, so a scrape sees a single
+// coherent registration state instead of re-locking per series (the old
+// per-series locking let a request land between two series reads and render
+// a response_total increment without its response_latency observation).
+// Value reads are atomic loads; when callers follow the simulator's
+// single-threaded execution model, the snapshot is an exact point-in-time
+// cut between events.
 func (r *Registry) Snapshot() []Sample {
 	r.mu.Lock()
-	order := make([]registered, len(r.order))
-	copy(order, r.order)
-	r.mu.Unlock()
-
-	var out []Sample
-	for _, reg := range order {
-		switch reg.kind {
-		case 'c':
-			r.mu.Lock()
-			c := r.counters[reg.key]
-			r.mu.Unlock()
-			out = append(out, Sample{Name: reg.name, Labels: reg.labels.Clone(), Value: c.Value()})
-		case 'g':
-			r.mu.Lock()
-			g := r.gauges[reg.key]
-			r.mu.Unlock()
-			out = append(out, Sample{Name: reg.name, Labels: reg.labels.Clone(), Value: g.Value()})
-		case 'h':
-			r.mu.Lock()
-			h := r.histograms[reg.key]
-			r.mu.Unlock()
-			out = h.snapshot(reg.name, reg.labels, out)
+	defer r.mu.Unlock()
+	out := make([]Sample, 0, len(r.order))
+	for i := range r.order {
+		reg := &r.order[i]
+		switch {
+		case reg.counter != nil:
+			out = append(out, Sample{Name: reg.name, Labels: reg.labels.Clone(), Value: reg.counter.Value()})
+		case reg.gauge != nil:
+			out = append(out, Sample{Name: reg.name, Labels: reg.labels.Clone(), Value: reg.gauge.Value()})
+		case reg.histogram != nil:
+			out = reg.histogram.snapshot(reg.name, reg.labels, out)
 		}
 	}
 	return out

@@ -1,0 +1,273 @@
+// Package perf is the harness-performance measurement layer: a suite of
+// micro-benchmarks over the simulator's per-request data plane (mesh.Call,
+// metrics series access, histogram recording, the sim engine's event heap)
+// that runs both as ordinary `go test -bench` benchmarks (see perf_test.go)
+// and programmatically from cmd/l3bench's -bench mode, which renders the
+// results as machine-readable JSON (BENCH_fastpath.json).
+//
+// The per-request path is the product: every simulated request pays
+// mesh.Call's metric recording, two WAN hops on the event heap and a
+// histogram observation, so these numbers bound the simulated-requests/sec
+// the whole figure harness can sustain. The suite exists to prove fast-path
+// changes and to keep them from regressing (alloc pins live next to the
+// benchmarks in each package's tests).
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"testing"
+	"time"
+
+	"l3/internal/backend"
+	"l3/internal/balancer"
+	"l3/internal/histogram"
+	"l3/internal/mesh"
+	"l3/internal/metrics"
+	"l3/internal/sim"
+	"l3/internal/wan"
+)
+
+// Bench is one named benchmark body, runnable by the testing package.
+type Bench struct {
+	// Name is the benchmark's identifier in results (Go-benchmark style).
+	Name string
+	// Fn is the benchmark body; it must call b.ReportAllocs itself so
+	// allocation stats are recorded under testing.Benchmark too.
+	Fn func(b *testing.B)
+}
+
+// Suite returns the fast-path benchmark suite in a fixed order.
+func Suite() []Bench {
+	return []Bench{
+		{"MeshCall", BenchMeshCall},
+		{"MeshCallP2C", BenchMeshCallP2C},
+		{"MetricsSeriesAccess", BenchMetricsSeriesAccess},
+		{"MetricsCounterAdd", BenchMetricsCounterAdd},
+		{"MetricsHistogramObserve", BenchMetricsHistogramObserve},
+		{"RegistrySnapshot", BenchRegistrySnapshot},
+		{"HistogramRecord", BenchHistogramRecord},
+		{"HistogramQuantile", BenchHistogramQuantile},
+		{"EngineSchedule", BenchEngineSchedule},
+	}
+}
+
+// newBenchMesh builds the steady-state testbed the mesh benchmarks share:
+// three single-millisecond backends across three clusters behind one
+// service, mirroring the scenario testbed's shape.
+func newBenchMesh(picker mesh.Picker) (*sim.Engine, *mesh.Mesh) {
+	engine := sim.NewEngine()
+	rng := sim.NewRand(1)
+	wcfg := wan.DefaultConfig()
+	wcfg.Seed = 1
+	m := mesh.New(engine, rng.Fork(), wan.New(wcfg), metrics.NewRegistry())
+	if _, err := m.AddService("api"); err != nil {
+		panic(err)
+	}
+	profile := func(now time.Duration, r *sim.Rand) (time.Duration, bool) {
+		return time.Millisecond, true
+	}
+	for _, c := range []string{"cluster-1", "cluster-2", "cluster-3"} {
+		if _, err := m.AddBackend("api", "api-"+c, c,
+			backend.Config{}, profile); err != nil {
+			panic(err)
+		}
+	}
+	if err := m.SetPicker("api", picker); err != nil {
+		panic(err)
+	}
+	return engine, m
+}
+
+// runMeshCalls drives b.N full request lifecycles (pick, WAN out, serve,
+// WAN back, metric recording) through the engine, one outstanding request
+// at a time — the steady-state unit of work every figure run repeats
+// millions of times.
+func runMeshCalls(b *testing.B, engine *sim.Engine, m *mesh.Mesh) {
+	completed := 0
+	onDone := func(mesh.Result) { completed++ } // hoisted: one closure for all requests
+	issue := func() {
+		if err := m.Call("cluster-1", "api", onDone); err != nil {
+			b.Fatal(err)
+		}
+		engine.Run()
+	}
+	issue() // warm route caches and lazily-registered series
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		issue()
+	}
+	b.StopTimer()
+	if completed != b.N+1 {
+		b.Fatalf("completed %d of %d requests", completed, b.N+1)
+	}
+}
+
+// BenchMeshCall measures one full request through the data plane under the
+// round-robin picker (no Observer feedback).
+func BenchMeshCall(b *testing.B) {
+	engine, m := newBenchMesh(balancer.NewRoundRobin())
+	runMeshCalls(b, engine, m)
+}
+
+// BenchMeshCallP2C measures the same path under the P2C PeakEWMA picker,
+// which additionally takes the Observer feedback branch on completion.
+func BenchMeshCallP2C(b *testing.B) {
+	engine, m := newBenchMesh(balancer.NewP2C(sim.NewRand(2), 5*time.Second, time.Second))
+	runMeshCalls(b, engine, m)
+}
+
+// BenchMetricsSeriesAccess measures the labelled get-or-create lookup the
+// pre-fast-path data plane paid on every response: build a label set, key
+// it, and resolve the series under the registry lock.
+func BenchMetricsSeriesAccess(b *testing.B) {
+	r := metrics.NewRegistry()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		labels := metrics.Labels{"service": "api", "backend": "api-cluster-2", "src": "cluster-1"}
+		r.Counter("response_total", labels.With("classification", "success")).Inc()
+	}
+}
+
+// BenchMetricsCounterAdd measures one counter increment on a resolved
+// handle — the steady-state fast-path cost.
+func BenchMetricsCounterAdd(b *testing.B) {
+	r := metrics.NewRegistry()
+	c := r.Counter("response_total", metrics.Labels{"service": "api"})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+// BenchMetricsHistogramObserve measures one observation into a resolved
+// cumulative-bucket histogram handle.
+func BenchMetricsHistogramObserve(b *testing.B) {
+	r := metrics.NewRegistry()
+	h := r.Histogram("response_latency", metrics.Labels{"service": "api"},
+		histogram.LinkerdLatencyBounds)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(0.042)
+	}
+}
+
+// BenchRegistrySnapshot measures one scrape pass over a registry shaped
+// like the scenario testbed's: 3 routes x (gauge + 2 counters + 2
+// histograms).
+func BenchRegistrySnapshot(b *testing.B) {
+	r := metrics.NewRegistry()
+	for _, c := range []string{"cluster-1", "cluster-2", "cluster-3"} {
+		labels := metrics.Labels{"service": "api", "backend": "api-" + c, "src": "cluster-1"}
+		r.Gauge("request_inflight", labels).Set(3)
+		for _, class := range []string{"success", "failure"} {
+			cl := labels.With("classification", class)
+			r.Counter("response_total", cl).Add(100)
+			h := r.Histogram("response_latency", cl, histogram.LinkerdLatencyBounds)
+			h.Observe(0.05)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s := r.Snapshot(); len(s) == 0 {
+			b.Fatal("empty snapshot")
+		}
+	}
+}
+
+// BenchHistogramRecord measures one observation into the HDR-style
+// log-bucketed recorder every load generator feeds per request.
+func BenchHistogramRecord(b *testing.B) {
+	h := histogram.New()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Record(time.Duration(i%1000+1) * time.Millisecond)
+	}
+}
+
+// BenchHistogramQuantile measures a p99 query over a populated recorder —
+// the per-second reduction behind every latency series.
+func BenchHistogramQuantile(b *testing.B) {
+	h := histogram.New()
+	for i := 0; i < 10000; i++ {
+		h.Record(time.Duration(i%997+1) * time.Millisecond)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if h.Quantile(0.99) <= 0 {
+			b.Fatal("empty quantile")
+		}
+	}
+}
+
+// BenchEngineSchedule measures the event heap's schedule+dispatch cycle:
+// one After and the Step that fires it, with a standing population of
+// pending timers so heap sifts are exercised.
+func BenchEngineSchedule(b *testing.B) {
+	engine := sim.NewEngine()
+	noop := func() {}
+	for i := 0; i < 256; i++ { // standing population, like in-flight requests
+		engine.After(time.Duration(i+1)*time.Hour, noop)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		engine.After(time.Microsecond, noop)
+		engine.Step()
+	}
+}
+
+// Result is one benchmark's measurement in machine-readable form.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	// RequestsPerSec is derived (1e9/NsPerOp) for the mesh benchmarks:
+	// the simulated-requests/sec the data plane sustains single-threaded.
+	RequestsPerSec float64 `json:"requests_per_sec,omitempty"`
+}
+
+// Run executes every benchmark in the suite via testing.Benchmark and
+// returns results in suite order. Progress lines go to w (nil silences
+// them).
+func Run(w io.Writer) []Result {
+	results := make([]Result, 0, len(Suite()))
+	for _, bm := range Suite() {
+		r := testing.Benchmark(bm.Fn)
+		res := Result{
+			Name:        bm.Name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		if bm.Name == "MeshCall" || bm.Name == "MeshCallP2C" {
+			if res.NsPerOp > 0 {
+				res.RequestsPerSec = 1e9 / res.NsPerOp
+			}
+		}
+		if w != nil {
+			fmt.Fprintf(w, "l3bench: bench %-24s %12.1f ns/op %6d allocs/op %8d B/op\n",
+				bm.Name, res.NsPerOp, res.AllocsPerOp, res.BytesPerOp)
+		}
+		results = append(results, res)
+	}
+	return results
+}
+
+// WriteJSON renders results as indented JSON, one object per benchmark.
+func WriteJSON(w io.Writer, results []Result) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(results)
+}

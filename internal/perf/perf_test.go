@@ -1,0 +1,49 @@
+package perf
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// Standard wrappers so `go test -bench .` exercises the same bodies
+// cmd/l3bench's -bench mode runs programmatically.
+
+func BenchmarkMeshCall(b *testing.B)                { BenchMeshCall(b) }
+func BenchmarkMeshCallP2C(b *testing.B)             { BenchMeshCallP2C(b) }
+func BenchmarkMetricsSeriesAccess(b *testing.B)     { BenchMetricsSeriesAccess(b) }
+func BenchmarkMetricsCounterAdd(b *testing.B)       { BenchMetricsCounterAdd(b) }
+func BenchmarkMetricsHistogramObserve(b *testing.B) { BenchMetricsHistogramObserve(b) }
+func BenchmarkRegistrySnapshot(b *testing.B)        { BenchRegistrySnapshot(b) }
+func BenchmarkHistogramRecord(b *testing.B)         { BenchHistogramRecord(b) }
+func BenchmarkHistogramQuantile(b *testing.B)       { BenchHistogramQuantile(b) }
+func BenchmarkEngineSchedule(b *testing.B)          { BenchEngineSchedule(b) }
+
+func TestSuiteNamesUniqueAndNonEmpty(t *testing.T) {
+	seen := map[string]bool{}
+	for _, bm := range Suite() {
+		if bm.Name == "" || bm.Fn == nil {
+			t.Fatalf("suite entry %+v incomplete", bm.Name)
+		}
+		if seen[bm.Name] {
+			t.Fatalf("duplicate suite entry %q", bm.Name)
+		}
+		seen[bm.Name] = true
+	}
+}
+
+func TestWriteJSONRoundTrips(t *testing.T) {
+	in := []Result{{Name: "MeshCall", Iterations: 10, NsPerOp: 1234.5,
+		AllocsPerOp: 2, BytesPerOp: 64, RequestsPerSec: 810000}}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	var out []Result
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0] != in[0] {
+		t.Fatalf("round trip mismatch: %+v", out)
+	}
+}

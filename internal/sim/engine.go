@@ -5,10 +5,15 @@
 // with At/After and the engine executes them in timestamp order (FIFO among
 // events with equal timestamps). Together with the seeded random sources in
 // this package, a simulation run is reproducible bit-for-bit.
+//
+// The event queue is the simulator's hottest data structure — every simulated
+// request schedules several events — so the engine recycles fired events
+// through a free list and keeps the heap hand-rolled (no interface dispatch).
+// High-rate callers that never cancel use Schedule/ScheduleAfter, which skip
+// the Timer handle allocation of At/After entirely.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"time"
 )
@@ -19,9 +24,10 @@ import (
 // driven.
 type Engine struct {
 	now     time.Duration
-	queue   eventQueue
+	queue   []*event // binary min-heap on (at, seq)
 	seq     uint64
 	running bool
+	free    []*event // recycled events, reused by schedule
 }
 
 // NewEngine returns an engine with its clock at zero and an empty event
@@ -41,6 +47,39 @@ func (e *Engine) Pending() int {
 	return len(e.queue)
 }
 
+// schedule enqueues fn at absolute time t (clamped to now) and returns the
+// backing event. Events come from the free list when one is available, so
+// the steady state allocates nothing.
+func (e *Engine) schedule(t time.Duration, fn func()) *event {
+	if fn == nil {
+		panic("sim: schedule called with nil callback")
+	}
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	var ev *event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	} else {
+		ev = &event{}
+	}
+	ev.at, ev.seq, ev.fn, ev.cancelled = t, e.seq, fn, false
+	e.push(ev)
+	return ev
+}
+
+// recycle returns a fired (or cancelled-and-popped) event to the free list.
+// The event's seq is left intact: a stale Timer still holding it compares
+// its remembered seq before cancelling, so recycled events cannot be
+// cancelled through old handles once reused.
+func (e *Engine) recycle(ev *event) {
+	ev.fn = nil
+	e.free = append(e.free, ev)
+}
+
 // At schedules fn to run at absolute virtual time t. Scheduling in the past
 // is an error in the model, so it is clamped to "now" and the event fires on
 // the next step. The returned Timer can be used to cancel the event.
@@ -48,13 +87,8 @@ func (e *Engine) At(t time.Duration, fn func()) *Timer {
 	if fn == nil {
 		panic("sim: At called with nil callback")
 	}
-	if t < e.now {
-		t = e.now
-	}
-	e.seq++
-	ev := &event{at: t, seq: e.seq, fn: fn}
-	heap.Push(&e.queue, ev)
-	return &Timer{event: ev}
+	ev := e.schedule(t, fn)
+	return &Timer{event: ev, seq: ev.seq}
 }
 
 // After schedules fn to run d from the current virtual time. Negative
@@ -64,6 +98,22 @@ func (e *Engine) After(d time.Duration, fn func()) *Timer {
 		d = 0
 	}
 	return e.At(e.now+d, fn)
+}
+
+// Schedule is At without the cancellation handle: the event cannot be
+// cancelled, and nothing is allocated once the engine's free list is warm.
+// The data plane's per-request events (WAN hops, executions) go through
+// here.
+func (e *Engine) Schedule(t time.Duration, fn func()) {
+	e.schedule(t, fn)
+}
+
+// ScheduleAfter is After without the cancellation handle; see Schedule.
+func (e *Engine) ScheduleAfter(d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	e.schedule(e.now+d, fn)
 }
 
 // Every schedules fn to run every interval, starting one interval from now,
@@ -77,10 +127,12 @@ func (e *Engine) Every(interval time.Duration, fn func()) *Timer {
 	tick = func() {
 		fn()
 		if !t.cancelled {
-			t.event = e.After(interval, tick).event
+			ev := e.schedule(e.now+interval, tick)
+			t.event, t.seq = ev, ev.seq
 		}
 	}
-	t.event = e.After(interval, tick).event
+	ev := e.schedule(e.now+interval, tick)
+	t.event, t.seq = ev, ev.seq
 	return t
 }
 
@@ -89,12 +141,15 @@ func (e *Engine) Every(interval time.Duration, fn func()) *Timer {
 // is empty.
 func (e *Engine) Step() bool {
 	for len(e.queue) > 0 {
-		ev := heap.Pop(&e.queue).(*event)
+		ev := e.pop()
 		if ev.cancelled {
+			e.recycle(ev)
 			continue
 		}
 		e.now = ev.at
-		ev.fn()
+		fn := ev.fn
+		e.recycle(ev)
+		fn()
 		return true
 	}
 	return false
@@ -111,12 +166,15 @@ func (e *Engine) RunUntil(t time.Duration) {
 	e.running = true
 	defer func() { e.running = false }()
 	for len(e.queue) > 0 && e.queue[0].at <= t {
-		ev := heap.Pop(&e.queue).(*event)
+		ev := e.pop()
 		if ev.cancelled {
+			e.recycle(ev)
 			continue
 		}
 		e.now = ev.at
-		ev.fn()
+		fn := ev.fn
+		e.recycle(ev)
+		fn()
 	}
 	if e.now < t {
 		e.now = t
@@ -132,9 +190,12 @@ func (e *Engine) Run() time.Duration {
 	return e.now
 }
 
-// Timer is a handle to a scheduled event.
+// Timer is a handle to a scheduled event. It remembers the event's schedule
+// sequence number so that cancelling after the event fired (and its backing
+// struct was recycled into a new event) is a safe no-op.
 type Timer struct {
 	event     *event
+	seq       uint64
 	cancelled bool
 }
 
@@ -146,7 +207,9 @@ func (t *Timer) Cancel() {
 		return
 	}
 	t.cancelled = true
-	t.event.cancelled = true
+	if t.event.seq == t.seq {
+		t.event.cancelled = true
+	}
 }
 
 type event struct {
@@ -156,26 +219,56 @@ type event struct {
 	cancelled bool
 }
 
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+// before is the heap order: timestamp, then schedule sequence (FIFO among
+// equal timestamps). The (at, seq) pair is unique per event, so the order is
+// total and pop order is independent of the heap's internal layout — the
+// determinism guarantee does not depend on this implementation.
+func (ev *event) before(o *event) bool {
+	if ev.at != o.at {
+		return ev.at < o.at
 	}
-	return q[i].seq < q[j].seq
+	return ev.seq < o.seq
 }
 
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+// push adds ev to the heap (sift-up).
+func (e *Engine) push(ev *event) {
+	q := append(e.queue, ev)
+	i := len(q) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !q[i].before(q[p]) {
+			break
+		}
+		q[i], q[p] = q[p], q[i]
+		i = p
+	}
+	e.queue = q
+}
 
-func (q *eventQueue) Push(x any) { *q = append(*q, x.(*event)) }
-
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return ev
+// pop removes and returns the heap's minimum (sift-down).
+func (e *Engine) pop() *event {
+	q := e.queue
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q[n] = nil
+	q = q[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && q[r].before(q[l]) {
+			m = r
+		}
+		if !q[m].before(q[i]) {
+			break
+		}
+		q[i], q[m] = q[m], q[i]
+		i = m
+	}
+	e.queue = q
+	return top
 }

@@ -1,11 +1,11 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race chaos-smoke bench bench-smoke
+.PHONY: check fmt vet build test race chaos-smoke resilience-smoke bench bench-smoke
 
 ## check: the pre-merge gate — formatting, vet, build, the full suite under
-## the race detector, and chaos + bench smoke runs. Run before every merge;
-## CI and the tier-1 verify in ROADMAP.md assume it passes.
-check: fmt vet build race chaos-smoke bench-smoke
+## the race detector, and chaos + resilience + bench smoke runs. Run before
+## every merge; CI and the tier-1 verify in ROADMAP.md assume it passes.
+check: fmt vet build race chaos-smoke resilience-smoke bench-smoke
 
 ## fmt: fail if any file needs gofmt (prints the offenders).
 fmt:
@@ -29,6 +29,15 @@ race:
 chaos-smoke:
 	$(GO) run ./cmd/l3bench -chaos 'partition@48s+24s:cluster-1/cluster-2' \
 		-scenario scenario-1 -quick >/dev/null
+
+## resilience-smoke: the retry-storm figure plus a policy-driven chaos run
+## through the CLI — proves deadlines, budgets, per-try timeouts and the
+## breaker compose end to end on the data plane.
+resilience-smoke:
+	$(GO) run ./cmd/l3bench -fig R1 -quick >/dev/null
+	$(GO) run ./cmd/l3bench -chaos 'saturate@48s+24s:api-cluster-1/0.25' \
+		-scenario scenario-1 -quick \
+		-resilience 'deadline=1s,retries=3,budget=0.2,breaker=5' >/dev/null
 
 ## bench: the fast-path benchmark suite (mesh.Call, metrics, histogram, event
 ## heap), machine-readable results in BENCH_fastpath.json.

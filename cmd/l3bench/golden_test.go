@@ -44,6 +44,17 @@ func TestFigureOutputByteIdentical(t *testing.T) {
 			"9d0bfaa46443fcf9b57fdc0371bd83237a54a0ef1f392e04e62422ac1024f2bc"},
 		{"fig10-quick", []string{"-fig", "10", "-quick"},
 			"fe841c542725856b8a05dfba01551793fa818d44d1cf7c755dc20ba259c86099"},
+		{"R1-quick", []string{"-fig", "R1", "-quick"},
+			"001ec69613d1f86ac48ba6a95488da4cfd2b811a243cf1e74fdcebf471e20fe3"},
+		{"R2-quick", []string{"-fig", "R2", "-quick"},
+			"a6f6556b5dabc9ade950b1b4456f7fe336123655684c105f4d0873790fa50eb9"},
+		{"R3-quick", []string{"-fig", "R3", "-quick"},
+			"42c52183884b73f24702d42a13c2b52117be70f615af8295e926d8d5b443ac9c"},
+		{"chaos-resilience", []string{
+			"-chaos", "saturate@48s+24s:api-cluster-1/0.25",
+			"-scenario", "scenario-1", "-quick",
+			"-resilience", "deadline=1s,retries=3,budget=0.2,breaker=5"},
+			"97536c8d257edc0592b58fa5263127bf68e9a31e5de35b18469bbb8f44987346"},
 	}
 	for _, g := range goldens {
 		g := g

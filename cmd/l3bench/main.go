@@ -11,10 +11,16 @@
 //	l3bench -fig all -parallel 8     # fan runs out across 8 workers
 //	l3bench -fig C1                  # chaos: partition + heal recovery figure
 //	l3bench -fig C2                  # chaos: leader-kill transparency figure
+//	l3bench -fig R1                  # resilience: naive vs budgeted retry storm
+//	l3bench -fig R2                  # resilience: hedging tail-latency sweep
+//	l3bench -fig R3                  # resilience: circuit breaking vs probes
 //
-// A custom fault schedule runs against any scenario:
+// A custom fault schedule runs against any scenario, optionally with a
+// resilience policy on the client (grammar in internal/resilience):
 //
 //	l3bench -chaos 'partition@120s+60s:cluster-1/cluster-2' -scenario scenario-1
+//	l3bench -chaos 'saturate@120s+60s:api-cluster-1/0.25' \
+//	        -resilience 'deadline=1s,retries=3,budget=0.2,breaker=5'
 //
 // Schedules are semicolon-separated events, each
 // kind@start[+duration][:operands] with kinds partition, delay, flap,
@@ -55,6 +61,7 @@ import (
 	"l3/internal/bench"
 	"l3/internal/chaos"
 	"l3/internal/perf"
+	"l3/internal/resilience"
 	"l3/internal/trace"
 )
 
@@ -74,9 +81,11 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("l3bench", flag.ContinueOnError)
 	var (
-		fig      = fs.String("fig", "all", "figure to regenerate: 1,2,4,6,7,8,9,10,11,12, C1, C2, 'ablations' or 'all'")
+		fig      = fs.String("fig", "all", "figure to regenerate: 1,2,4,6,7,8,9,10,11,12, C1, C2, R1, R2, R3, 'ablations' or 'all'")
 		chaosStr = fs.String("chaos", "", "fault schedule to inject (kind@start[+dur][:operands];...); overrides -fig")
 		scenario = fs.String("scenario", trace.Scenario1, "scenario a -chaos schedule runs against")
+		resStr   = fs.String("resilience", "",
+			"resilience policy on the client (key=value,... e.g. 'deadline=1s,retries=3,budget=0.2,hedge=p99,breaker=5'); composes with -chaos runs")
 		seed     = fs.Uint64("seed", 1, "base random seed")
 		reps     = fs.Int("reps", 1, "repetitions per configuration (paper used 2-3)")
 		quick    = fs.Bool("quick", false, "shrink measured windows for a fast pass")
@@ -136,6 +145,13 @@ func run(args []string) error {
 	if *quick {
 		opts.Duration = 2 * time.Minute
 	}
+	if *resStr != "" {
+		p, err := resilience.ParsePolicy(*resStr)
+		if err != nil {
+			return fmt.Errorf("-resilience: %w", err)
+		}
+		opts.Resilience = &p
+	}
 
 	type runner struct {
 		id string
@@ -158,6 +174,9 @@ func run(args []string) error {
 		{"12", func() (*bench.Result, error) { return bench.Fig12(opts) }},
 		{"C1", func() (*bench.Result, error) { return bench.FigC1(opts) }},
 		{"C2", func() (*bench.Result, error) { return bench.FigC2(opts) }},
+		{"R1", func() (*bench.Result, error) { return bench.FigR1(opts) }},
+		{"R2", func() (*bench.Result, error) { return bench.FigR2(opts) }},
+		{"R3", func() (*bench.Result, error) { return bench.FigR3(opts) }},
 	}
 	ablations := []runner{
 		{"ablation-inflight-exponent", func() (*bench.Result, error) { return bench.AblationInflightExponent(opts) }},

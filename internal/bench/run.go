@@ -21,6 +21,7 @@ import (
 	"l3/internal/loadgen"
 	"l3/internal/mesh"
 	"l3/internal/metrics"
+	"l3/internal/resilience"
 	"l3/internal/retry"
 	"l3/internal/sim"
 	"l3/internal/smi"
@@ -90,6 +91,10 @@ type Options struct {
 	// Concurrency per backend deployment (default 64 ≈ the paper's three
 	// replicas per cluster).
 	Concurrency int
+	// QueueCapacity overrides each backend's wait-queue bound (default
+	// 4096). The resilience figures shrink it so a saturated backend
+	// sheds load fast instead of absorbing it into multi-second queues.
+	QueueCapacity int
 	// ConcurrencyByCluster overrides Concurrency for specific clusters
 	// (heterogeneous capacities, e.g. a fast-but-small deployment next to
 	// slow-but-wide ones).
@@ -100,8 +105,16 @@ type Options struct {
 	Autoscale *autoscale.Config
 	// Retry makes the benchmark client retry failed requests (the paper's
 	// benchmarks skipped retries "for simplicity", §5.2.1); recorded
-	// latency then spans all attempts.
+	// latency then spans all attempts. When the policy enables Jitter and
+	// leaves Rand nil, each repetition forks its own seeded source, so
+	// jittered runs stay deterministic at any -parallel.
 	Retry *retry.Policy
+	// Resilience routes the benchmark client through the full resilience
+	// layer (deadlines, budgeted retries, hedging, circuit breaking)
+	// instead of bare mesh.Call / retry.Do. The policy is applied on top
+	// of whatever picker the algorithm installed, so the breaker filter
+	// composes with failover and weighted strategies.
+	Resilience *resilience.Policy
 	// DynamicPenalty switches L3 to the per-backend measured failure
 	// round-trip instead of the static P (the paper's future work).
 	DynamicPenalty bool
@@ -306,16 +319,30 @@ func RunScenarioTrace(sc *trace.Scenario, algo Algorithm, opts Options) (*loadge
 	return mergeRecorders(recs), nil
 }
 
-// chaosArtifacts is what one chaos-perturbed run yields beyond its
-// recorder: the observed TrafficSplit write times and weight snapshots
-// (for reconvergence and failover-gap metrics), the health checker's
-// ejection/restore totals, and the injector's own accounting.
+// chaosArtifacts is what one chaos- or resilience-instrumented run yields
+// beyond its recorder: the observed TrafficSplit write times and weight
+// snapshots (for reconvergence and failover-gap metrics), the health
+// checker's ejection/restore totals, the injector's own accounting, and —
+// when Options.Resilience is set — the resilience layer's counters.
 type chaosArtifacts struct {
 	injector  *chaos.Injector
 	updates   []time.Duration
 	snaps     []chaos.WeightSnapshot
 	ejections float64
 	restores  float64
+	res       resCounters
+}
+
+// resCounters aggregates one run's resilience-layer activity from the
+// metrics registry, plus the data-plane attempt total the retry ratio is
+// measured against.
+type resCounters struct {
+	requests, retries, hedges, budgetDenied, deadline, duplicates float64
+	breakerEjects, breakerRestores, breakerDenied                 float64
+	// attempts is the sum of mesh response_total across routes: every
+	// attempt the data plane actually carried, retries and hedges
+	// included.
+	attempts float64
 }
 
 // runOnceCounted runs one scenario replay and additionally returns the
@@ -353,7 +380,7 @@ func runOnceCounted(sc *trace.Scenario, algo Algorithm, opts Options, seed uint6
 			conc = c
 		}
 		b, err := m.AddBackend(apiService, name, ct.Cluster,
-			backend.Config{Concurrency: conc}, profile)
+			backend.Config{Concurrency: conc, QueueCapacity: opts.QueueCapacity}, profile)
 		if err != nil {
 			return nil, nil, nil, err
 		}
@@ -388,8 +415,10 @@ func runOnceCounted(sc *trace.Scenario, algo Algorithm, opts Options, seed uint6
 	}
 
 	var art *chaosArtifacts
-	if opts.Chaos != nil {
+	if opts.Chaos != nil || opts.Resilience != nil {
 		art = &chaosArtifacts{}
+	}
+	if opts.Chaos != nil {
 		m.Splits().Watch(false, func(e cluster.Event[*smi.TrafficSplit]) {
 			if e.Type != cluster.Updated || e.Object.Name != apiService {
 				return
@@ -418,15 +447,40 @@ func runOnceCounted(sc *trace.Scenario, algo Algorithm, opts Options, seed uint6
 		art.injector = inj
 	}
 
+	var resClient *resilience.Client
+	if opts.Resilience != nil {
+		// Applied after installAlgorithm so the breaker filter wraps the
+		// strategy the algorithm installed (round-robin, failover, split).
+		resClient = resilience.NewClient(engine, rng.Fork(), m)
+		if err := resClient.Apply(apiService, *opts.Resilience); err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	var retryPolicy retry.Policy
+	if opts.Retry != nil {
+		// Copy per run: sharing one seeded jitter source across parallel
+		// repetitions would race and break determinism, so each rep forks
+		// its own from the run-local stream.
+		retryPolicy = *opts.Retry
+		if retryPolicy.Jitter > 0 && retryPolicy.Rand == nil {
+			retryPolicy.Rand = rng.Fork()
+		}
+	}
 	issue := func(done func(time.Duration, bool)) error {
-		if opts.Retry != nil {
-			return retry.Do(engine, m, sourceCluster, apiService, *opts.Retry, func(r retry.Result) {
+		switch {
+		case resClient != nil:
+			return resClient.Call(sourceCluster, apiService, func(r resilience.Result) {
+				done(r.Latency, r.Success)
+			})
+		case opts.Retry != nil:
+			return retry.Do(engine, m, sourceCluster, apiService, retryPolicy, func(r retry.Result) {
+				done(r.Latency, r.Success)
+			})
+		default:
+			return m.Call(sourceCluster, apiService, func(r mesh.Result) {
 				done(r.Latency, r.Success)
 			})
 		}
-		return m.Call(sourceCluster, apiService, func(r mesh.Result) {
-			done(r.Latency, r.Success)
-		})
 	}
 	gen := loadgen.New(engine, loadgen.Config{
 		Rate: func(now time.Duration) float64 {
@@ -451,6 +505,9 @@ func runOnceCounted(sc *trace.Scenario, algo Algorithm, opts Options, seed uint6
 			src := sample.Labels["src"]
 			dst := strings.TrimPrefix(sample.Labels["backend"], apiService+"-")
 			counts[[2]string{src, dst}] += sample.Value
+			if art != nil {
+				art.res.attempts += sample.Value
+			}
 		case health.MetricEjectionsTotal:
 			if art != nil {
 				art.ejections += sample.Value
@@ -459,6 +516,29 @@ func runOnceCounted(sc *trace.Scenario, algo Algorithm, opts Options, seed uint6
 			if art != nil {
 				art.restores += sample.Value
 			}
+		}
+		if art == nil {
+			continue
+		}
+		switch sample.Name {
+		case resilience.MetricRequestsTotal:
+			art.res.requests += sample.Value
+		case resilience.MetricRetriesTotal:
+			art.res.retries += sample.Value
+		case resilience.MetricHedgesTotal:
+			art.res.hedges += sample.Value
+		case resilience.MetricBudgetExhaustedTotal:
+			art.res.budgetDenied += sample.Value
+		case resilience.MetricDeadlineExceededTotal:
+			art.res.deadline += sample.Value
+		case resilience.MetricDuplicatesTotal:
+			art.res.duplicates += sample.Value
+		case resilience.MetricBreakerEjectionsTotal:
+			art.res.breakerEjects += sample.Value
+		case resilience.MetricBreakerRestoresTotal:
+			art.res.breakerRestores += sample.Value
+		case resilience.MetricBreakerDeniedTotal:
+			art.res.breakerDenied += sample.Value
 		}
 	}
 	return gen.Recorder(), counts, art, nil

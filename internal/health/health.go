@@ -87,10 +87,11 @@ type probeState struct {
 
 // Checker probes backends on the virtual clock and tracks their health.
 type Checker struct {
-	engine *sim.Engine
-	cfg    Config
-	states map[string]*probeState
-	timers []*sim.Timer
+	engine  *sim.Engine
+	cfg     Config
+	states  map[string]*probeState
+	timers  []*sim.Timer
+	stopped bool
 }
 
 // NewChecker returns a checker; register backends with Watch.
@@ -106,7 +107,11 @@ func NewChecker(engine *sim.Engine, cfg Config) *Checker {
 }
 
 // Watch starts periodic probing of a backend. Backends start healthy.
+// Watching after Stop is a no-op: a stopped checker stays stopped.
 func (c *Checker) Watch(b *mesh.Backend) {
+	if c.stopped {
+		return
+	}
 	if _, ok := c.states[b.Name]; ok {
 		return
 	}
@@ -124,11 +129,18 @@ func (c *Checker) WatchAll(backends []*mesh.Backend) {
 	}
 }
 
-// Stop halts all probing.
+// Stop halts all probing and freezes health state. Cancelling the probe
+// tickers is not enough on its own: a probe already in flight at Stop time
+// still holds a pending timeout timer, which would otherwise fire later
+// and record a failure — ejecting a backend from a checker the caller
+// believes dead. The stopped flag silences those stragglers too. Stop is
+// terminal and idempotent.
 func (c *Checker) Stop() {
+	c.stopped = true
 	for _, t := range c.timers {
 		t.Cancel()
 	}
+	c.timers = nil
 }
 
 // Healthy reports whether the named backend is in rotation. Unknown
@@ -177,6 +189,9 @@ func (c *Checker) probe(b *mesh.Backend, st *probeState) {
 }
 
 func (c *Checker) record(st *probeState, ok bool) {
+	if c.stopped {
+		return // late delivery from a probe in flight at Stop time
+	}
 	if ok {
 		st.consecOK++
 		st.consecFail = 0

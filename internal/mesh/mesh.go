@@ -340,6 +340,17 @@ func (m *Mesh) SetPicker(service string, p Picker) error {
 	return nil
 }
 
+// Picker returns the routing strategy currently installed for a service
+// (nil when the service is unknown or has no picker). Wrapping layers —
+// health failover, the resilience circuit breaker — read the installed
+// strategy here and re-install their filtered view through SetPicker.
+func (m *Mesh) Picker(service string) Picker {
+	if svc, ok := m.services[service]; ok {
+		return svc.picker
+	}
+	return nil
+}
+
 // Call issues one request from srcCluster to the named service. done fires
 // exactly once with the client-observed result. The request path is:
 // client proxy (pick backend, start metrics) → WAN to the backend's cluster

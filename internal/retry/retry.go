@@ -29,6 +29,19 @@ type Policy struct {
 	Backoff time.Duration
 	// BackoffFactor multiplies the wait per further retry (default 2).
 	BackoffFactor float64
+	// Jitter spreads each backoff uniformly over ±Jitter of its nominal
+	// value, decorrelating clients that failed against the same backend
+	// at the same instant (without it they all retry in lockstep and
+	// re-spike the backend together). 0 disables; requires Rand.
+	Jitter float64
+	// Rand is the seeded source jitter draws from, so jittered runs stay
+	// deterministic. nil disables jitter.
+	Rand *sim.Rand
+	// Deadline bounds the whole logical request, measured from the Do
+	// call. A retry whose backoff cannot complete within it is pointless,
+	// so the failure is reported immediately instead of sleeping past the
+	// deadline and reporting the same stale result later. 0 means none.
+	Deadline time.Duration
 }
 
 func (p Policy) withDefaults() Policy {
@@ -70,7 +83,19 @@ func Do(engine *sim.Engine, m *mesh.Mesh, src, service string, policy Policy, do
 				done(Result{Result: r, Attempts: n})
 				return
 			}
-			engine.After(wait, func() {
+			w := wait
+			if policy.Jitter > 0 && policy.Rand != nil {
+				w = time.Duration(float64(w) * (1 + policy.Jitter*(2*policy.Rand.Float64()-1)))
+			}
+			if policy.Deadline > 0 && engine.Now()+w-start >= policy.Deadline {
+				// The next attempt could not even start before the
+				// deadline: report the failure now rather than sleeping
+				// past any useful point.
+				r.Latency = engine.Now() - start
+				done(Result{Result: r, Attempts: n})
+				return
+			}
+			engine.After(w, func() {
 				// A failed nested attempt only surfaces as a synchronous
 				// error when the service vanished mid-flight; treat it as
 				// the final failure.

@@ -126,3 +126,91 @@ func TestUnknownServiceErrorsSynchronously(t *testing.T) {
 		t.Fatal("nil engine accepted")
 	}
 }
+
+func TestJitterSpreadsBackoffDeterministically(t *testing.T) {
+	run := func(seed uint64) []time.Duration {
+		// Instant failures isolate the backoff contribution; each Do's
+		// total latency is 4×1ms hops + the three jittered backoffs.
+		m, engine := newMesh(t, failNTimes(100000, 0))
+		policy := Policy{MaxAttempts: 4, Backoff: 10 * time.Millisecond, BackoffFactor: 2,
+			Jitter: 0.5, Rand: sim.NewRand(seed)}
+		var lats []time.Duration
+		for i := 0; i < 8; i++ {
+			engine.After(time.Duration(i)*time.Second, func() {
+				_ = Do(engine, m, "cluster-1", "api", policy, func(r Result) {
+					lats = append(lats, r.Latency)
+				})
+			})
+		}
+		engine.RunUntil(time.Minute)
+		return lats
+	}
+	a := run(7)
+	// Lockstep clients would all wait 10+20+40 = 70ms of backoff; jitter
+	// must spread them while staying within ±50% per draw.
+	distinct := map[time.Duration]bool{}
+	for _, l := range a {
+		distinct[l] = true
+		backoff := l - 4*time.Millisecond
+		if backoff < 35*time.Millisecond || backoff > 105*time.Millisecond {
+			t.Fatalf("jittered backoff sum %v outside ±50%% envelope of 70ms", backoff)
+		}
+		if backoff == 70*time.Millisecond {
+			t.Fatalf("backoff exactly nominal; jitter not applied")
+		}
+	}
+	if len(distinct) < 4 {
+		t.Fatalf("only %d distinct latencies in 8 jittered runs; clients still in lockstep", len(distinct))
+	}
+	// Same seed reproduces the run bit-for-bit; a different seed does not.
+	b := run(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("seeded jitter not deterministic: run1[%d]=%v run2[%d]=%v", i, a[i], i, b[i])
+		}
+	}
+	c := run(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical jitter")
+	}
+}
+
+func TestDeadlineStopsPointlessRetries(t *testing.T) {
+	// Failures land at ~1ms (hops only); the first 50ms backoff would fire
+	// at ~51ms, past the 30ms deadline — so Do must report the failure at
+	// ~1ms, not sleep out the schedule and report the same thing at 151ms.
+	m, engine := newMesh(t, failNTimes(100000, 0))
+	var res Result
+	var at time.Duration
+	calls := 0
+	_ = Do(engine, m, "cluster-1", "api",
+		Policy{MaxAttempts: 4, Backoff: 50 * time.Millisecond, Deadline: 30 * time.Millisecond},
+		func(r Result) { res, at = r, engine.Now(); calls++ })
+	engine.RunUntil(time.Minute)
+	if calls != 1 {
+		t.Fatalf("done fired %d times", calls)
+	}
+	if res.Success || res.Attempts != 1 {
+		t.Fatalf("result = %+v, want failure after the single useful attempt", res)
+	}
+	if at != time.Millisecond || res.Latency != time.Millisecond {
+		t.Fatalf("reported at %v (latency %v), want immediately at the first failure", at, res.Latency)
+	}
+
+	// A deadline with room for one retry allows exactly one.
+	m2, engine2 := newMesh(t, failNTimes(100000, 0))
+	var res2 Result
+	_ = Do(engine2, m2, "cluster-1", "api",
+		Policy{MaxAttempts: 4, Backoff: 50 * time.Millisecond, Deadline: 60 * time.Millisecond},
+		func(r Result) { res2 = r })
+	engine2.RunUntil(time.Minute)
+	if res2.Attempts != 2 {
+		t.Fatalf("attempts = %d, want 2 (second backoff would cross the deadline)", res2.Attempts)
+	}
+}

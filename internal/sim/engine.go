@@ -116,6 +116,20 @@ func (e *Engine) ScheduleAfter(d time.Duration, fn func()) {
 	e.schedule(e.now+d, fn)
 }
 
+// AtTimer schedules fn at absolute time t through a caller-owned Timer,
+// rebinding the handle in place. Cancellable high-rate callers (request
+// deadlines, hedge launches, retry backoffs) embed one Timer per pooled
+// request and reschedule through it, so the steady state allocates no
+// handles. The timer's previous schedule must have fired or been cancelled;
+// rebinding an armed timer would orphan the pending event.
+func (e *Engine) AtTimer(t *Timer, at time.Duration, fn func()) {
+	if t == nil {
+		panic("sim: AtTimer called with nil timer")
+	}
+	ev := e.schedule(at, fn)
+	t.event, t.seq, t.cancelled = ev, ev.seq, false
+}
+
 // Every schedules fn to run every interval, starting one interval from now,
 // until the returned Timer is cancelled. The interval must be positive.
 func (e *Engine) Every(interval time.Duration, fn func()) *Timer {

@@ -176,3 +176,53 @@ func TestEveryNonPositiveIntervalPanics(t *testing.T) {
 	}()
 	NewEngine().Every(0, func() {})
 }
+
+func TestAtTimerRebindsHandleInPlace(t *testing.T) {
+	e := NewEngine()
+	var tm Timer
+	fired := []string{}
+	e.AtTimer(&tm, time.Second, func() { fired = append(fired, "a") })
+	tm.Cancel()
+	// Rebinding after cancel reuses the same handle for a fresh event.
+	e.AtTimer(&tm, 2*time.Second, func() { fired = append(fired, "b") })
+	e.Run()
+	if len(fired) != 1 || fired[0] != "b" {
+		t.Fatalf("fired = %v, want only the rebound event", fired)
+	}
+	// After firing, the handle rebinds again and a stale Cancel of the
+	// fired schedule must not touch the new one.
+	e.AtTimer(&tm, 3*time.Second, func() { fired = append(fired, "c") })
+	old := tm // stale copy of the armed handle
+	e.Run()
+	old.Cancel() // fired already: no-op
+	e.AtTimer(&tm, 4*time.Second, func() { fired = append(fired, "d") })
+	old.Cancel() // stale seq: must not cancel the new event
+	e.Run()
+	if len(fired) != 3 || fired[1] != "c" || fired[2] != "d" {
+		t.Fatalf("fired = %v, want [b c d]", fired)
+	}
+}
+
+func TestAtTimerNilTimerPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AtTimer(nil, ...) did not panic")
+		}
+	}()
+	NewEngine().AtTimer(nil, time.Second, func() {})
+}
+
+func TestAtTimerDoesNotAllocateWhenWarm(t *testing.T) {
+	e := NewEngine()
+	var tm Timer
+	fn := func() {}
+	e.AtTimer(&tm, 0, fn)
+	e.Run()
+	allocs := testing.AllocsPerRun(500, func() {
+		e.AtTimer(&tm, e.Now(), fn)
+		e.Run()
+	})
+	if allocs != 0 {
+		t.Fatalf("warm AtTimer allocates %.1f objects, want 0", allocs)
+	}
+}

@@ -1,11 +1,12 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race chaos-smoke resilience-smoke bench bench-smoke
+.PHONY: check fmt vet build test race chaos-smoke resilience-smoke guard-smoke fuzz-smoke bench bench-smoke
 
 ## check: the pre-merge gate — formatting, vet, build, the full suite under
-## the race detector, and chaos + resilience + bench smoke runs. Run before
-## every merge; CI and the tier-1 verify in ROADMAP.md assume it passes.
-check: fmt vet build race chaos-smoke resilience-smoke bench-smoke
+## the race detector, chaos + resilience + guard + bench smoke runs, and a
+## short fuzz pass over the chaos-schedule parser. Run before every merge;
+## CI and the tier-1 verify in ROADMAP.md assume it passes.
+check: fmt vet build race chaos-smoke resilience-smoke guard-smoke fuzz-smoke bench-smoke
 
 ## fmt: fail if any file needs gofmt (prints the offenders).
 fmt:
@@ -38,6 +39,20 @@ resilience-smoke:
 	$(GO) run ./cmd/l3bench -chaos 'saturate@48s+24s:api-cluster-1/0.25' \
 		-scenario scenario-1 -quick \
 		-resilience 'deadline=1s,retries=3,budget=0.2,breaker=5' >/dev/null
+
+## guard-smoke: the partial-visibility guard figure plus a guarded custom
+## chaos run through the CLI — proves metric hygiene, degraded modes and
+## the write gate compose end to end on the control plane.
+guard-smoke:
+	$(GO) run ./cmd/l3bench -fig G2 -quick >/dev/null
+	$(GO) run ./cmd/l3bench -chaos 'garbage@48s+24s:nan' \
+		-scenario scenario-1 -quick -guard >/dev/null
+
+## fuzz-smoke: five seconds of coverage-guided fuzzing over the
+## chaos-schedule parser — catches parse/String round-trip and validation
+## regressions beyond the seed corpus.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzParseSchedule -fuzztime 5s ./internal/chaos
 
 ## bench: the fast-path benchmark suite (mesh.Call, metrics, histogram, event
 ## heap), machine-readable results in BENCH_fastpath.json.

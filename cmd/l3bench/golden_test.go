@@ -50,6 +50,10 @@ func TestFigureOutputByteIdentical(t *testing.T) {
 			"a6f6556b5dabc9ade950b1b4456f7fe336123655684c105f4d0873790fa50eb9"},
 		{"R3-quick", []string{"-fig", "R3", "-quick"},
 			"42c52183884b73f24702d42a13c2b52117be70f615af8295e926d8d5b443ac9c"},
+		{"G1-quick", []string{"-fig", "G1", "-quick"},
+			"e12cef1d57bd3b5fe181580d8cff1a547c3e6648d197e4510176585910f56cd0"},
+		{"G2-quick", []string{"-fig", "G2", "-quick"},
+			"0f6f636a8cbc000b06bcfa220ca5d61bb22bf4df91f4b3e0822efc1ed2b03773"},
 		{"chaos-resilience", []string{
 			"-chaos", "saturate@48s+24s:api-cluster-1/0.25",
 			"-scenario", "scenario-1", "-quick",

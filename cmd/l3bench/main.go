@@ -14,6 +14,8 @@
 //	l3bench -fig R1                  # resilience: naive vs budgeted retry storm
 //	l3bench -fig R2                  # resilience: hedging tail-latency sweep
 //	l3bench -fig R3                  # resilience: circuit breaking vs probes
+//	l3bench -fig G1                  # guard: metric garbage, guarded vs unguarded
+//	l3bench -fig G2                  # guard: partial visibility, quorum freeze
 //
 // A custom fault schedule runs against any scenario, optionally with a
 // resilience policy on the client (grammar in internal/resilience):
@@ -21,11 +23,15 @@
 //	l3bench -chaos 'partition@120s+60s:cluster-1/cluster-2' -scenario scenario-1
 //	l3bench -chaos 'saturate@120s+60s:api-cluster-1/0.25' \
 //	        -resilience 'deadline=1s,retries=3,budget=0.2,breaker=5'
+//	l3bench -chaos 'garbage@60s+30s:nan' -guard   # hardened control plane
 //
 // Schedules are semicolon-separated events, each
 // kind@start[+duration][:operands] with kinds partition, delay, flap,
-// crash, saturate, scrapedrop and leaderkill; times are relative to the
-// start of the measured window. See internal/chaos for the full grammar.
+// crash, saturate, scrapedrop, leaderkill, counterreset, garbage,
+// clockskew and slowscrape; times are relative to the start of the
+// measured window. See internal/chaos for the full grammar. -guard turns
+// on the internal/guard hardening layer (metric hygiene, staleness-aware
+// degraded modes, write gating) for the run.
 //
 // Figure durations follow the paper (10-minute scenarios); -quick shrinks
 // the measured window for a fast sanity pass.
@@ -81,13 +87,14 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("l3bench", flag.ContinueOnError)
 	var (
-		fig      = fs.String("fig", "all", "figure to regenerate: 1,2,4,6,7,8,9,10,11,12, C1, C2, R1, R2, R3, 'ablations' or 'all'")
+		fig      = fs.String("fig", "all", "figure to regenerate: 1,2,4,6,7,8,9,10,11,12, C1, C2, R1, R2, R3, G1, G2, 'ablations' or 'all'")
 		chaosStr = fs.String("chaos", "", "fault schedule to inject (kind@start[+dur][:operands];...); overrides -fig")
 		scenario = fs.String("scenario", trace.Scenario1, "scenario a -chaos schedule runs against")
 		resStr   = fs.String("resilience", "",
 			"resilience policy on the client (key=value,... e.g. 'deadline=1s,retries=3,budget=0.2,hedge=p99,breaker=5'); composes with -chaos runs")
 		seed     = fs.Uint64("seed", 1, "base random seed")
 		reps     = fs.Int("reps", 1, "repetitions per configuration (paper used 2-3)")
+		guard    = fs.Bool("guard", false, "harden the control plane with internal/guard (hygiene, degraded modes, write gating); applies to -chaos and figure runs")
 		quick    = fs.Bool("quick", false, "shrink measured windows for a fast pass")
 		csv      = fs.Bool("csv", false, "emit series results as CSV instead of summaries")
 		parallel = fs.Int("parallel", runtime.GOMAXPROCS(0),
@@ -141,7 +148,7 @@ func run(args []string) error {
 		return perf.WriteJSON(out, results)
 	}
 
-	opts := bench.Options{Seed: *seed, Reps: *reps, Parallel: *parallel}
+	opts := bench.Options{Seed: *seed, Reps: *reps, Parallel: *parallel, Guard: *guard}
 	if *quick {
 		opts.Duration = 2 * time.Minute
 	}
@@ -177,6 +184,8 @@ func run(args []string) error {
 		{"R1", func() (*bench.Result, error) { return bench.FigR1(opts) }},
 		{"R2", func() (*bench.Result, error) { return bench.FigR2(opts) }},
 		{"R3", func() (*bench.Result, error) { return bench.FigR3(opts) }},
+		{"G1", func() (*bench.Result, error) { return bench.FigG1(opts) }},
+		{"G2", func() (*bench.Result, error) { return bench.FigG2(opts) }},
 	}
 	ablations := []runner{
 		{"ablation-inflight-exponent", func() (*bench.Result, error) { return bench.AblationInflightExponent(opts) }},

@@ -238,13 +238,21 @@ func FigC2(opts Options) (*Result, error) {
 func FigChaosCustom(scenarioName string, sched *chaos.Schedule, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
 	opts.Chaos = sched
-	needsLeaders := false
+	needsLeaders, needsMetricPlane := false, false
 	for _, ev := range sched.Events {
-		if ev.Kind == chaos.LeaderKill {
+		switch ev.Kind {
+		case chaos.LeaderKill:
 			needsLeaders = true
+		case chaos.Garbage, chaos.CounterReset, chaos.ClockSkew, chaos.SlowScrape:
+			needsMetricPlane = true
 		}
 	}
 	algos := []Algorithm{AlgoL3, AlgoC3, AlgoRoundRobin, AlgoFailover}
+	if needsMetricPlane {
+		// Metric-plane faults corrupt the scrape pipeline, which only the
+		// metric-driven algorithms have.
+		algos = []Algorithm{AlgoL3, AlgoC3}
+	}
 	if needsLeaders {
 		// Only L3/C3 have controller instances to kill.
 		algos = []Algorithm{AlgoL3, AlgoC3}
@@ -259,7 +267,11 @@ func FigChaosCustom(scenarioName string, sched *chaos.Schedule, opts Options) (*
 	if err != nil {
 		return nil, err
 	}
-	r := &Result{ID: "chaos", Title: fmt.Sprintf("Custom chaos schedule on %s", scenarioName), SeriesStep: time.Second}
+	title := fmt.Sprintf("Custom chaos schedule on %s", scenarioName)
+	if opts.Guard {
+		title += " (guarded)"
+	}
+	r := &Result{ID: "chaos", Title: title, SeriesStep: time.Second}
 	for i, algo := range algos {
 		s := stats[i]
 		label := algo.String()

@@ -17,6 +17,7 @@ import (
 	"l3/internal/cost"
 	"l3/internal/dsb"
 	"l3/internal/ewma"
+	"l3/internal/guard"
 	"l3/internal/health"
 	"l3/internal/loadgen"
 	"l3/internal/mesh"
@@ -144,6 +145,12 @@ type Options struct {
 	// single always-on instance, so chaos leader kills have a standby to
 	// fail over to. L3/C3 only.
 	LeaderElection bool
+	// Guard hardens the L3/C3 control plane with internal/guard: metric
+	// hygiene at scrape ingestion, staleness-aware degraded modes around
+	// the assigner, a write gate in front of every TrafficSplit write, and
+	// a stall watchdog degrading to the baseline split. Off by default so
+	// every unguarded figure is byte-identical to the historical output.
+	Guard bool
 
 	// inflightExponent overrides Equation 4's exponent for the ablation
 	// bench (0 = the paper's default of 2).
@@ -331,6 +338,7 @@ type chaosArtifacts struct {
 	ejections float64
 	restores  float64
 	res       resCounters
+	grd       guardCounters
 }
 
 // resCounters aggregates one run's resilience-layer activity from the
@@ -343,6 +351,23 @@ type resCounters struct {
 	// attempt the data plane actually carried, retries and hedges
 	// included.
 	attempts float64
+}
+
+// guardCounters aggregates one run's guard-layer activity from the metrics
+// registry (all zero when Options.Guard is off).
+type guardCounters struct {
+	rejected, resets, holds, decays, frozen      float64
+	writeSuppressed, writeClamped, writeRejected float64
+	watchdogDegrades                             float64
+}
+
+// registryResetter adapts the run's metrics registry to the chaos
+// MetricResetter: a counterreset event zeroes the backend's cumulative
+// series, exactly what a pod restart does to its /metrics endpoint.
+type registryResetter struct{ reg *metrics.Registry }
+
+func (r registryResetter) ResetBackendCounters(backend string) {
+	r.reg.ResetCounters(metrics.Labels{"backend": backend})
 }
 
 // runOnceCounted runs one scenario replay and additionally returns the
@@ -440,6 +465,7 @@ func runOnceCounted(sc *trace.Scenario, algo Algorithm, opts Options, seed uint6
 			Backends: injectors,
 			Scrapers: scrapers,
 			Leaders:  handles.leaders,
+			Metrics:  registryResetter{m.Registry()},
 		}, warm)
 		if err := inj.Start(); err != nil {
 			return nil, nil, nil, err
@@ -539,6 +565,24 @@ func runOnceCounted(sc *trace.Scenario, algo Algorithm, opts Options, seed uint6
 			art.res.breakerRestores += sample.Value
 		case resilience.MetricBreakerDeniedTotal:
 			art.res.breakerDenied += sample.Value
+		case guard.MetricRejectedTotal:
+			art.grd.rejected += sample.Value
+		case guard.MetricResetsTotal:
+			art.grd.resets += sample.Value
+		case guard.MetricHoldsTotal:
+			art.grd.holds += sample.Value
+		case guard.MetricDecaysTotal:
+			art.grd.decays += sample.Value
+		case guard.MetricFrozenTotal:
+			art.grd.frozen += sample.Value
+		case guard.MetricWriteSuppressedTotal:
+			art.grd.writeSuppressed += sample.Value
+		case guard.MetricWriteClampedTotal:
+			art.grd.writeClamped += sample.Value
+		case guard.MetricWriteRejectedTotal:
+			art.grd.writeRejected += sample.Value
+		case guard.MetricWatchdogDegradesTotal:
+			art.grd.watchdogDegrades += sample.Value
 		}
 	}
 	return gen.Recorder(), counts, art, nil
@@ -624,24 +668,36 @@ func installAlgorithm(m *mesh.Mesh, engine *sim.Engine, rng *sim.Rand, algo Algo
 			}
 		}
 		db := timeseries.NewDB(time.Minute)
+		var hyg *guard.Hygiene
+		var gate *guard.WriteGate
+		if opts.Guard {
+			hyg = guard.NewHygiene(guard.Config{}, m.Registry())
+			db.SetGate(hyg)
+			gate = guard.NewWriteGate(guard.Config{}, m.Registry())
+		}
 		scraper := core.NewScraper(engine, db, m.Registry(), opts.ScrapeInterval)
 		scraper.Start()
 		handles.scrapers = append(handles.scrapers, scraper)
 		newAssigner := func() core.Assigner {
+			var assigner core.Assigner
 			if algo == AlgoC3 {
-				return c3.New(c3.Config{})
+				assigner = c3.New(c3.Config{})
+			} else {
+				assigner = core.NewL3Assigner(core.WeightingConfig{
+					Penalty:          opts.Penalty,
+					FilterKind:       opts.FilterKind,
+					InflightExponent: opts.inflightExponent,
+					DynamicPenalty:   opts.DynamicPenalty,
+				}, core.RateControlConfig{}, !opts.DisableRateControl)
+				if opts.CostLambda > 0 {
+					assigner = cost.NewAssigner(assigner, cost.NewModel(cost.DefaultRates(), 0),
+						sourceCluster, func(b string) string {
+							return strings.TrimPrefix(b, apiService+"-")
+						}, opts.CostLambda)
+				}
 			}
-			var assigner core.Assigner = core.NewL3Assigner(core.WeightingConfig{
-				Penalty:          opts.Penalty,
-				FilterKind:       opts.FilterKind,
-				InflightExponent: opts.inflightExponent,
-				DynamicPenalty:   opts.DynamicPenalty,
-			}, core.RateControlConfig{}, !opts.DisableRateControl)
-			if opts.CostLambda > 0 {
-				assigner = cost.NewAssigner(assigner, cost.NewModel(cost.DefaultRates(), 0),
-					sourceCluster, func(b string) string {
-						return strings.TrimPrefix(b, apiService+"-")
-					}, opts.CostLambda)
+			if opts.Guard {
+				assigner = guard.NewAssigner(assigner, guard.Config{}, m.Registry())
 			}
 			return assigner
 		}
@@ -652,12 +708,19 @@ func installAlgorithm(m *mesh.Mesh, engine *sim.Engine, rng *sim.Rand, algo Algo
 					DB: db, Window: opts.Window, Percentile: opts.Percentile,
 					Match: spec.match,
 				}
-				return core.NewController(engine, m.Splits(), collector, core.ControllerConfig{
+				if hyg != nil {
+					collector.Resets = hyg
+				}
+				cfg := core.ControllerConfig{
 					Interval:    opts.ScrapeInterval,
 					NewAssigner: newAssigner,
 					SplitFilter: spec.filter,
 					Elector:     elector,
-				})
+				}
+				if gate != nil {
+					cfg.WriteGuard = gate
+				}
+				return core.NewController(engine, m.Splits(), collector, cfg)
 			}
 			if !opts.LeaderElection {
 				newController(nil).Start()
@@ -678,6 +741,9 @@ func installAlgorithm(m *mesh.Mesh, engine *sim.Engine, rng *sim.Rand, algo Algo
 				ctrl.Start()
 				handles.leaders[id] = leaderHandle{ctrl: ctrl, elector: elector}
 			}
+		}
+		if gate != nil {
+			guard.NewWatchdog(engine, m.Splits(), guard.Config{}, m.Registry(), nil, gate).Start()
 		}
 		return handles, nil
 	default:

@@ -30,6 +30,31 @@ type ScrapeGate interface {
 	SetDropping(drop bool)
 }
 
+// ScrapeCorrupter is the garbage-injection capability of a scrape gate
+// (implemented by core.Scraper): corrupt scraped values for one backend's
+// series ("" = all) with the given mode while on.
+type ScrapeCorrupter interface {
+	SetGarbage(backend, mode string, on bool)
+}
+
+// ScrapeSkewer is the clock-skew capability of a scrape gate (implemented
+// by core.Scraper): back-date alternating scrape passes by d (0 disables).
+type ScrapeSkewer interface {
+	SetSkew(d time.Duration)
+}
+
+// ScrapeSlower is the slow-scrape capability of a scrape gate (implemented
+// by core.Scraper): run only every n-th scheduled scrape (< 2 disables).
+type ScrapeSlower interface {
+	SetSlowFactor(n int)
+}
+
+// MetricResetter zeroes a backend's cumulative metric series, as a pod
+// restart would (adapted over metrics.Registry by the harness).
+type MetricResetter interface {
+	ResetBackendCounters(backend string)
+}
+
 // Leader is one killable controller instance (a core.Controller plus its
 // elector, adapted by the harness): Kill crashes it without releasing the
 // leadership lease, Revive restarts it, IsLeader reports whether it
@@ -50,10 +75,14 @@ type Targets struct {
 	Links LinkInjector
 	// Backends maps backend name to its injector.
 	Backends map[string]BackendInjector
-	// Scrapers are the control plane's scrape gates.
+	// Scrapers are the control plane's scrape gates. Gates additionally
+	// implementing ScrapeCorrupter/ScrapeSkewer/ScrapeSlower receive the
+	// garbage, clockskew and slowscrape faults.
 	Scrapers []ScrapeGate
 	// Leaders maps controller instance id to its kill handle.
 	Leaders map[string]Leader
+	// Metrics receives counterreset events.
+	Metrics MetricResetter
 }
 
 // Injector schedules a fault schedule onto a simulation engine. One
@@ -137,8 +166,33 @@ func (in *Injector) check(ev Event) error {
 				return fmt.Errorf("chaos: leaderkill targets unknown instance %q", ev.Target)
 			}
 		}
+	case CounterReset:
+		if in.targets.Metrics == nil {
+			return fmt.Errorf("chaos: counterreset event but no metric resetter")
+		}
+	case Garbage:
+		if !anyScraper(in.targets.Scrapers, func(s ScrapeGate) bool { _, ok := s.(ScrapeCorrupter); return ok }) {
+			return fmt.Errorf("chaos: garbage event but no corruptible scraper")
+		}
+	case ClockSkew:
+		if !anyScraper(in.targets.Scrapers, func(s ScrapeGate) bool { _, ok := s.(ScrapeSkewer); return ok }) {
+			return fmt.Errorf("chaos: clockskew event but no skewable scraper")
+		}
+	case SlowScrape:
+		if !anyScraper(in.targets.Scrapers, func(s ScrapeGate) bool { _, ok := s.(ScrapeSlower); return ok }) {
+			return fmt.Errorf("chaos: slowscrape event but no slowable scraper")
+		}
 	}
 	return nil
+}
+
+func anyScraper(ss []ScrapeGate, has func(ScrapeGate) bool) bool {
+	for _, s := range ss {
+		if has(s) {
+			return true
+		}
+	}
+	return false
 }
 
 // links expands an event's From/To into the directed links it covers.
@@ -199,6 +253,26 @@ func (in *Injector) apply(idx int, ev Event) {
 		l := in.leader(ev)
 		in.killed[idx] = l
 		l.Kill()
+	case CounterReset:
+		in.targets.Metrics.ResetBackendCounters(ev.Backend)
+	case Garbage:
+		for _, s := range in.targets.Scrapers {
+			if c, ok := s.(ScrapeCorrupter); ok {
+				c.SetGarbage(ev.Backend, ev.Mode, true)
+			}
+		}
+	case ClockSkew:
+		for _, s := range in.targets.Scrapers {
+			if sk, ok := s.(ScrapeSkewer); ok {
+				sk.SetSkew(ev.Skew)
+			}
+		}
+	case SlowScrape:
+		for _, s := range in.targets.Scrapers {
+			if sl, ok := s.(ScrapeSlower); ok {
+				sl.SetSlowFactor(ev.SlowFactor)
+			}
+		}
 	}
 }
 
@@ -224,6 +298,24 @@ func (in *Injector) heal(idx int, ev Event) {
 	case LeaderKill:
 		if l, ok := in.killed[idx]; ok {
 			l.Revive()
+		}
+	case Garbage:
+		for _, s := range in.targets.Scrapers {
+			if c, ok := s.(ScrapeCorrupter); ok {
+				c.SetGarbage(ev.Backend, ev.Mode, false)
+			}
+		}
+	case ClockSkew:
+		for _, s := range in.targets.Scrapers {
+			if sk, ok := s.(ScrapeSkewer); ok {
+				sk.SetSkew(0)
+			}
+		}
+	case SlowScrape:
+		for _, s := range in.targets.Scrapers {
+			if sl, ok := s.(ScrapeSlower); ok {
+				sl.SetSlowFactor(0)
+			}
 		}
 	}
 }

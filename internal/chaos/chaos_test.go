@@ -163,6 +163,62 @@ func TestInjectorLeaderKillPicksCurrentLeader(t *testing.T) {
 	}
 }
 
+// fakeCorruptGate is a scrape gate with every hygiene-fault capability.
+type fakeCorruptGate struct {
+	fakeGate
+	garbage map[string]string
+	skew    time.Duration
+	slow    int
+	resets  []string
+}
+
+func (f *fakeCorruptGate) SetGarbage(backend, mode string, on bool) {
+	if f.garbage == nil {
+		f.garbage = make(map[string]string)
+	}
+	if on {
+		f.garbage[backend] = mode
+	} else {
+		delete(f.garbage, backend)
+	}
+}
+
+func (f *fakeCorruptGate) SetSkew(d time.Duration) { f.skew = d }
+func (f *fakeCorruptGate) SetSlowFactor(n int)     { f.slow = n }
+
+func (f *fakeCorruptGate) ResetBackendCounters(b string) { f.resets = append(f.resets, b) }
+
+func TestInjectorHygieneFaults(t *testing.T) {
+	engine := sim.NewEngine()
+	gate := &fakeCorruptGate{}
+	sched := mustParse(t,
+		"garbage@1s+10s:negative/api-1; clockskew@2s+10s:6s; slowscrape@3s+10s:3; counterreset@4s:api-1")
+	inj := New(engine, sched, Targets{
+		Scrapers: []ScrapeGate{gate},
+		Metrics:  gate,
+	}, 0)
+	if err := inj.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	engine.RunUntil(5 * time.Second)
+	if gate.garbage["api-1"] != "negative" {
+		t.Fatalf("garbage = %v", gate.garbage)
+	}
+	if gate.skew != 6*time.Second || gate.slow != 3 {
+		t.Fatalf("skew=%v slow=%d", gate.skew, gate.slow)
+	}
+	if len(gate.resets) != 1 || gate.resets[0] != "api-1" {
+		t.Fatalf("resets = %v", gate.resets)
+	}
+	engine.RunUntil(time.Minute)
+	if len(gate.garbage) != 0 || gate.skew != 0 || gate.slow != 0 {
+		t.Fatalf("faults not healed: garbage=%v skew=%v slow=%d", gate.garbage, gate.skew, gate.slow)
+	}
+	if inj.Applied() != 4 || inj.Healed() != 3 {
+		t.Fatalf("applied=%d healed=%d, want 4/3", inj.Applied(), inj.Healed())
+	}
+}
+
 func TestInjectorValidatesTargets(t *testing.T) {
 	engine := sim.NewEngine()
 	cases := []struct {
@@ -175,6 +231,12 @@ func TestInjectorValidatesTargets(t *testing.T) {
 		{"scrapedrop@1s+1s", Targets{}},
 		{"leaderkill@1s", Targets{}},
 		{"leaderkill@1s:ghost", Targets{Leaders: map[string]Leader{"l3-0": &fakeLeader{}}}},
+		// A plain ScrapeGate lacks the corruption capabilities; counterreset
+		// needs a metric resetter.
+		{"garbage@1s+1s", Targets{Scrapers: []ScrapeGate{&fakeGate{}}}},
+		{"clockskew@1s+1s:6s", Targets{Scrapers: []ScrapeGate{&fakeGate{}}}},
+		{"slowscrape@1s+1s:3", Targets{Scrapers: []ScrapeGate{&fakeGate{}}}},
+		{"counterreset@1s:api", Targets{}},
 	}
 	for _, c := range cases {
 		inj := New(engine, mustParse(t, c.sched), c.targets, 0)

@@ -1,0 +1,63 @@
+package chaos
+
+import "testing"
+
+// FuzzParseSchedule drives the schedule grammar with arbitrary input. Two
+// properties must hold for every input the parser accepts:
+//
+//  1. the parsed schedule passes Validate (ParseSchedule promises only
+//     valid schedules come back), and
+//  2. String() renders a canonical form that is a parser fixed point:
+//     it re-parses successfully and renders to the same bytes again.
+func FuzzParseSchedule(f *testing.F) {
+	seeds := []string{
+		// One well-formed example per kind and operand arity.
+		"partition@2m+1m:cluster-1/cluster-2",
+		"partition@2m+1m:cluster-2/*",
+		"delay@2m+1m:cluster-1/cluster-3/40ms",
+		"flap@2m+1m:cluster-1/cluster-3/40ms/10s",
+		"crash@3m+30s:api-cluster-2",
+		"crash@3m+30s:api-cluster-2/15s",
+		"saturate@2m+1m:api-cluster-3/0.25",
+		"scrapedrop@2m+30s",
+		"leaderkill@2m",
+		"leaderkill@2m+1m:l3-0",
+		"counterreset@2m:api-cluster-2",
+		"garbage@2m+30s",
+		"garbage@2m+30s:nan",
+		"garbage@2m+30s:negative/api-cluster-1",
+		"clockskew@2m+1m:6s",
+		"slowscrape@2m+1m:3",
+		// Multi-event, whitespace, and near-miss shapes.
+		"partition@1s+1s:a/b; crash@2s+1s:c",
+		"  scrapedrop@90s+30s ;  ",
+		"partition@-1s+1s:a/b",
+		"saturate@1s+1s:b/2",
+		"saturate@1s+1s:b/NaN",
+		"garbage@1s+1s:bogus",
+		"clockskew@1s:6s",
+		"kind@1s",
+		"@",
+		"",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		sched, err := ParseSchedule(s)
+		if err != nil {
+			return // rejected input: the only requirement is not panicking
+		}
+		if err := sched.Validate(); err != nil {
+			t.Fatalf("accepted schedule fails Validate: %v (input %q)", err, s)
+		}
+		canonical := sched.String()
+		again, err := ParseSchedule(canonical)
+		if err != nil {
+			t.Fatalf("canonical form %q does not re-parse: %v (input %q)", canonical, err, s)
+		}
+		if got := again.String(); got != canonical {
+			t.Fatalf("canonical form is not a fixed point: %q -> %q (input %q)", canonical, got, s)
+		}
+	})
+}

@@ -49,6 +49,18 @@ const (
 	// LeaderKill crashes the Target controller instance without releasing
 	// its leadership lease; healing revives the instance.
 	LeaderKill
+	// CounterReset zeroes the cumulative metric series of the named Backend
+	// at the event time, as a pod restart would — instantaneous, no heal.
+	CounterReset
+	// Garbage corrupts scraped sample values (NaN and/or negated, per Mode)
+	// for the named Backend's series, or every series when Backend is empty.
+	Garbage
+	// ClockSkew back-dates alternating scrape passes by Skew, jittering (or,
+	// beyond the scrape interval, reordering) ingestion timestamps.
+	ClockSkew
+	// SlowScrape stretches the effective scrape interval SlowFactor-fold by
+	// letting only every n-th scheduled scrape run.
+	SlowScrape
 )
 
 // name returns the schedule-format keyword of the kind.
@@ -68,6 +80,14 @@ func (k Kind) name() string {
 		return "scrapedrop"
 	case LeaderKill:
 		return "leaderkill"
+	case CounterReset:
+		return "counterreset"
+	case Garbage:
+		return "garbage"
+	case ClockSkew:
+		return "clockskew"
+	case SlowScrape:
+		return "slowscrape"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -96,6 +116,13 @@ type Event struct {
 	Factor float64
 	// SlowStart is the capacity ramp after a BackendCrash heals.
 	SlowStart time.Duration
+	// Mode selects Garbage corruption: "nan", "negative" or "mixed"
+	// (alternating; the default when empty).
+	Mode string
+	// Skew is the back-dating applied by ClockSkew.
+	Skew time.Duration
+	// SlowFactor is SlowScrape's interval multiplier (≥ 2).
+	SlowFactor int
 }
 
 // String renders the event in the schedule format ParseSchedule accepts.
@@ -123,6 +150,23 @@ func (e Event) String() string {
 		if e.Target != "" {
 			fmt.Fprintf(&b, ":%s", e.Target)
 		}
+	case CounterReset:
+		fmt.Fprintf(&b, ":%s", e.Backend)
+	case Garbage:
+		switch {
+		case e.Backend != "":
+			mode := e.Mode
+			if mode == "" {
+				mode = "mixed"
+			}
+			fmt.Fprintf(&b, ":%s/%s", mode, e.Backend)
+		case e.Mode != "":
+			fmt.Fprintf(&b, ":%s", e.Mode)
+		}
+	case ClockSkew:
+		fmt.Fprintf(&b, ":%s", e.Skew)
+	case SlowScrape:
+		fmt.Fprintf(&b, ":%d", e.SlowFactor)
 	}
 	return b.String()
 }
@@ -153,7 +197,9 @@ func (e Event) Validate() error {
 			return fmt.Errorf("chaos: backend crash needs a backend name")
 		}
 	case Saturate:
-		if e.Backend == "" || e.Factor <= 0 || e.Factor >= 1 {
+		// Written as a positive range check so NaN (every comparison false)
+		// cannot slip through.
+		if e.Backend == "" || !(e.Factor > 0 && e.Factor < 1) {
 			return fmt.Errorf("chaos: saturate needs a backend and a factor in (0, 1)")
 		}
 		if e.Duration == 0 {
@@ -163,6 +209,36 @@ func (e Event) Validate() error {
 		// No operands.
 	case LeaderKill:
 		// Target may be empty: the engine then kills the current leader.
+	case CounterReset:
+		if e.Backend == "" {
+			return fmt.Errorf("chaos: counterreset needs a backend name")
+		}
+		if e.Duration != 0 {
+			return fmt.Errorf("chaos: counterreset is instantaneous (no duration)")
+		}
+	case Garbage:
+		switch e.Mode {
+		case "", "nan", "negative", "mixed":
+		default:
+			return fmt.Errorf("chaos: unknown garbage mode %q", e.Mode)
+		}
+		if e.Duration == 0 {
+			return fmt.Errorf("chaos: garbage needs a heal time (corruption must stop)")
+		}
+	case ClockSkew:
+		if e.Skew <= 0 {
+			return fmt.Errorf("chaos: clockskew needs a positive skew")
+		}
+		if e.Duration == 0 {
+			return fmt.Errorf("chaos: clockskew needs a heal time")
+		}
+	case SlowScrape:
+		if e.SlowFactor < 2 {
+			return fmt.Errorf("chaos: slowscrape needs a factor of at least 2")
+		}
+		if e.Duration == 0 {
+			return fmt.Errorf("chaos: slowscrape needs a heal time")
+		}
 	default:
 		return fmt.Errorf("chaos: unknown event kind %d", int(e.Kind))
 	}
@@ -246,6 +322,12 @@ func (s *Schedule) String() string {
 //	scrapedrop@2m+30s                       control plane loses scrapes
 //	leaderkill@2m                           kill the leader (never revived)
 //	leaderkill@2m+1m:l3-0                   kill instance l3-0, revive at 3m
+//	counterreset@2m:api-cluster-2           pod restart zeroes its counters
+//	garbage@2m+30s                          corrupt every scrape (mixed mode)
+//	garbage@2m+30s:nan                      NaN-poison every scraped value
+//	garbage@2m+30s:negative/api-cluster-1   negate one backend's samples
+//	clockskew@2m+1m:6s                      back-date alternating scrapes 6 s
+//	slowscrape@2m+1m:3                      scrape every 15 s instead of 5 s
 func ParseSchedule(s string) (*Schedule, error) {
 	sched := &Schedule{}
 	for _, part := range strings.Split(s, ";") {
@@ -287,6 +369,14 @@ func parseEvent(s string) (Event, error) {
 		ev.Kind = ScrapeDrop
 	case "leaderkill":
 		ev.Kind = LeaderKill
+	case "counterreset":
+		ev.Kind = CounterReset
+	case "garbage":
+		ev.Kind = Garbage
+	case "clockskew":
+		ev.Kind = ClockSkew
+	case "slowscrape":
+		ev.Kind = SlowScrape
 	default:
 		return ev, fmt.Errorf("chaos: unknown event kind %q", kindName)
 	}
@@ -383,6 +473,37 @@ func (e *Event) parseOperands(fields []string) error {
 		}
 		if len(fields) == 1 {
 			e.Target = fields[0]
+		}
+	case CounterReset:
+		if err := need(1); err != nil {
+			return err
+		}
+		e.Backend = fields[0]
+	case Garbage:
+		if len(fields) > 2 {
+			return fmt.Errorf("garbage takes a mode and an optional backend, got %d operands", len(fields))
+		}
+		if len(fields) >= 1 {
+			e.Mode = fields[0]
+		}
+		if len(fields) == 2 {
+			e.Backend = fields[1]
+		}
+	case ClockSkew:
+		if err := need(1); err != nil {
+			return err
+		}
+		d, err := time.ParseDuration(fields[0])
+		if err != nil {
+			return err
+		}
+		e.Skew = d
+	case SlowScrape:
+		if err := need(1); err != nil {
+			return err
+		}
+		if _, err := fmt.Sscanf(fields[0], "%d", &e.SlowFactor); err != nil {
+			return fmt.Errorf("bad slowscrape factor %q: %w", fields[0], err)
 		}
 	}
 	return nil

@@ -44,6 +44,20 @@ type BackendMetrics struct {
 	// (≥10 s without traffic, per §4); the weighter then relaxes its
 	// filters toward their defaults instead of observing.
 	HasTraffic bool
+	// LastSample is the scrape timestamp of the backend's newest stored
+	// response sample (0 = none ever) — the freshness clock internal/guard
+	// classifies fresh/stale/blind from.
+	LastSample time.Duration
+	// Starved distinguishes a data gap from genuine idleness: true when the
+	// backend has stored samples but the window could not compute a rate
+	// (fewer than two in-window points — dropped scrapes, rejected garbage,
+	// skew-reordered stamps). A truly idle backend has fresh samples and a
+	// zero rate instead.
+	Starved bool
+	// ResetSeen is true when the hygiene layer spliced a counter reset for
+	// this backend inside the query window; the increments lost to the
+	// restart make the window's rates untrustworthy for one round.
+	ResetSeen bool
 }
 
 // Collector turns the time-series database into BackendMetrics snapshots.
@@ -64,6 +78,16 @@ type Collector struct {
 	// ({"src": "cluster-2"}) so it only sees latency as measured from its
 	// cluster's proxies.
 	Match metrics.Labels
+	// Resets reports counter-reset splices when a hygiene layer is
+	// installed (nil = raw ingestion, no reset awareness).
+	Resets ResetSource
+}
+
+// ResetSource reports the most recent counter-reset splice among series
+// matching a label set. Implemented by internal/guard's hygiene layer; the
+// interface lives here so core does not import its guards.
+type ResetSource interface {
+	LastReset(match metrics.Labels) (time.Duration, bool)
 }
 
 // NewCollector returns a collector with the paper's defaults.
@@ -101,8 +125,20 @@ func (c *Collector) Collect(at time.Duration, service string, backends []string)
 		}
 		var m BackendMetrics
 
+		if last, ok := c.DB.NewestSample(mesh.MetricResponseTotal, base); ok {
+			m.LastSample = last
+		}
+		if c.Resets != nil {
+			if rt, ok := c.Resets.LastReset(base); ok && rt > at-w {
+				m.ResetSeen = true
+			}
+		}
+
 		totalRate, ok := c.DB.Rate(mesh.MetricResponseTotal, base, at, w)
 		if !ok || totalRate <= 0 {
+			// Distinguish a data gap (samples exist, but fewer than two in
+			// the window) from a backend that is genuinely idle or unknown.
+			m.Starved = !ok && m.LastSample > 0
 			out[b] = m // HasTraffic stays false
 			continue
 		}

@@ -164,3 +164,112 @@ func TestCollectorFailureMeanLatency(t *testing.T) {
 		t.Fatal("P99 should be invalid with zero successes")
 	}
 }
+
+func TestCollectorSingleScrapeWindowIsStarved(t *testing.T) {
+	db := timeseries.NewDB(time.Minute)
+	reg := metrics.NewRegistry()
+	base := metrics.Labels{"service": "api", "backend": "b"}
+	succ := base.With("classification", mesh.ClassSuccess)
+	reg.Counter(mesh.MetricResponseTotal, succ).Add(100)
+	db.Scrape(5*time.Second, reg)
+
+	c := NewCollector(db)
+	m := c.Collect(10*time.Second, "api", []string{"b"})["b"]
+	// One sample cannot produce a rate; but a sample exists, so this is a
+	// data gap, not idleness.
+	if m.HasTraffic {
+		t.Fatal("single-sample window reported traffic")
+	}
+	if !m.Starved {
+		t.Fatal("single-sample window not marked Starved")
+	}
+	if m.LastSample != 5*time.Second {
+		t.Fatalf("LastSample = %v, want 5s", m.LastSample)
+	}
+}
+
+func TestCollectorNeverScrapedIsNotStarved(t *testing.T) {
+	db := timeseries.NewDB(time.Minute)
+	c := NewCollector(db)
+	m := c.Collect(10*time.Second, "api", []string{"ghost"})["ghost"]
+	if m.Starved || m.LastSample != 0 {
+		t.Fatalf("never-scraped backend: Starved=%v LastSample=%v, want false/0", m.Starved, m.LastSample)
+	}
+}
+
+func TestCollectorOutOfOrderScrapesDoNotCorruptWindow(t *testing.T) {
+	db := timeseries.NewDB(time.Minute)
+	reg := metrics.NewRegistry()
+	base := metrics.Labels{"service": "api", "backend": "b"}
+	succ := base.With("classification", mesh.ClassSuccess)
+	ctr := reg.Counter(mesh.MetricResponseTotal, succ)
+	ctr.Add(0)
+	db.Scrape(5*time.Second, reg)
+	ctr.Add(100)
+	db.Scrape(10*time.Second, reg)
+	// A late, back-dated scrape (clock skew) carries a value the series
+	// already moved past; the DB drops it, so the window stays clean.
+	ctr.Add(50)
+	db.Scrape(7*time.Second, reg)
+
+	c := NewCollector(db)
+	m := c.Collect(10*time.Second, "api", []string{"b"})["b"]
+	if !m.HasTraffic || math.Abs(m.RPS-20) > 0.01 {
+		t.Fatalf("RPS = %v (traffic=%v), want 20 (out-of-order scrape dropped)", m.RPS, m.HasTraffic)
+	}
+	if m.LastSample != 10*time.Second {
+		t.Fatalf("LastSample = %v, want 10s (frontier unmoved)", m.LastSample)
+	}
+}
+
+func TestCollectorDuplicateTimestampScrapes(t *testing.T) {
+	db := timeseries.NewDB(time.Minute)
+	reg := metrics.NewRegistry()
+	base := metrics.Labels{"service": "api", "backend": "b"}
+	succ := base.With("classification", mesh.ClassSuccess)
+	ctr := reg.Counter(mesh.MetricResponseTotal, succ)
+	ctr.Add(0)
+	db.Scrape(5*time.Second, reg)
+	ctr.Add(100)
+	db.Scrape(10*time.Second, reg)
+	// The same instant scraped again (double-fire) must not double the rate:
+	// equal timestamps are not "newer", so the duplicate is dropped.
+	ctr.Add(100)
+	db.Scrape(10*time.Second, reg)
+
+	c := NewCollector(db)
+	m := c.Collect(10*time.Second, "api", []string{"b"})["b"]
+	if !m.HasTraffic || math.Abs(m.RPS-20) > 0.01 {
+		t.Fatalf("RPS = %v (traffic=%v), want 20 (duplicate-timestamp scrape dropped)", m.RPS, m.HasTraffic)
+	}
+}
+
+// fixedResets is a ResetSource reporting one splice time for every series.
+type fixedResets struct {
+	at time.Duration
+	ok bool
+}
+
+func (f fixedResets) LastReset(match metrics.Labels) (time.Duration, bool) { return f.at, f.ok }
+
+func TestCollectorResetSeen(t *testing.T) {
+	db := timeseries.NewDB(time.Minute)
+	seedMetrics(t, db, "api", "b", 100, 1, 0.05, 0)
+	c := NewCollector(db)
+
+	m := c.Collect(10*time.Second, "api", []string{"b"})["b"]
+	if m.ResetSeen {
+		t.Fatal("ResetSeen without a ResetSource")
+	}
+
+	c.Resets = fixedResets{at: 8 * time.Second, ok: true}
+	m = c.Collect(10*time.Second, "api", []string{"b"})["b"]
+	if !m.ResetSeen {
+		t.Fatal("in-window reset not flagged")
+	}
+	// A reset older than the window no longer taints it.
+	m = c.Collect(30*time.Second, "api", []string{"b"})["b"]
+	if m.ResetSeen {
+		t.Fatal("out-of-window reset still flagged")
+	}
+}

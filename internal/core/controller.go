@@ -74,6 +74,15 @@ type Scraper struct {
 	timer    *sim.Timer
 	dropping bool
 	dropped  uint64
+
+	// Fault-injection state (internal/chaos drives these): garbage maps a
+	// backend name ("" = every series) to a value-corruption mode, skew
+	// back-dates alternating scrape passes, slowFactor lets only every n-th
+	// scheduled scrape run.
+	garbage    map[string]string
+	skew       time.Duration
+	slowFactor int
+	ticks      uint64
 }
 
 // NewScraper returns a scraper; call Start to begin scraping.
@@ -86,13 +95,31 @@ func NewScraper(engine *sim.Engine, db *timeseries.DB, reg *metrics.Registry, in
 
 // Start begins periodic scraping (first scrape one interval from now).
 func (s *Scraper) Start() {
-	s.timer = s.engine.Every(s.interval, func() {
-		if s.dropping {
-			s.dropped++
-			return
-		}
-		s.db.Scrape(s.engine.Now(), s.registry)
-	})
+	s.timer = s.engine.Every(s.interval, s.tick)
+}
+
+func (s *Scraper) tick() {
+	s.ticks++
+	if s.dropping {
+		s.dropped++
+		return
+	}
+	if s.slowFactor > 1 && s.ticks%uint64(s.slowFactor) != 0 {
+		s.dropped++
+		return
+	}
+	t := s.engine.Now()
+	if s.skew != 0 && s.ticks%2 == 1 {
+		// Alternating passes carry a back-dated timestamp, as a scraper with
+		// a wandering clock would stamp them. With skew beyond the scrape
+		// interval this reorders ingestion.
+		t -= s.skew
+	}
+	if len(s.garbage) > 0 {
+		s.scrapeCorrupted(t)
+		return
+	}
+	s.db.Scrape(t, s.registry)
 }
 
 // Stop halts scraping.
@@ -108,8 +135,73 @@ func (s *Scraper) Stop() {
 // scrape-gate hook of internal/chaos.
 func (s *Scraper) SetDropping(drop bool) { s.dropping = drop }
 
-// Dropped returns how many scheduled scrapes were dropped.
+// Dropped returns how many scheduled scrapes were dropped or skipped.
 func (s *Scraper) Dropped() uint64 { return s.dropped }
+
+// SetGarbage toggles garbage injection for one backend's series ("" targets
+// every series). While on, matching samples arrive corrupted according to
+// mode: "nan" poisons every value, "negative" negates counters, and "mixed"
+// (the default) alternates by sample index — the garbage fault of
+// internal/chaos.
+func (s *Scraper) SetGarbage(backend, mode string, on bool) {
+	if !on {
+		delete(s.garbage, backend)
+		return
+	}
+	if s.garbage == nil {
+		s.garbage = make(map[string]string)
+	}
+	if mode == "" {
+		mode = "mixed"
+	}
+	s.garbage[backend] = mode
+}
+
+// SetSkew sets the clock-skew fault: alternating scrape passes are stamped
+// d in the past (0 disables).
+func (s *Scraper) SetSkew(d time.Duration) { s.skew = d }
+
+// SetSlowFactor sets the slow-scrape fault: only every n-th scheduled scrape
+// executes, stretching the effective interval n-fold (values < 2 disable).
+func (s *Scraper) SetSlowFactor(n int) { s.slowFactor = n }
+
+// scrapeCorrupted runs one scrape pass with value corruption applied to the
+// series selected by the garbage map.
+func (s *Scraper) scrapeCorrupted(t time.Duration) {
+	for i, sample := range s.registry.Snapshot() {
+		v := sample.Value
+		if mode, ok := s.garbageMode(sample.Labels); ok {
+			v = corruptValue(mode, i, v)
+		}
+		s.db.AppendSample(sample.Name, sample.Labels, sample.Kind, t, v)
+	}
+}
+
+func (s *Scraper) garbageMode(l metrics.Labels) (string, bool) {
+	if m, ok := s.garbage[""]; ok {
+		return m, true
+	}
+	if b, ok := l["backend"]; ok {
+		if m, ok := s.garbage[b]; ok {
+			return m, true
+		}
+	}
+	return "", false
+}
+
+func corruptValue(mode string, i int, v float64) float64 {
+	switch mode {
+	case "nan":
+		return math.NaN()
+	case "negative":
+		return -v - 1
+	default: // mixed
+		if i%2 == 0 {
+			return math.NaN()
+		}
+		return -v - 1
+	}
+}
 
 // Self-metric families the controller exports about its own state, so
 // operators (and the benches) can inspect L3's internals — the paper
@@ -140,6 +232,20 @@ type ControllerConfig struct {
 	Elector *cluster.Elector
 	// SelfRegistry receives the controller's own metrics when set.
 	SelfRegistry *metrics.Registry
+	// WriteGuard vets every weight vector before it reaches the SMI store
+	// (nil = write unconditionally, the historical behaviour). Implemented
+	// by internal/guard's write gate; the interface lives here so core does
+	// not import its guards.
+	WriteGuard WriteGuard
+}
+
+// WriteGuard gates controller writes: Observe marks a live reconcile round
+// (feeding stall watchdogs) on every update, leader or not; Guard validates
+// and integer-scales a weight vector, returning ok=false to suppress the
+// round's write entirely.
+type WriteGuard interface {
+	Observe(now time.Duration)
+	Guard(now time.Duration, ts *smi.TrafficSplit, weights map[string]float64) (map[string]int64, bool)
 }
 
 // Controller is the L3 operator: one control loop tracks TrafficSplit
@@ -322,11 +428,28 @@ func (c *Controller) updateOne(now time.Duration, name string, t *trackedSplit, 
 	if reg := c.cfg.SelfRegistry; reg != nil {
 		c.exportSelfMetrics(reg, name, t, weights)
 	}
+	if g := c.cfg.WriteGuard; g != nil {
+		g.Observe(now)
+	}
 	if !leader {
 		return
 	}
-	for b, w := range weights {
-		ts.SetWeight(b, scaleWeight(w, c.cfg.WeightScale))
+	if g := c.cfg.WriteGuard; g != nil {
+		ints, ok := g.Guard(now, ts, weights)
+		if !ok {
+			return // gate suppressed or rejected this round's write
+		}
+		if err := ts.ApplyWeights(ints); err != nil {
+			return // backend left between Get and Guard; watch will catch up
+		}
+	} else {
+		for b, w := range weights {
+			if v, ok := scaleWeight(w, c.cfg.WeightScale); ok {
+				// Unknown-backend errors are ignored: the backend left the
+				// split between Get and now, and the watch will untrack it.
+				_ = ts.SetWeight(b, v)
+			}
+		}
 	}
 	if err := c.splits.Update(ts); err != nil {
 		// The split vanished between Get and Update; the watch event will
@@ -357,8 +480,14 @@ func (c *Controller) exportSelfMetrics(reg *metrics.Registry, split string, t *t
 }
 
 // scaleWeight converts a float weight to a TrafficSplit integer, keeping
-// ratios and guaranteeing at least 1 so backends stay measurable.
-func scaleWeight(w, scale float64) int64 {
+// ratios and guaranteeing at least 1 so backends stay measurable. ok is
+// false for NaN/Inf weights: int64(NaN) is platform-defined, so a poisoned
+// weight must deterministically hold the previous value instead of being
+// written.
+func scaleWeight(w, scale float64) (int64, bool) {
+	if math.IsNaN(w) || math.IsInf(w, 0) {
+		return 0, false
+	}
 	v := math.Round(w * scale)
 	if v < 1 {
 		v = 1
@@ -366,7 +495,7 @@ func scaleWeight(w, scale float64) int64 {
 	if v > math.MaxInt64/2 {
 		v = math.MaxInt64 / 2
 	}
-	return int64(v)
+	return int64(v), true
 }
 
 // String identifies the controller in logs.

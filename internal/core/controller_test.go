@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math"
 	"testing"
 	"time"
 
@@ -245,13 +246,19 @@ func TestControllerRequiresDeps(t *testing.T) {
 }
 
 func TestScaleWeight(t *testing.T) {
-	if got := scaleWeight(2.5, 1000); got != 2500 {
-		t.Fatalf("scaleWeight = %d", got)
+	if got, ok := scaleWeight(2.5, 1000); !ok || got != 2500 {
+		t.Fatalf("scaleWeight = %d, %v", got, ok)
 	}
-	if got := scaleWeight(0.0001, 1000); got != 1 {
+	if got, ok := scaleWeight(0.0001, 1000); !ok || got != 1 {
 		t.Fatalf("tiny weight = %d, want floor 1", got)
 	}
-	if got := scaleWeight(1e300, 1000); got <= 0 {
+	if got, ok := scaleWeight(1e300, 1000); !ok || got <= 0 {
 		t.Fatalf("huge weight overflowed: %d", got)
+	}
+	if _, ok := scaleWeight(math.NaN(), 1000); ok {
+		t.Fatal("NaN weight scaled instead of being rejected")
+	}
+	if _, ok := scaleWeight(math.Inf(1), 1000); ok {
+		t.Fatal("Inf weight scaled instead of being rejected")
 	}
 }

@@ -283,7 +283,9 @@ func (c *PolicyController) updateAll() {
 			continue
 		}
 		for b, w := range weights {
-			ts.SetWeight(b, scaleWeight(w, c.cfg.WeightScale))
+			if v, ok := scaleWeight(w, c.cfg.WeightScale); ok {
+				_ = ts.SetWeight(b, v)
+			}
 		}
 		if err := c.splits.Update(ts); err != nil {
 			continue

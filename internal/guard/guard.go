@@ -1,0 +1,118 @@
+// Package guard is the control-plane hardening layer: it defends L3's
+// reconcile loop against the telemetry failures chaos injects (and
+// production produces) at the three points where bad data becomes bad
+// traffic steering.
+//
+//   - Ingestion (Hygiene, a timeseries.Gate): NaN/Inf/negative samples are
+//     rejected before they can poison EWMAs, counter resets are detected and
+//     spliced onto a cumulative offset (Prometheus rate()-style), duplicate
+//     and out-of-order scrape timestamps are tolerated, and per-series
+//     freshness is tracked.
+//   - Reweighting (Assigner, wrapping a core.Assigner): each backend is
+//     classified fresh / stale / blind from its sample freshness. Stale
+//     backends hold their last-good weight instead of relaxing toward
+//     defaults; blind backends decay toward a uniform-or-locality baseline;
+//     and when fewer than a quorum fraction of backends report, reweighting
+//     freezes entirely rather than amplify the survivors.
+//   - Writes (WriteGate, a core.WriteGuard, plus Watchdog): weight vectors
+//     are validated (finite, non-negative, share-preserving under integer
+//     scaling), per-round share movement is clamped beyond Algorithm 2's
+//     damping, no-op churn is suppressed, and a watchdog degrades managed
+//     splits to the baseline when the reconcile loop stalls.
+//
+// Everything here runs on the scrape/control path (once per scrape or
+// reconcile interval); the request fast path never touches it.
+package guard
+
+import "time"
+
+// Metric families the guard layer exports about its own interventions.
+const (
+	// MetricRejectedTotal counts samples hygiene rejected, labelled with
+	// reason (nan, negative, outoforder, duplicate, anomaly).
+	MetricRejectedTotal = "guard_samples_rejected_total"
+	// MetricResetsTotal counts counter resets detected and spliced.
+	MetricResetsTotal = "guard_counter_resets_total"
+	// MetricHoldsTotal counts backend-rounds where a stale backend held its
+	// last-good weight.
+	MetricHoldsTotal = "guard_stale_holds_total"
+	// MetricDecaysTotal counts backend-rounds where a blind backend decayed
+	// toward the baseline.
+	MetricDecaysTotal = "guard_blind_decays_total"
+	// MetricFrozenTotal counts reconcile rounds frozen by the
+	// partial-visibility quorum.
+	MetricFrozenTotal = "guard_quorum_frozen_rounds_total"
+	// MetricWriteSuppressedTotal counts no-op writes suppressed by the gate.
+	MetricWriteSuppressedTotal = "guard_writes_suppressed_total"
+	// MetricWriteClampedTotal counts rounds where the gate clamped per-round
+	// share movement.
+	MetricWriteClampedTotal = "guard_writes_clamped_total"
+	// MetricWriteRejectedTotal counts weight vectors the gate rejected
+	// outright (non-finite, negative or mass-less).
+	MetricWriteRejectedTotal = "guard_writes_rejected_total"
+	// MetricWatchdogDegradesTotal counts watchdog firings that degraded
+	// splits to the baseline.
+	MetricWatchdogDegradesTotal = "guard_watchdog_degrades_total"
+)
+
+// Config parameterises the guard layer. The zero value takes the defaults
+// documented per field (applied by withDefaults).
+type Config struct {
+	// ResetFraction classifies a counter decrease: a new value at or below
+	// ResetFraction of the previous one is a genuine reset (spliced); a
+	// shallower decrease is a corrupt sample (rejected). Default 0.5.
+	ResetFraction float64
+	// StaleAfter is the sample age beyond which a backend is stale and
+	// holds its last-good weight. Default 15s (three scrape intervals).
+	StaleAfter time.Duration
+	// BlindAfter is the sample age beyond which a stale backend is blind
+	// and decays toward the baseline. Default 30s.
+	BlindAfter time.Duration
+	// DecayFraction is the per-round step a blind backend takes toward the
+	// baseline weight, in (0, 1]. Default 0.2.
+	DecayFraction float64
+	// Quorum is the minimum fraction of backends that must report fresh
+	// data for reweighting to proceed; below it the round freezes. Default
+	// 0.5.
+	Quorum float64
+	// BaselineWeights is the degraded-mode target split (relative weights,
+	// e.g. a locality preference). Empty means uniform.
+	BaselineWeights map[string]float64
+	// WeightScale is the integer scale of gated TrafficSplit writes.
+	// Default 1000.
+	WeightScale int64
+	// MaxShareDelta clamps how far one backend's traffic share may move in
+	// a single write, beyond Algorithm 2's damping. Default 0.25.
+	MaxShareDelta float64
+	// WatchdogTTL is how long the reconcile loop may stall before the
+	// watchdog degrades managed splits to the baseline. Default 30s.
+	WatchdogTTL time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.ResetFraction <= 0 || c.ResetFraction >= 1 {
+		c.ResetFraction = 0.5
+	}
+	if c.StaleAfter <= 0 {
+		c.StaleAfter = 15 * time.Second
+	}
+	if c.BlindAfter <= c.StaleAfter {
+		c.BlindAfter = 2 * c.StaleAfter
+	}
+	if c.DecayFraction <= 0 || c.DecayFraction > 1 {
+		c.DecayFraction = 0.2
+	}
+	if c.Quorum <= 0 || c.Quorum > 1 {
+		c.Quorum = 0.5
+	}
+	if c.WeightScale <= 0 {
+		c.WeightScale = 1000
+	}
+	if c.MaxShareDelta <= 0 || c.MaxShareDelta > 1 {
+		c.MaxShareDelta = 0.25
+	}
+	if c.WatchdogTTL <= 0 {
+		c.WatchdogTTL = 30 * time.Second
+	}
+	return c
+}

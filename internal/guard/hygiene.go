@@ -1,0 +1,151 @@
+package guard
+
+import (
+	"math"
+	"sync"
+	"time"
+
+	"l3/internal/metrics"
+)
+
+// Hygiene is the ingestion gate: install it on a timeseries.DB with SetGate
+// and every scraped sample is screened before storage. It implements
+// timeseries.Gate and core.ResetSource.
+//
+// Admission rules, per series:
+//
+//   - NaN, ±Inf and negative values are rejected (one poisoned sample would
+//     otherwise NaN the EWMAs permanently — EWMA(NaN) never recovers).
+//   - A duplicate scrape timestamp is rejected; the first write wins.
+//   - An out-of-order timestamp is rejected (Prometheus semantics: the
+//     series frontier only moves forward), but the rejection is counted so
+//     skew is observable rather than silent.
+//   - A counter falling to at most ResetFraction of its previous value is a
+//     genuine restart: the previous raw value is added to a cumulative
+//     offset and the series continues spliced, so windowed increases never
+//     misread the restart as negative growth. The splice time is recorded
+//     for the collector's ResetSeen flag.
+//   - A shallower counter decrease is not a plausible restart (restarted
+//     counters re-expose from ~0) and is rejected as an anomaly — this is
+//     what stops raw increase()'s "any decrease is a reset" heuristic from
+//     double-counting corrupt samples.
+type Hygiene struct {
+	mu     sync.Mutex
+	cfg    Config
+	series map[string]*seriesState
+
+	rejNaN, rejNegative, rejOutOfOrder, rejDuplicate, rejAnomaly *metrics.Counter
+	resets                                                       *metrics.Counter
+}
+
+type seriesState struct {
+	labels    metrics.Labels
+	lastT     time.Duration
+	lastRaw   float64
+	offset    float64
+	lastReset time.Duration
+	hasReset  bool
+}
+
+// NewHygiene returns a hygiene gate. reg receives the gate's own counters
+// when non-nil (they are created eagerly so registration order is stable).
+func NewHygiene(cfg Config, reg *metrics.Registry) *Hygiene {
+	h := &Hygiene{cfg: cfg.withDefaults(), series: make(map[string]*seriesState)}
+	counter := func(reason string) *metrics.Counter {
+		if reg == nil {
+			return &metrics.Counter{}
+		}
+		return reg.Counter(MetricRejectedTotal, metrics.Labels{"reason": reason})
+	}
+	h.rejNaN = counter("nan")
+	h.rejNegative = counter("negative")
+	h.rejOutOfOrder = counter("outoforder")
+	h.rejDuplicate = counter("duplicate")
+	h.rejAnomaly = counter("anomaly")
+	if reg == nil {
+		h.resets = &metrics.Counter{}
+	} else {
+		h.resets = reg.Counter(MetricResetsTotal, nil)
+	}
+	return h
+}
+
+// Admit implements timeseries.Gate.
+func (h *Hygiene) Admit(name string, labels metrics.Labels, kind metrics.Kind, t time.Duration, v float64) (float64, bool) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		h.rejNaN.Inc()
+		return 0, false
+	}
+	if v < 0 {
+		// Every series in this system is non-negative by construction
+		// (counters by contract, the gauges count in-flight requests and
+		// leadership), so a negative value is corruption, not data.
+		h.rejNegative.Inc()
+		return 0, false
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	key := name + "\x00" + labels.Key()
+	st, ok := h.series[key]
+	if !ok {
+		st = &seriesState{labels: labels.Clone()}
+		h.series[key] = st
+		st.lastT = t
+		st.lastRaw = v
+		return v, true
+	}
+	if t == st.lastT {
+		h.rejDuplicate.Inc()
+		return 0, false
+	}
+	if t < st.lastT {
+		h.rejOutOfOrder.Inc()
+		return 0, false
+	}
+	if kind == metrics.KindCounter && v < st.lastRaw {
+		if v <= st.lastRaw*h.cfg.ResetFraction {
+			// Genuine restart: splice onto the cumulative offset.
+			st.offset += st.lastRaw
+			st.lastReset = t
+			st.hasReset = true
+			h.resets.Inc()
+		} else {
+			h.rejAnomaly.Inc()
+			return 0, false
+		}
+	}
+	st.lastT = t
+	st.lastRaw = v
+	if kind == metrics.KindCounter {
+		v += st.offset
+	}
+	return v, true
+}
+
+// LastReset implements core.ResetSource: the most recent splice time among
+// series matching the label set (subset match).
+func (h *Hygiene) LastReset(match metrics.Labels) (time.Duration, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var best time.Duration
+	any := false
+	for _, st := range h.series {
+		if st.hasReset && st.labels.Matches(match) {
+			if !any || st.lastReset > best {
+				best = st.lastReset
+			}
+			any = true
+		}
+	}
+	return best, any
+}
+
+// RejectedTotal returns how many samples have been rejected, all reasons
+// combined (for tests and reports).
+func (h *Hygiene) RejectedTotal() float64 {
+	return h.rejNaN.Value() + h.rejNegative.Value() + h.rejOutOfOrder.Value() +
+		h.rejDuplicate.Value() + h.rejAnomaly.Value()
+}
+
+// ResetsTotal returns how many counter resets have been spliced.
+func (h *Hygiene) ResetsTotal() float64 { return h.resets.Value() }

@@ -1,0 +1,127 @@
+package guard
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"l3/internal/metrics"
+)
+
+func sec(n int) time.Duration { return time.Duration(n) * time.Second }
+
+func TestHygieneRejectsGarbageValues(t *testing.T) {
+	h := NewHygiene(Config{}, nil)
+	lbl := metrics.Labels{"backend": "b"}
+	for _, v := range []float64{math.NaN(), math.Inf(1), math.Inf(-1), -1, -0.001} {
+		if _, ok := h.Admit("m", lbl, metrics.KindCounter, sec(5), v); ok {
+			t.Errorf("Admit(%v) accepted", v)
+		}
+	}
+	if got := h.RejectedTotal(); got != 5 {
+		t.Fatalf("RejectedTotal = %v, want 5", got)
+	}
+	if _, ok := h.Admit("m", lbl, metrics.KindCounter, sec(5), 10); !ok {
+		t.Fatal("clean sample rejected")
+	}
+}
+
+func TestHygieneDuplicateAndOutOfOrder(t *testing.T) {
+	h := NewHygiene(Config{}, nil)
+	lbl := metrics.Labels{"backend": "b"}
+	if _, ok := h.Admit("m", lbl, metrics.KindCounter, sec(5), 10); !ok {
+		t.Fatal("first sample rejected")
+	}
+	// Duplicate timestamp: first write wins, even with a different value.
+	if _, ok := h.Admit("m", lbl, metrics.KindCounter, sec(5), 11); ok {
+		t.Fatal("duplicate timestamp accepted")
+	}
+	// Out of order: the frontier only moves forward.
+	if _, ok := h.Admit("m", lbl, metrics.KindCounter, sec(4), 12); ok {
+		t.Fatal("out-of-order sample accepted")
+	}
+	// The frontier itself is untouched: the next in-order sample works.
+	if v, ok := h.Admit("m", lbl, metrics.KindCounter, sec(10), 20); !ok || v != 20 {
+		t.Fatalf("in-order sample after rejections: %v, %v", v, ok)
+	}
+	if got := h.RejectedTotal(); got != 2 {
+		t.Fatalf("RejectedTotal = %v, want 2", got)
+	}
+}
+
+func TestHygieneSplicesCounterReset(t *testing.T) {
+	h := NewHygiene(Config{}, nil)
+	lbl := metrics.Labels{"backend": "b"}
+	admit := func(at int, v float64) float64 {
+		t.Helper()
+		got, ok := h.Admit("m", lbl, metrics.KindCounter, sec(at), v)
+		if !ok {
+			t.Fatalf("Admit(t=%ds, v=%v) rejected", at, v)
+		}
+		return got
+	}
+	admit(5, 100)
+	admit(10, 200)
+	// Restart: the counter re-exposes from ~0. Spliced onto the offset the
+	// stored series keeps increasing.
+	if got := admit(15, 50); got != 250 {
+		t.Fatalf("spliced value = %v, want 250 (200 offset + 50)", got)
+	}
+	if got := admit(20, 150); got != 350 {
+		t.Fatalf("post-reset value = %v, want 350", got)
+	}
+	if h.ResetsTotal() != 1 {
+		t.Fatalf("ResetsTotal = %v, want 1", h.ResetsTotal())
+	}
+	// A second reset stacks offsets.
+	if got := admit(25, 10); got != 360 {
+		t.Fatalf("second splice = %v, want 360 (350 offset + 10)", got)
+	}
+	rt, ok := h.LastReset(metrics.Labels{"backend": "b"})
+	if !ok || rt != sec(25) {
+		t.Fatalf("LastReset = %v, %v; want 25s", rt, ok)
+	}
+	if _, ok := h.LastReset(metrics.Labels{"backend": "other"}); ok {
+		t.Fatal("LastReset matched a different backend")
+	}
+}
+
+func TestHygieneShallowDecreaseIsAnomalyNotReset(t *testing.T) {
+	h := NewHygiene(Config{}, nil)
+	lbl := metrics.Labels{"backend": "b"}
+	h.Admit("m", lbl, metrics.KindCounter, sec(5), 1000)
+	// 900 is 90% of the previous value: restarted counters re-expose near
+	// zero, so this is a corrupt sample. Raw increase() would have treated
+	// it as a reset and added 900 to the window's delta.
+	if _, ok := h.Admit("m", lbl, metrics.KindCounter, sec(10), 900); ok {
+		t.Fatal("shallow decrease accepted")
+	}
+	if h.ResetsTotal() != 0 {
+		t.Fatalf("shallow decrease counted as reset")
+	}
+	// The frontier keeps the last good value: a resumed counter continues.
+	if v, ok := h.Admit("m", lbl, metrics.KindCounter, sec(15), 1100); !ok || v != 1100 {
+		t.Fatalf("resumed sample: %v, %v", v, ok)
+	}
+}
+
+func TestHygieneGaugesMayDecrease(t *testing.T) {
+	h := NewHygiene(Config{}, nil)
+	lbl := metrics.Labels{"backend": "b"}
+	h.Admit("g", lbl, metrics.KindGauge, sec(5), 10)
+	if v, ok := h.Admit("g", lbl, metrics.KindGauge, sec(10), 2); !ok || v != 2 {
+		t.Fatalf("gauge decrease: %v, %v; want 2, true", v, ok)
+	}
+	if h.ResetsTotal() != 0 || h.RejectedTotal() != 0 {
+		t.Fatal("gauge decrease miscounted as reset or rejection")
+	}
+}
+
+func TestHygieneCountersInRegistry(t *testing.T) {
+	reg := metrics.NewRegistry()
+	h := NewHygiene(Config{}, reg)
+	h.Admit("m", nil, metrics.KindCounter, sec(5), math.NaN())
+	if got := reg.Counter(MetricRejectedTotal, metrics.Labels{"reason": "nan"}).Value(); got != 1 {
+		t.Fatalf("registry nan rejection counter = %v, want 1", got)
+	}
+}

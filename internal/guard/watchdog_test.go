@@ -1,0 +1,108 @@
+package guard
+
+import (
+	"testing"
+	"time"
+
+	"l3/internal/sim"
+	"l3/internal/smi"
+)
+
+func TestWatchdogDegradesStalledSplit(t *testing.T) {
+	engine := sim.NewEngine()
+	splits := smi.NewStore()
+	ts := newSplit(900, 100)
+	if err := splits.Create(ts); err != nil {
+		t.Fatal(err)
+	}
+	gate := NewWriteGate(Config{}, nil)
+	w := NewWatchdog(engine, splits, Config{WatchdogTTL: 30 * time.Second, WeightScale: 1000}, nil, nil, gate)
+	w.Start()
+
+	// Rounds keep coming for a minute: no degrade.
+	stop := engine.Every(5*time.Second, func() {
+		if engine.Now() <= time.Minute {
+			gate.Observe(engine.Now())
+		}
+	})
+	defer stop.Cancel()
+	engine.RunUntil(time.Minute)
+	if w.Degraded() || w.DegradesTotal() != 0 {
+		t.Fatalf("degraded while rounds flowing: %v/%v", w.Degraded(), w.DegradesTotal())
+	}
+
+	// Rounds stop at 1m; the TTL expires at 1m30s.
+	engine.RunUntil(2 * time.Minute)
+	if !w.Degraded() {
+		t.Fatal("watchdog did not degrade after stall")
+	}
+	if w.DegradesTotal() != 1 {
+		t.Fatalf("DegradesTotal = %v, want 1 (baseline written once per stall)", w.DegradesTotal())
+	}
+	got, _ := splits.Get("t")
+	if got.Backends[0].Weight != 500 || got.Backends[1].Weight != 500 {
+		t.Fatalf("degraded split = %v, want uniform 500/500", got.Backends)
+	}
+}
+
+func TestWatchdogUsesBaselineWeightsAndRearms(t *testing.T) {
+	engine := sim.NewEngine()
+	splits := smi.NewStore()
+	if err := splits.Create(newSplit(900, 100)); err != nil {
+		t.Fatal(err)
+	}
+	gate := NewWriteGate(Config{}, nil)
+	w := NewWatchdog(engine, splits, Config{
+		WatchdogTTL:     10 * time.Second,
+		WeightScale:     1000,
+		BaselineWeights: map[string]float64{"a": 3, "b": 1},
+	}, nil, nil, gate)
+	w.Start()
+
+	engine.RunUntil(time.Minute)
+	if !w.Degraded() {
+		t.Fatal("no degrade (grace period never expired?)")
+	}
+	got, _ := splits.Get("t")
+	if got.Backends[0].Weight != 750 || got.Backends[1].Weight != 250 {
+		t.Fatalf("degraded split = %v, want locality baseline 750/250", got.Backends)
+	}
+
+	// Rounds resume: the watchdog re-arms, and a second stall degrades again.
+	engine.At(engine.Now()+time.Second, func() { gate.Observe(engine.Now()) })
+	engine.RunUntil(engine.Now() + 5*time.Second)
+	if w.Degraded() {
+		t.Fatal("watchdog did not re-arm after rounds resumed")
+	}
+	engine.RunUntil(engine.Now() + time.Minute)
+	if w.DegradesTotal() != 2 {
+		t.Fatalf("DegradesTotal = %v, want 2 after second stall", w.DegradesTotal())
+	}
+}
+
+func TestWatchdogFilterLimitsScope(t *testing.T) {
+	engine := sim.NewEngine()
+	splits := smi.NewStore()
+	managed := newSplit(900, 100)
+	other := &smi.TrafficSplit{Name: "other", RootService: "o",
+		Backends: []smi.Backend{{Service: "x", Weight: 7}}}
+	if err := splits.Create(managed); err != nil {
+		t.Fatal(err)
+	}
+	if err := splits.Create(other); err != nil {
+		t.Fatal(err)
+	}
+	gate := NewWriteGate(Config{}, nil)
+	w := NewWatchdog(engine, splits, Config{WatchdogTTL: 10 * time.Second, WeightScale: 1000}, nil,
+		func(name string) bool { return name == "t" }, gate)
+	w.Start()
+	engine.RunUntil(time.Minute)
+	got, _ := splits.Get("other")
+	if got.Backends[0].Weight != 7 {
+		t.Fatalf("filtered-out split mutated: %v", got.Backends)
+	}
+	got, _ = splits.Get("t")
+	if got.Backends[0].Weight != 500 {
+		t.Fatalf("managed split not degraded: %v", got.Backends)
+	}
+}

@@ -86,10 +86,35 @@ func (l Labels) String() string {
 	return "{" + l.Key() + "}"
 }
 
+// Kind classifies a sample's series for ingestion-side consumers: counters
+// are monotone by contract (resets excepted), gauges move freely. Histogram
+// expansions (_bucket/_sum/_count) are cumulative and scrape as counters.
+type Kind uint8
+
+const (
+	// KindCounter marks a monotonically increasing series.
+	KindCounter Kind = iota + 1
+	// KindGauge marks a free-moving series.
+	KindGauge
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
 // Sample is one scraped value of one series at scrape time.
 type Sample struct {
 	Name   string
 	Labels Labels
+	Kind   Kind
 	Value  float64
 }
 
@@ -212,14 +237,24 @@ func (h *Histogram) snapshot(name string, labels Labels, out []Sample) []Sample 
 		out = append(out, Sample{
 			Name:   name + "_bucket",
 			Labels: labels.With("le", le),
+			Kind:   KindCounter,
 			Value:  cum,
 		})
 	}
 	out = append(out,
-		Sample{Name: name + "_sum", Labels: labels.Clone(), Value: h.sum.load()},
-		Sample{Name: name + "_count", Labels: labels.Clone(), Value: float64(h.total.Load())},
+		Sample{Name: name + "_sum", Labels: labels.Clone(), Kind: KindCounter, Value: h.sum.load()},
+		Sample{Name: name + "_count", Labels: labels.Clone(), Kind: KindCounter, Value: float64(h.total.Load())},
 	)
 	return out
+}
+
+// reset zeroes the histogram, as a restarted process would re-expose it.
+func (h *Histogram) reset() {
+	for i := range h.counts {
+		h.counts[i].Store(0)
+	}
+	h.sum.store(0)
+	h.total.Store(0)
 }
 
 // Registry holds metric families and hands out series on demand
@@ -327,12 +362,37 @@ func (r *Registry) Snapshot() []Sample {
 		reg := &r.order[i]
 		switch {
 		case reg.counter != nil:
-			out = append(out, Sample{Name: reg.name, Labels: reg.labels.Clone(), Value: reg.counter.Value()})
+			out = append(out, Sample{Name: reg.name, Labels: reg.labels.Clone(), Kind: KindCounter, Value: reg.counter.Value()})
 		case reg.gauge != nil:
-			out = append(out, Sample{Name: reg.name, Labels: reg.labels.Clone(), Value: reg.gauge.Value()})
+			out = append(out, Sample{Name: reg.name, Labels: reg.labels.Clone(), Kind: KindGauge, Value: reg.gauge.Value()})
 		case reg.histogram != nil:
 			out = reg.histogram.snapshot(reg.name, reg.labels, out)
 		}
 	}
 	return out
+}
+
+// ResetCounters zeroes every counter and histogram series whose labels match
+// (subset match), emulating the counter reset a pod restart produces: the
+// cumulative series re-expose from zero while gauges keep tracking live
+// state. Returns the number of series reset.
+func (r *Registry) ResetCounters(match Labels) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for i := range r.order {
+		reg := &r.order[i]
+		if !reg.labels.Matches(match) {
+			continue
+		}
+		switch {
+		case reg.counter != nil:
+			reg.counter.v.store(0)
+			n++
+		case reg.histogram != nil:
+			reg.histogram.reset()
+			n++
+		}
+	}
+	return n
 }

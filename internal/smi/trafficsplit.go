@@ -10,6 +10,7 @@ package smi
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 
@@ -68,19 +69,103 @@ func (ts *TrafficSplit) BackendNames() []string {
 	return out
 }
 
-// SetWeight updates one backend's weight in place. It returns false if the
-// backend is not part of the split.
-func (ts *TrafficSplit) SetWeight(service string, weight int64) bool {
+// SetWeight updates one backend's weight in place. Unlike the historical
+// behaviour (silently clamping negatives to zero), invalid writes are an
+// explicit error: a negative weight returns ErrNegativeWeight and an unknown
+// backend returns ErrUnknownBackend, both without mutating the split.
+func (ts *TrafficSplit) SetWeight(service string, weight int64) error {
+	if weight < 0 {
+		return fmt.Errorf("%w: %s=%d", ErrNegativeWeight, service, weight)
+	}
 	for i := range ts.Backends {
 		if ts.Backends[i].Service == service {
-			if weight < 0 {
-				weight = 0
-			}
 			ts.Backends[i].Weight = weight
-			return true
+			return nil
 		}
 	}
-	return false
+	return fmt.Errorf("%w: %s", ErrUnknownBackend, service)
+}
+
+// ApplyWeights replaces the weights of every named backend atomically: the
+// whole vector is validated first (non-negative, all backends present) and
+// the split is only mutated when every entry is applicable. Backends of the
+// split absent from w keep their weight.
+func (ts *TrafficSplit) ApplyWeights(w map[string]int64) error {
+	idx := make(map[string]int, len(ts.Backends))
+	for i, b := range ts.Backends {
+		idx[b.Service] = i
+	}
+	for svc, weight := range w {
+		if weight < 0 {
+			return fmt.Errorf("%w: %s=%d", ErrNegativeWeight, svc, weight)
+		}
+		if _, ok := idx[svc]; !ok {
+			return fmt.Errorf("%w: %s", ErrUnknownBackend, svc)
+		}
+	}
+	for svc, weight := range w {
+		ts.Backends[idx[svc]].Weight = weight
+	}
+	return nil
+}
+
+// CheckScaledSum asserts the integer-scaling sum invariant: a weight vector
+// produced by ScaleWeights(…, scale) totals scale up to one rounding unit
+// per backend. A larger drift means the vector was not share-preserving.
+func (ts *TrafficSplit) CheckScaledSum(scale int64) error {
+	drift := ts.TotalWeight() - scale
+	if drift < 0 {
+		drift = -drift
+	}
+	if drift > int64(len(ts.Backends)) {
+		return fmt.Errorf("%w: total %d vs scale %d (tolerance %d)",
+			ErrWeightSum, ts.TotalWeight(), scale, len(ts.Backends))
+	}
+	return nil
+}
+
+// ScaleWeights converts a float weight vector to TrafficSplit integers while
+// preserving shares: weights are normalised, multiplied by scale, rounded,
+// and floored at 1 so every backend stays measurable. NaN, ±Inf and negative
+// inputs are rejected (ErrWeightNotFinite / ErrNegativeWeight), as is a
+// vector with no positive mass.
+func ScaleWeights(weights map[string]float64, scale int64) (map[string]int64, error) {
+	if scale <= 0 {
+		scale = 1000
+	}
+	var sum float64
+	for svc, w := range weights {
+		if math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("%w: %s=%v", ErrWeightNotFinite, svc, w)
+		}
+		if w < 0 {
+			return nil, fmt.Errorf("%w: %s=%v", ErrNegativeWeight, svc, w)
+		}
+		sum += w
+	}
+	if len(weights) == 0 || sum <= 0 {
+		return nil, fmt.Errorf("%w: no positive weight mass", ErrWeightSum)
+	}
+	out := make(map[string]int64, len(weights))
+	var total int64
+	for svc, w := range weights {
+		v := int64(math.Round(w / sum * float64(scale)))
+		if v < 1 {
+			v = 1
+		}
+		out[svc] = v
+		total += v
+	}
+	// Integer-scaling sum invariant: rounding moves the total by at most one
+	// half-unit per backend, the floor by at most one unit per backend.
+	drift := total - scale
+	if drift < 0 {
+		drift = -drift
+	}
+	if drift > int64(len(weights)) {
+		return nil, fmt.Errorf("%w: scaled total %d vs scale %d", ErrWeightSum, total, scale)
+	}
+	return out, nil
 }
 
 // String renders the split compactly for logs.
@@ -100,6 +185,16 @@ var (
 	ErrNoBackends     = errors.New("smi: traffic split has no backends")
 	ErrNegativeWeight = errors.New("smi: backend weight is negative")
 	ErrDuplicate      = errors.New("smi: duplicate backend service")
+	// ErrUnknownBackend rejects a weight write addressing a service that is
+	// not part of the split.
+	ErrUnknownBackend = errors.New("smi: unknown backend service")
+	// ErrWeightNotFinite rejects NaN or infinite float weights before they
+	// can reach integer scaling (int64(NaN) is platform-defined).
+	ErrWeightNotFinite = errors.New("smi: weight is not finite")
+	// ErrWeightSum rejects weight vectors violating the integer-scaling sum
+	// invariant (scaled totals must stay within one unit per backend of the
+	// scale).
+	ErrWeightSum = errors.New("smi: weight sum invariant violated")
 )
 
 // Validate checks structural invariants required by the SMI spec.

@@ -60,18 +60,21 @@ func TestTotalWeightAndNames(t *testing.T) {
 
 func TestSetWeight(t *testing.T) {
 	ts := split()
-	if !ts.SetWeight("books-west", 123) {
-		t.Fatal("SetWeight of existing backend failed")
+	if err := ts.SetWeight("books-west", 123); err != nil {
+		t.Fatalf("SetWeight of existing backend failed: %v", err)
 	}
 	if ts.Backends[1].Weight != 123 {
 		t.Fatalf("weight = %d", ts.Backends[1].Weight)
 	}
-	if ts.SetWeight("missing", 1) {
-		t.Fatal("SetWeight of unknown backend succeeded")
+	if err := ts.SetWeight("missing", 1); !errors.Is(err, ErrUnknownBackend) {
+		t.Fatalf("SetWeight of unknown backend: err = %v, want ErrUnknownBackend", err)
 	}
-	ts.SetWeight("books-east", -5)
-	if ts.Backends[0].Weight != 0 {
-		t.Fatalf("negative weight not clamped: %d", ts.Backends[0].Weight)
+	before := ts.Backends[0].Weight
+	if err := ts.SetWeight("books-east", -5); !errors.Is(err, ErrNegativeWeight) {
+		t.Fatalf("negative SetWeight: err = %v, want ErrNegativeWeight", err)
+	}
+	if ts.Backends[0].Weight != before {
+		t.Fatalf("rejected write mutated the split: %d", ts.Backends[0].Weight)
 	}
 }
 

@@ -32,11 +32,22 @@ type series struct {
 	points []Point
 }
 
+// Gate screens samples before ingestion. A gate may rewrite the admitted
+// value (e.g. splice a counter reset onto a cumulative offset) or reject the
+// sample outright. Implemented by internal/guard's hygiene layer; the
+// interface lives here so timeseries does not import its guards.
+//
+// Gates run on the scrape path only — the request fast path never sees them.
+type Gate interface {
+	Admit(name string, labels metrics.Labels, kind metrics.Kind, t time.Duration, v float64) (adjusted float64, ok bool)
+}
+
 // DB stores samples by (metric name, label set) and answers window queries.
 // Safe for concurrent use.
 type DB struct {
 	mu        sync.Mutex
 	retention time.Duration
+	gate      Gate
 	byName    map[string]map[string]*series // name -> label key -> series
 }
 
@@ -53,8 +64,10 @@ func NewDB(retention time.Duration) *DB {
 	}
 }
 
-// Append stores one sample. Appends must be in non-decreasing time order
-// per series (scrapes are); out-of-order samples are dropped.
+// Append stores one sample. Appends must be in strictly increasing time
+// order per series (scrapes are); out-of-order and duplicate-timestamp
+// samples are dropped — a double-fired scrape must not double a window's
+// increase.
 func (db *DB) Append(name string, labels metrics.Labels, t time.Duration, v float64) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -69,7 +82,7 @@ func (db *DB) Append(name string, labels metrics.Labels, t time.Duration, v floa
 		s = &series{labels: labels.Clone()}
 		byKey[key] = s
 	}
-	if n := len(s.points); n > 0 && s.points[n-1].T > t {
+	if n := len(s.points); n > 0 && s.points[n-1].T >= t {
 		return
 	}
 	s.points = append(s.points, Point{T: t, V: v})
@@ -84,11 +97,38 @@ func (db *DB) Append(name string, labels metrics.Labels, t time.Duration, v floa
 	}
 }
 
+// SetGate installs an ingestion gate applied to samples arriving through
+// AppendSample/Scrape. A nil gate restores raw ingestion. Gates see the
+// scrape path only; queries and the data plane are unaffected.
+func (db *DB) SetGate(g Gate) {
+	db.mu.Lock()
+	db.gate = g
+	db.mu.Unlock()
+}
+
+// AppendSample routes one scraped sample through the gate (when one is
+// installed) and stores the admitted, possibly adjusted value. Without a
+// gate it is equivalent to Append.
+func (db *DB) AppendSample(name string, labels metrics.Labels, kind metrics.Kind, t time.Duration, v float64) {
+	db.mu.Lock()
+	g := db.gate
+	db.mu.Unlock()
+	if g != nil {
+		adjusted, ok := g.Admit(name, labels, kind, t, v)
+		if !ok {
+			return
+		}
+		v = adjusted
+	}
+	db.Append(name, labels, t, v)
+}
+
 // Scrape snapshots a registry and appends every sample at time t, mimicking
-// one Prometheus scrape pass.
+// one Prometheus scrape pass. Samples pass through the ingestion gate when
+// one is installed.
 func (db *DB) Scrape(t time.Duration, reg *metrics.Registry) {
 	for _, s := range reg.Snapshot() {
-		db.Append(s.Name, s.Labels, t, s.Value)
+		db.AppendSample(s.Name, s.Labels, s.Kind, t, s.Value)
 	}
 }
 
@@ -222,6 +262,24 @@ func (db *DB) Latest(name string, match metrics.Labels, at time.Duration) (v flo
 		}
 	}
 	return sum, any
+}
+
+// NewestSample returns the timestamp of the most recent stored sample across
+// matching series of the named family — the freshness clock the staleness
+// classifier reads. ok is false when no matching series has any sample.
+func (db *DB) NewestSample(name string, match metrics.Labels) (t time.Duration, ok bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	any := false
+	for _, s := range db.matching(name, match) {
+		if n := len(s.points); n > 0 {
+			if last := s.points[n-1].T; !any || last > t {
+				t = last
+			}
+			any = true
+		}
+	}
+	return t, any
 }
 
 // HistogramQuantile estimates the q-quantile of the named histogram family

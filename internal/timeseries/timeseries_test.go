@@ -286,3 +286,76 @@ func TestHistogramQuantileMonotoneInQProperty(t *testing.T) {
 		prev = v
 	}
 }
+
+// rejectOddGate admits even values, rejects odd ones, and doubles what it
+// admits — enough behaviour to prove both the reject and the adjust path.
+type rejectOddGate struct{ rejected int }
+
+func (g *rejectOddGate) Admit(name string, labels metrics.Labels, kind metrics.Kind, t time.Duration, v float64) (float64, bool) {
+	if int64(v)%2 != 0 {
+		g.rejected++
+		return 0, false
+	}
+	return v * 2, true
+}
+
+func TestAppendSampleRoutesThroughGate(t *testing.T) {
+	db := NewDB(time.Minute)
+	g := &rejectOddGate{}
+	db.SetGate(g)
+	db.AppendSample("c", nil, metrics.KindCounter, 5*time.Second, 10)
+	db.AppendSample("c", nil, metrics.KindCounter, 10*time.Second, 11) // rejected
+	db.AppendSample("c", nil, metrics.KindCounter, 15*time.Second, 20)
+	if g.rejected != 1 {
+		t.Fatalf("gate rejected %d, want 1", g.rejected)
+	}
+	v, ok := db.Latest("c", nil, time.Minute)
+	if !ok || v != 40 { // adjusted: 20*2
+		t.Fatalf("Latest = %v,%v want 40 (gate-adjusted)", v, ok)
+	}
+	// The rejected sample left no trace: only two points stored.
+	if at, ok := db.NewestSample("c", nil); !ok || at != 15*time.Second {
+		t.Fatalf("NewestSample = %v,%v want 15s", at, ok)
+	}
+}
+
+func TestAppendSampleWithoutGateIsAppend(t *testing.T) {
+	db := NewDB(time.Minute)
+	db.AppendSample("c", nil, metrics.KindCounter, 5*time.Second, 7)
+	v, ok := db.Latest("c", nil, time.Minute)
+	if !ok || v != 7 {
+		t.Fatalf("Latest = %v,%v want 7 (ungated passthrough)", v, ok)
+	}
+}
+
+func TestNewestSample(t *testing.T) {
+	db := NewDB(time.Minute)
+	if _, ok := db.NewestSample("c", nil); ok {
+		t.Fatal("NewestSample of unknown family should be !ok")
+	}
+	db.Append("c", metrics.Labels{"b": "east"}, 5*time.Second, 1)
+	db.Append("c", metrics.Labels{"b": "west"}, 9*time.Second, 1)
+	at, ok := db.NewestSample("c", nil)
+	if !ok || at != 9*time.Second {
+		t.Fatalf("NewestSample all = %v,%v want 9s", at, ok)
+	}
+	at, ok = db.NewestSample("c", metrics.Labels{"b": "east"})
+	if !ok || at != 5*time.Second {
+		t.Fatalf("NewestSample east = %v,%v want 5s", at, ok)
+	}
+	if _, ok := db.NewestSample("c", metrics.Labels{"b": "north"}); ok {
+		t.Fatal("NewestSample of unmatched labels should be !ok")
+	}
+}
+
+func TestScrapeRoutesThroughGate(t *testing.T) {
+	reg := metrics.NewRegistry()
+	reg.Counter("req_total", nil).Add(4)
+	db := NewDB(time.Minute)
+	db.SetGate(&rejectOddGate{})
+	db.Scrape(5*time.Second, reg)
+	v, ok := db.Latest("req_total", nil, time.Minute)
+	if !ok || v != 8 { // 4 doubled by the gate
+		t.Fatalf("gated scrape stored %v,%v want 8", v, ok)
+	}
+}

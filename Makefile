@@ -1,12 +1,12 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race chaos-smoke resilience-smoke guard-smoke fuzz-smoke bench bench-smoke
+.PHONY: check fmt vet build test race chaos-smoke resilience-smoke guard-smoke fuzz-smoke shards-smoke bench bench-smoke
 
 ## check: the pre-merge gate — formatting, vet, build, the full suite under
-## the race detector, chaos + resilience + guard + bench smoke runs, and a
-## short fuzz pass over the chaos-schedule parser. Run before every merge;
-## CI and the tier-1 verify in ROADMAP.md assume it passes.
-check: fmt vet build race chaos-smoke resilience-smoke guard-smoke fuzz-smoke bench-smoke
+## the race detector, chaos + resilience + guard + shards + bench smoke runs,
+## and a short fuzz pass over the chaos-schedule parser. Run before every
+## merge; CI and the tier-1 verify in ROADMAP.md assume it passes.
+check: fmt vet build race chaos-smoke resilience-smoke guard-smoke fuzz-smoke shards-smoke bench-smoke
 
 ## fmt: fail if any file needs gofmt (prints the offenders).
 fmt:
@@ -54,10 +54,24 @@ guard-smoke:
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzParseSchedule -fuzztime 5s ./internal/chaos
 
+## shards-smoke: figure 8 through the CLI on the sharded core at 1 and 4
+## workers, stdout sha256-compared — proves the lookahead/barrier protocol
+## keeps a full figure byte-identical at any worker count; figure S1 proves
+## the 8-shard workload renders.
+shards-smoke:
+	@a="$$($(GO) run ./cmd/l3bench -fig 8 -quick -shards 1 2>/dev/null | shasum -a 256 | cut -d' ' -f1)"; \
+	b="$$($(GO) run ./cmd/l3bench -fig 8 -quick -shards 4 2>/dev/null | shasum -a 256 | cut -d' ' -f1)"; \
+	if [ "$$a" != "$$b" ]; then \
+		echo "shards-smoke: -shards 1 ($$a) != -shards 4 ($$b)"; exit 1; fi; \
+	echo "shards-smoke: fig 8 sha256 $$a identical at -shards 1 and 4"
+	$(GO) run ./cmd/l3bench -fig S1 >/dev/null
+
 ## bench: the fast-path benchmark suite (mesh.Call, metrics, histogram, event
-## heap), machine-readable results in BENCH_fastpath.json.
+## heap), machine-readable results in BENCH_fastpath.json, plus the
+## shard-scaling sweep in BENCH_shards.json.
 bench:
 	$(GO) run ./cmd/l3bench -bench -benchout BENCH_fastpath.json
+	$(GO) run ./cmd/l3bench -bench-shards -benchout BENCH_shards.json
 
 ## bench-smoke: the same suite discarding results — proves the benchmark
 ## harness runs end to end.

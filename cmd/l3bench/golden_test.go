@@ -75,3 +75,32 @@ func TestFigureOutputByteIdentical(t *testing.T) {
 		})
 	}
 }
+
+// TestShardedFigureOutputByteIdentical pins the sharded core's determinism
+// contract at the CLI: an existing figure run with -shards 1 and -shards 4
+// must produce the same stdout bytes (the worker pool may not leak into
+// results), and figure S1's own output must likewise be invariant. The
+// classic goldens above stay untouched: -shards 0 never enters the sharded
+// path.
+func TestShardedFigureOutputByteIdentical(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"fig8-sharded", []string{"-fig", "8", "-quick"}},
+		{"S1", []string{"-fig", "S1"}},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			one := captureStdout(t, append([]string{"-shards", "1"}, c.args...)...)
+			four := captureStdout(t, append([]string{"-shards", "4"}, c.args...)...)
+			if len(one) == 0 {
+				t.Fatal("no output")
+			}
+			if !bytes.Equal(one, four) {
+				t.Fatal("stdout differs between -shards 1 and -shards 4")
+			}
+		})
+	}
+}

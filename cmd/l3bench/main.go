@@ -16,6 +16,8 @@
 //	l3bench -fig R3                  # resilience: circuit breaking vs probes
 //	l3bench -fig G1                  # guard: metric garbage, guarded vs unguarded
 //	l3bench -fig G2                  # guard: partial visibility, quorum freeze
+//	l3bench -fig S1                  # sharded core: 8-cluster scaling workload
+//	l3bench -fig 10 -shards 4        # scenario figures on the sharded core
 //
 // A custom fault schedule runs against any scenario, optionally with a
 // resilience policy on the client (grammar in internal/resilience):
@@ -40,12 +42,23 @@
 //
 //	l3bench -bench                             # fast-path benchmark suite, JSON to stdout
 //	l3bench -bench -benchout BENCH.json        # machine-readable results to a file
+//	l3bench -bench-shards                      # shard-scaling sweep, JSON to stdout
 //	l3bench -fig 10 -cpuprofile cpu.pprof      # profile any run (figures or -bench)
 //	l3bench -bench -memprofile mem.pprof
 //
 // -bench runs the internal/perf suite (mesh.Call end to end, metric and
 // histogram recording, registry scrapes, the event heap) through
-// testing.Benchmark; profiles are standard pprof files.
+// testing.Benchmark; profiles are standard pprof files. -bench-shards runs
+// the figure S1 workload at 1, 2, 4 and 8 workers and reports wall-clock,
+// events/sec and speedup per worker count (wall-clock is host-dependent by
+// nature, so it never appears on figure stdout).
+//
+// Scenario figures run on the sharded deterministic core with -shards N
+// (N ≥ 1 caps the worker pool; the decomposition is fixed at one shard per
+// cluster, so stdout is byte-identical for every N). The default, 0, is the
+// classic single-loop engine — byte-identical to all historical goldens.
+// -shards does not compose with -resilience, retries or figure 9's DSB
+// workload; figure S1 always runs sharded.
 //
 // Independent runs (figures × configurations × repetitions) fan out across
 // -parallel worker goroutines; each run derives its own seed and owns its
@@ -56,6 +69,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -87,7 +101,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("l3bench", flag.ContinueOnError)
 	var (
-		fig      = fs.String("fig", "all", "figure to regenerate: 1,2,4,6,7,8,9,10,11,12, C1, C2, R1, R2, R3, G1, G2, 'ablations' or 'all'")
+		fig      = fs.String("fig", "all", "figure to regenerate: 1,2,4,6,7,8,9,10,11,12, C1, C2, R1, R2, R3, G1, G2, S1, 'ablations' or 'all'")
 		chaosStr = fs.String("chaos", "", "fault schedule to inject (kind@start[+dur][:operands];...); overrides -fig")
 		scenario = fs.String("scenario", trace.Scenario1, "scenario a -chaos schedule runs against")
 		resStr   = fs.String("resilience", "",
@@ -99,7 +113,11 @@ func run(args []string) error {
 		csv      = fs.Bool("csv", false, "emit series results as CSV instead of summaries")
 		parallel = fs.Int("parallel", runtime.GOMAXPROCS(0),
 			"worker goroutines fanning out independent runs (1 = serial); output is identical for any value")
-		benchMode  = fs.Bool("bench", false, "run the fast-path benchmark suite instead of figures")
+		benchMode   = fs.Bool("bench", false, "run the fast-path benchmark suite instead of figures")
+		benchShards = fs.Bool("bench-shards", false,
+			"run the shard-scaling sweep (figure S1 workload at 1/2/4/8 workers) instead of figures")
+		shards = fs.Int("shards", 0,
+			"run scenario figures on the sharded core with this many workers (0 = classic engine; stdout is identical for every value >= 1)")
 		benchout   = fs.String("benchout", "", "write -bench results as JSON to this file (default: stdout)")
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memprofile = fs.String("memprofile", "", "write a heap profile at the end of the run to this file")
@@ -147,8 +165,30 @@ func run(args []string) error {
 		}
 		return perf.WriteJSON(out, results)
 	}
+	if *benchShards {
+		points, err := bench.ShardScaling(*seed, []int{1, 2, 4, 8})
+		if err != nil {
+			return err
+		}
+		for _, p := range points {
+			fmt.Fprintf(stderr, "l3bench: shards workers=%d wall=%.0fms events/s=%.0f speedup=%.2fx\n",
+				p.Workers, p.WallMS, p.EventsPerSec, p.Speedup)
+		}
+		out := stdout
+		if *benchout != "" {
+			f, err := os.Create(*benchout)
+			if err != nil {
+				return fmt.Errorf("-benchout: %w", err)
+			}
+			defer f.Close()
+			out = f
+		}
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(points)
+	}
 
-	opts := bench.Options{Seed: *seed, Reps: *reps, Parallel: *parallel, Guard: *guard}
+	opts := bench.Options{Seed: *seed, Reps: *reps, Parallel: *parallel, Guard: *guard, Shards: *shards}
 	if *quick {
 		opts.Duration = 2 * time.Minute
 	}
@@ -186,6 +226,7 @@ func run(args []string) error {
 		{"R3", func() (*bench.Result, error) { return bench.FigR3(opts) }},
 		{"G1", func() (*bench.Result, error) { return bench.FigG1(opts) }},
 		{"G2", func() (*bench.Result, error) { return bench.FigG2(opts) }},
+		{"S1", func() (*bench.Result, error) { return bench.FigS1(opts) }},
 	}
 	ablations := []runner{
 		{"ablation-inflight-exponent", func() (*bench.Result, error) { return bench.AblationInflightExponent(opts) }},

@@ -151,6 +151,16 @@ type Options struct {
 	// a stall watchdog degrading to the baseline split. Off by default so
 	// every unguarded figure is byte-identical to the historical output.
 	Guard bool
+	// Shards > 0 runs each scenario on the sharded deterministic core
+	// (internal/sim.ShardedEngine): one logical shard per cluster plus a
+	// control engine, synchronised at conservative lookahead barriers
+	// derived from the WAN model's minimum one-way delay. The decomposition
+	// is fixed by the scenario, and Shards only caps the worker pool, so
+	// output is byte-identical for every value ≥ 1 (the -parallel merge
+	// discipline, applied inside one run). 0 keeps the classic single-loop
+	// path — byte-identical to all historical figures. Not composable with
+	// Retry, Resilience, or the DSB workload.
+	Shards int
 
 	// inflightExponent overrides Equation 4's exponent for the ablation
 	// bench (0 = the paper's default of 2).
@@ -377,6 +387,9 @@ func (r registryResetter) ResetBackendCounters(backend string) {
 // registry — which is what makes the rep/sweep fan-outs above safe and
 // deterministic.
 func runOnceCounted(sc *trace.Scenario, algo Algorithm, opts Options, seed uint64) (*loadgen.Recorder, map[[2]string]float64, *chaosArtifacts, error) {
+	if opts.Shards > 0 {
+		return runOnceShardedCounted(sc, algo, opts, seed)
+	}
 	defer func(start time.Time) { recordRun(time.Since(start)) }(time.Now())
 	engine := sim.NewEngine()
 	rng := sim.NewRand(seed)
@@ -783,6 +796,9 @@ func perClusterControllers(clusters []string) []controllerSpec {
 // load entering at the cluster-local frontend at a constant rate.
 func RunDSB(algo Algorithm, rps float64, duration time.Duration, opts Options) (*loadgen.Recorder, error) {
 	opts = opts.withDefaults()
+	if opts.Shards > 0 {
+		return nil, fmt.Errorf("bench: the DSB workload does not support Shards > 0")
+	}
 	recs := make([]*loadgen.Recorder, opts.Reps)
 	err := ForEach(opts.Parallel, opts.Reps, func(rep int) error {
 		seed := DeriveSeed(opts.Seed, rep)

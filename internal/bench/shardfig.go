@@ -1,0 +1,188 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"l3/internal/backend"
+	"l3/internal/balancer"
+	"l3/internal/loadgen"
+	"l3/internal/mesh"
+	"l3/internal/sim"
+	"l3/internal/wan"
+)
+
+// The shard-scaling workload (figure S1): a mesh wide enough that the
+// sharded core has real parallelism to exploit. Eight clusters each host a
+// replica of one service and each run their own load generator; per-shard
+// round-robin pickers spray 7/8 of the traffic across the WAN, so every
+// barrier exchanges a full mailbox of cross-shard messages. The WAN's 40 ms
+// base RTT yields a 16 ms lookahead — wide windows with hundreds of events
+// per shard between barriers.
+const (
+	shardFigClusters  = 8
+	shardFigRPS       = 2000 // per cluster
+	shardFigWarm      = 5 * time.Second
+	shardFigMeasure   = 45 * time.Second
+	shardFigDrain     = 10 * time.Second
+	shardFigBaseRTT   = 40 * time.Millisecond
+	shardFigLatFloor  = 20 * time.Millisecond
+	shardFigLatSpread = 60 * time.Millisecond
+)
+
+// shardFigRun holds what one execution of the workload yields: the merged
+// recorder (simulated results — identical for every worker count) and the
+// engine's self-accounting.
+type shardFigRun struct {
+	rec       *loadgen.Recorder
+	stats     sim.ShardStats
+	lookahead time.Duration
+}
+
+// runShardWorkload executes the scaling workload with the given worker-pool
+// size. Everything observable in the return value is byte-identical for any
+// workers ≥ 1; only wall-clock differs.
+func runShardWorkload(workers int, seed uint64) (*shardFigRun, error) {
+	rng := sim.NewRand(seed)
+	wcfg := wan.DefaultConfig()
+	wcfg.BaseRTT = shardFigBaseRTT
+	wcfg.Seed = seed
+	wanModel := wan.New(wcfg)
+
+	clusters := make([]string, shardFigClusters)
+	for i := range clusters {
+		clusters[i] = fmt.Sprintf("cluster-%d", i+1)
+	}
+	se := sim.NewSharded(len(clusters), wanModel.MinOneWayDelay())
+	se.SetWorkers(workers)
+	m, err := mesh.NewSharded(se, clusters, rng.Fork(), wanModel)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := m.AddService(apiService); err != nil {
+		return nil, err
+	}
+	for _, cl := range clusters {
+		profile := func(_ time.Duration, r *sim.Rand) (time.Duration, bool) {
+			return shardFigLatFloor + time.Duration(r.Float64()*float64(shardFigLatSpread)), true
+		}
+		// 2000 RPS at ~50 ms mean needs ~100 slots; 160 keeps utilisation
+		// near 60 % so the figure reflects the network, not queueing.
+		if _, err := m.AddBackend(apiService, apiService+"-"+cl, cl,
+			backend.Config{Concurrency: 160}, profile); err != nil {
+			return nil, err
+		}
+		if err := m.SetShardPicker(apiService, cl, balancer.NewRoundRobin()); err != nil {
+			return nil, err
+		}
+	}
+
+	gens := make([]*loadgen.Generator, len(clusters))
+	for i, cl := range clusters {
+		cl := cl
+		eng, err := m.EngineFor(cl)
+		if err != nil {
+			return nil, err
+		}
+		gens[i] = loadgen.New(eng, loadgen.Config{
+			Rate:   loadgen.ConstantRate(shardFigRPS),
+			WarmUp: shardFigWarm,
+		}, func(done func(time.Duration, bool)) error {
+			return m.Call(cl, apiService, func(r mesh.Result) {
+				done(r.Latency, r.Success)
+			})
+		})
+		gens[i].Start()
+	}
+
+	se.RunUntil(shardFigWarm + shardFigMeasure)
+	for _, g := range gens {
+		g.Stop()
+	}
+	se.RunUntil(shardFigWarm + shardFigMeasure + shardFigDrain)
+
+	recs := make([]*loadgen.Recorder, len(gens))
+	for i, g := range gens {
+		recs[i] = g.Recorder()
+	}
+	return &shardFigRun{rec: mergeRecorders(recs), stats: se.Stats(), lookahead: se.Lookahead()}, nil
+}
+
+// FigS1 renders the sharded-core figure: the scaling workload's simulated
+// results plus the engine's window/event accounting. Every number on stdout
+// is a simulation fact, so the figure is byte-identical for any -shards
+// value; wall-clock scaling lives in BENCH_shards.json (l3bench
+// -bench-shards), keeping the determinism discipline of every other figure.
+func FigS1(opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	workers := opts.Shards
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	run, err := runShardWorkload(workers, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	r := &Result{ID: "S1", Title: "Sharded deterministic core: 8-cluster scaling workload"}
+	r.AddRow("Requests", float64(run.rec.Count()), "", NoPaper)
+	r.AddRow("Success rate", run.rec.SuccessRate()*100, "%", NoPaper)
+	r.AddRow("P50 latency", msOf(run.rec.Quantile(0.5)), "ms", NoPaper)
+	r.AddRow("P99 latency", msOf(run.rec.Quantile(0.99)), "ms", NoPaper)
+	r.AddRow("Lookahead windows", float64(run.stats.Windows), "", NoPaper)
+	r.AddRow("Events fired", float64(run.stats.Events), "", NoPaper)
+	r.AddRow("Cross-shard messages", float64(run.stats.CrossSends), "", NoPaper)
+	r.Note("8 clusters x %d RPS, %v measured; one shard per cluster, %v lookahead",
+		shardFigRPS, shardFigMeasure, run.lookahead)
+	r.Note("stdout is identical for every -shards value; wall-clock scaling is in BENCH_shards.json")
+	return r, nil
+}
+
+// ShardPoint is one worker-count measurement of the scaling workload.
+type ShardPoint struct {
+	// Workers is the sharded engine's worker-pool size.
+	Workers int `json:"workers"`
+	// WallMS is the run's wall-clock time in milliseconds.
+	WallMS float64 `json:"wall_ms"`
+	// Events is the total events fired (identical across rows — the
+	// simulated work is invariant).
+	Events uint64 `json:"events"`
+	// EventsPerSec is the throughput this row achieved.
+	EventsPerSec float64 `json:"events_per_sec"`
+	// Speedup is WallMS(workers=1) / WallMS.
+	Speedup float64 `json:"speedup"`
+}
+
+// ShardScaling measures the scaling workload's wall-clock at each worker
+// count, serially (concurrent runs would contend for cores and corrupt the
+// measurement). The simulated output is asserted identical across rows —
+// a scaling number from diverging runs would be meaningless.
+func ShardScaling(seed uint64, workerCounts []int) ([]ShardPoint, error) {
+	points := make([]ShardPoint, 0, len(workerCounts))
+	var baseMS float64
+	var baseDigest string
+	for _, w := range workerCounts {
+		start := time.Now()
+		run, err := runShardWorkload(w, seed)
+		if err != nil {
+			return nil, err
+		}
+		wallMS := float64(time.Since(start)) / float64(time.Millisecond)
+		digest := fmt.Sprintf("%d|%v|%v|%+v",
+			run.rec.Count(), run.rec.Quantile(0.5), run.rec.Quantile(0.99), run.stats)
+		if baseDigest == "" {
+			baseMS, baseDigest = wallMS, digest
+		} else if digest != baseDigest {
+			return nil, fmt.Errorf("bench: workers=%d diverged from workers=%d: %s vs %s",
+				w, workerCounts[0], digest, baseDigest)
+		}
+		points = append(points, ShardPoint{
+			Workers:      w,
+			WallMS:       wallMS,
+			Events:       run.stats.Events,
+			EventsPerSec: float64(run.stats.Events) / (wallMS / 1000),
+			Speedup:      baseMS / wallMS,
+		})
+	}
+	return points, nil
+}

@@ -1,0 +1,403 @@
+// Sharded scenario execution: the Options.Shards > 0 path of the benchmark
+// harness. The world decomposes into one logical shard per cluster on a
+// sim.ShardedEngine (lookahead = the WAN model's provable minimum one-way
+// delay), with the control plane — scraper, controllers, electors, health
+// checkers, chaos injector — on the control engine, executing exclusively at
+// barriers. The decomposition is FIXED; Options.Shards only caps the worker
+// pool, so output is byte-identical for every value (the `-parallel`
+// discipline, applied inside a single scenario).
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"l3/internal/autoscale"
+	"l3/internal/backend"
+	"l3/internal/balancer"
+	"l3/internal/c3"
+	"l3/internal/chaos"
+	"l3/internal/cluster"
+	"l3/internal/core"
+	"l3/internal/cost"
+	"l3/internal/guard"
+	"l3/internal/health"
+	"l3/internal/loadgen"
+	"l3/internal/mesh"
+	"l3/internal/metrics"
+	"l3/internal/sim"
+	"l3/internal/smi"
+	"l3/internal/timeseries"
+	"l3/internal/trace"
+	"l3/internal/wan"
+)
+
+// multiResetter fans a chaos counterreset out to every shard registry — the
+// backend's series live in whichever shards have routed to it.
+type multiResetter struct{ regs []*metrics.Registry }
+
+func (r multiResetter) ResetBackendCounters(backend string) {
+	for _, reg := range r.regs {
+		reg.ResetCounters(metrics.Labels{"backend": backend})
+	}
+}
+
+// runOnceShardedCounted is runOnceCounted on the sharded core. It builds the
+// same scenario world — API service in every cluster, TrafficSplit,
+// algorithm wiring, chaos — but each cluster's backends and proxies live on
+// their own shard, and the whole run executes under conservative lookahead
+// windows across opts.Shards workers.
+func runOnceShardedCounted(sc *trace.Scenario, algo Algorithm, opts Options, seed uint64) (*loadgen.Recorder, map[[2]string]float64, *chaosArtifacts, error) {
+	defer func(start time.Time) { recordRun(time.Since(start)) }(time.Now())
+	if opts.Retry != nil || opts.Resilience != nil {
+		return nil, nil, nil, fmt.Errorf("bench: retry/resilience layers are not supported with Shards > 0")
+	}
+
+	rng := sim.NewRand(seed)
+	wcfg := wan.DefaultConfig()
+	wcfg.Seed = seed
+	wanModel := wan.New(wcfg)
+	clusters := sc.ClusterNames()
+	se := sim.NewSharded(len(clusters), wanModel.MinOneWayDelay())
+	se.SetWorkers(opts.Shards)
+	m, err := mesh.NewSharded(se, clusters, rng.Fork(), wanModel)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	// ctrlReg holds control-plane series (health-checker ejections, guard
+	// accounting); it is scraped alongside the shard registries.
+	ctrlReg := metrics.NewRegistry()
+
+	if _, err := m.AddService(apiService); err != nil {
+		return nil, nil, nil, err
+	}
+	warm := opts.WarmUp
+	var backends []smi.Backend
+	injectors := make(map[string]chaos.BackendInjector)
+	for i := range sc.Clusters {
+		ct := &sc.Clusters[i]
+		name := apiService + "-" + ct.Cluster
+		profile := func(ct *trace.ClusterTrace) backend.Profile {
+			return func(now time.Duration, r *sim.Rand) (time.Duration, bool) {
+				t := now - warm
+				return ct.SampleLatency(t, r), ct.SampleSuccess(t, r)
+			}
+		}(ct)
+		conc := opts.Concurrency
+		if c, ok := opts.ConcurrencyByCluster[ct.Cluster]; ok {
+			conc = c
+		}
+		b, err := m.AddBackend(apiService, name, ct.Cluster,
+			backend.Config{Concurrency: conc, QueueCapacity: opts.QueueCapacity}, profile)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		if replica, ok := b.Server.(*backend.Replica); ok {
+			injectors[name] = replica
+		}
+		if opts.Autoscale != nil {
+			replica, ok := b.Server.(*backend.Replica)
+			if !ok {
+				return nil, nil, nil, fmt.Errorf("bench: backend %s is not a replica pool", name)
+			}
+			cfg := *opts.Autoscale
+			if cfg.Max == 0 {
+				cfg.Max = 16 * conc
+			}
+			if cfg.Min == 0 {
+				cfg.Min = conc
+			}
+			eng, err := m.EngineFor(ct.Cluster)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			autoscale.New(eng, replica, cfg).Start()
+		}
+		backends = append(backends, smi.Backend{Service: name, Weight: 500})
+	}
+	if err := m.Splits().Create(&smi.TrafficSplit{
+		Name: apiService, RootService: apiService, Backends: backends,
+	}); err != nil {
+		return nil, nil, nil, err
+	}
+
+	handles, err := installShardedAlgorithm(m, se, ctrlReg, rng, algo, opts,
+		[]string{apiService}, nil, globalController())
+	if err != nil {
+		return nil, nil, nil, err
+	}
+
+	var art *chaosArtifacts
+	if opts.Chaos != nil {
+		art = &chaosArtifacts{}
+		m.Splits().Watch(false, func(e cluster.Event[*smi.TrafficSplit]) {
+			if e.Type != cluster.Updated || e.Object.Name != apiService {
+				return
+			}
+			weights := make(map[string]int64, len(e.Object.Backends))
+			for _, b := range e.Object.Backends {
+				weights[b.Service] = b.Weight
+			}
+			// Splits are written on the control timeline.
+			art.updates = append(art.updates, se.Control().Now())
+			art.snaps = append(art.snaps, chaos.WeightSnapshot{At: se.Control().Now(), Weights: weights})
+		})
+		scrapers := make([]chaos.ScrapeGate, len(handles.scrapers))
+		for i, s := range handles.scrapers {
+			scrapers[i] = s
+		}
+		inj := chaos.New(se.Control(), *opts.Chaos, chaos.Targets{
+			Clusters: clusters,
+			Links:    wanModel,
+			Backends: injectors,
+			Scrapers: scrapers,
+			Leaders:  handles.leaders,
+			Metrics:  multiResetter{regs: m.Registries()},
+		}, warm)
+		if err := inj.Start(); err != nil {
+			return nil, nil, nil, err
+		}
+		art.injector = inj
+	}
+
+	srcEngine, err := m.EngineFor(sourceCluster)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	gen := loadgen.New(srcEngine, loadgen.Config{
+		Rate: func(now time.Duration) float64 {
+			return sc.RPS.At(now-warm) * opts.RPSScale
+		},
+		WarmUp: warm,
+	}, func(done func(time.Duration, bool)) error {
+		return m.Call(sourceCluster, apiService, func(r mesh.Result) {
+			done(r.Latency, r.Success)
+		})
+	})
+	gen.Start()
+
+	duration := opts.Duration
+	if duration <= 0 {
+		duration = sc.Duration
+	}
+	se.RunUntil(warm + duration)
+	gen.Stop()
+	se.RunUntil(warm + duration + 30*time.Second) // drain in-flight
+
+	counts := make(map[[2]string]float64)
+	regs := append(m.Registries(), ctrlReg)
+	var buf []metrics.Sample
+	for _, reg := range regs {
+		buf = reg.SnapshotAppend(buf[:0])
+		for _, sample := range buf {
+			switch sample.Name {
+			case mesh.MetricResponseTotal:
+				src := sample.Labels["src"]
+				dst := strings.TrimPrefix(sample.Labels["backend"], apiService+"-")
+				counts[[2]string{src, dst}] += sample.Value
+				if art != nil {
+					art.res.attempts += sample.Value
+				}
+			case health.MetricEjectionsTotal:
+				if art != nil {
+					art.ejections += sample.Value
+				}
+			case health.MetricRestoresTotal:
+				if art != nil {
+					art.restores += sample.Value
+				}
+			}
+			if art == nil {
+				continue
+			}
+			switch sample.Name {
+			case guard.MetricRejectedTotal:
+				art.grd.rejected += sample.Value
+			case guard.MetricResetsTotal:
+				art.grd.resets += sample.Value
+			case guard.MetricHoldsTotal:
+				art.grd.holds += sample.Value
+			case guard.MetricDecaysTotal:
+				art.grd.decays += sample.Value
+			case guard.MetricFrozenTotal:
+				art.grd.frozen += sample.Value
+			case guard.MetricWriteSuppressedTotal:
+				art.grd.writeSuppressed += sample.Value
+			case guard.MetricWriteClampedTotal:
+				art.grd.writeClamped += sample.Value
+			case guard.MetricWriteRejectedTotal:
+				art.grd.writeRejected += sample.Value
+			case guard.MetricWatchdogDegradesTotal:
+				art.grd.watchdogDegrades += sample.Value
+			}
+		}
+	}
+	return gen.Recorder(), counts, art, nil
+}
+
+// installShardedAlgorithm is installAlgorithm for the sharded world: pickers
+// are installed per shard (stateful balancer instances must not be shared
+// across concurrently executing shards), and every control-plane component —
+// scraper, controllers, electors, health checker, watchdog — runs on the
+// control engine, where it reads and writes cross-shard state exclusively at
+// barriers.
+func installShardedAlgorithm(m *mesh.Mesh, se *sim.ShardedEngine, ctrlReg *metrics.Registry,
+	rng *sim.Rand, algo Algorithm, opts Options,
+	services []string, splitName func(src, service string) string, controllers []controllerSpec) (*algoHandles, error) {
+	handles := &algoHandles{}
+	clusters := m.Clusters()
+
+	perShard := func(svc string, mk func(cluster string) (mesh.Picker, error)) error {
+		for _, cl := range clusters {
+			p, err := mk(cl)
+			if err != nil {
+				return err
+			}
+			if err := m.SetShardPicker(svc, cl, p); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	switch algo {
+	case AlgoRoundRobin:
+		for _, svc := range services {
+			if err := perShard(svc, func(string) (mesh.Picker, error) {
+				return balancer.NewRoundRobin(), nil
+			}); err != nil {
+				return nil, err
+			}
+		}
+		return handles, nil
+	case AlgoP2C:
+		for _, svc := range services {
+			if err := perShard(svc, func(cl string) (mesh.Picker, error) {
+				r, err := m.RngFor(cl)
+				if err != nil {
+					return nil, err
+				}
+				return balancer.NewP2C(r.Fork(), 5*time.Second, time.Second), nil
+			}); err != nil {
+				return nil, err
+			}
+		}
+		return handles, nil
+	case AlgoFailover:
+		hcfg := health.Config{Registry: ctrlReg}
+		if opts.Chaos != nil {
+			hcfg.Probe = func(b *mesh.Backend, done func(success bool)) {
+				m.Probe(sourceCluster, b, done)
+			}
+		}
+		// The checker probes and ejects on the control timeline; shard
+		// pickers read its healthy-set through the FailoverPicker filter,
+		// which is safe during windows because ejection state only changes
+		// at barriers.
+		checker := health.NewChecker(se.Control(), hcfg)
+		handles.checker = checker
+		for _, svc := range services {
+			s, ok := m.Service(svc)
+			if !ok {
+				return nil, fmt.Errorf("bench: unknown service %q", svc)
+			}
+			checker.WatchAll(s.Backends())
+			if err := perShard(svc, func(string) (mesh.Picker, error) {
+				return &health.FailoverPicker{Checker: checker, Inner: balancer.NewRoundRobin()}, nil
+			}); err != nil {
+				return nil, err
+			}
+		}
+		return handles, nil
+	case AlgoL3, AlgoC3:
+		for _, svc := range services {
+			if err := perShard(svc, func(cl string) (mesh.Picker, error) {
+				r, err := m.RngFor(cl)
+				if err != nil {
+					return nil, err
+				}
+				return balancer.NewWeightedSplit(m.Splits(), r.Fork(), splitName), nil
+			}); err != nil {
+				return nil, err
+			}
+		}
+		db := timeseries.NewDB(time.Minute)
+		var hyg *guard.Hygiene
+		var gate *guard.WriteGate
+		if opts.Guard {
+			hyg = guard.NewHygiene(guard.Config{}, ctrlReg)
+			db.SetGate(hyg)
+			gate = guard.NewWriteGate(guard.Config{}, ctrlReg)
+		}
+		scraper := core.NewScraperMulti(se.Control(), db, m.Registries(), opts.ScrapeInterval)
+		scraper.Start()
+		handles.scrapers = append(handles.scrapers, scraper)
+		newAssigner := func() core.Assigner {
+			var assigner core.Assigner
+			if algo == AlgoC3 {
+				assigner = c3.New(c3.Config{})
+			} else {
+				assigner = core.NewL3Assigner(core.WeightingConfig{
+					Penalty:          opts.Penalty,
+					FilterKind:       opts.FilterKind,
+					InflightExponent: opts.inflightExponent,
+					DynamicPenalty:   opts.DynamicPenalty,
+				}, core.RateControlConfig{}, !opts.DisableRateControl)
+				if opts.CostLambda > 0 {
+					assigner = cost.NewAssigner(assigner, cost.NewModel(cost.DefaultRates(), 0),
+						sourceCluster, func(b string) string {
+							return strings.TrimPrefix(b, apiService+"-")
+						}, opts.CostLambda)
+				}
+			}
+			if opts.Guard {
+				assigner = guard.NewAssigner(assigner, guard.Config{}, ctrlReg)
+			}
+			return assigner
+		}
+		handles.leaders = make(map[string]chaos.Leader)
+		for si, spec := range controllers {
+			newController := func(elector *cluster.Elector) *core.Controller {
+				collector := &core.Collector{
+					DB: db, Window: opts.Window, Percentile: opts.Percentile,
+					Match: spec.match,
+				}
+				if hyg != nil {
+					collector.Resets = hyg
+				}
+				cfg := core.ControllerConfig{
+					Interval:    opts.ScrapeInterval,
+					NewAssigner: newAssigner,
+					SplitFilter: spec.filter,
+					Elector:     elector,
+				}
+				if gate != nil {
+					cfg.WriteGuard = gate
+				}
+				return core.NewController(se.Control(), m.Splits(), collector, cfg)
+			}
+			if !opts.LeaderElection {
+				newController(nil).Start()
+				continue
+			}
+			lock := cluster.NewLeaseLock()
+			for i := 0; i < 2; i++ {
+				id := fmt.Sprintf("l3-%d", i)
+				if len(controllers) > 1 {
+					id = fmt.Sprintf("l3-%d-%d", si, i)
+				}
+				elector := cluster.NewElector(se.Control(), lock, cluster.ElectorConfig{ID: id})
+				ctrl := newController(elector)
+				ctrl.Start()
+				handles.leaders[id] = leaderHandle{ctrl: ctrl, elector: elector}
+			}
+		}
+		if gate != nil {
+			guard.NewWatchdog(se.Control(), m.Splits(), guard.Config{}, ctrlReg, nil, gate).Start()
+		}
+		return handles, nil
+	default:
+		return nil, fmt.Errorf("bench: unknown algorithm %v", algo)
+	}
+}

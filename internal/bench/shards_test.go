@@ -1,0 +1,149 @@
+package bench
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"l3/internal/chaos"
+	"l3/internal/resilience"
+	"l3/internal/retry"
+	"l3/internal/trace"
+)
+
+// shardDigest captures everything observable from one sharded run: the
+// recorder's full per-second series, the per-route count matrix, and (under
+// chaos) the split-write trace and health accounting. Two runs with equal
+// digests produced byte-identical figures.
+type shardDigest struct {
+	count       uint64
+	successRate float64
+	mean        time.Duration
+	p50, p99    time.Duration
+	p99Series   []float64
+	rpsSeries   []float64
+	succSeries  []float64
+	counts      map[[2]string]float64
+	updates     []time.Duration
+	snaps       string
+	ejections   float64
+	restores    float64
+}
+
+func shardRun(t *testing.T, scenario string, algo Algorithm, opts Options, workers int) shardDigest {
+	t.Helper()
+	opts = opts.withDefaults()
+	opts.Shards = workers
+	sc, err := trace.Generate(scenario, opts.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, counts, art, err := runOnceShardedCounted(sc, algo, opts, opts.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := shardDigest{
+		count:       rec.Count(),
+		successRate: rec.SuccessRate(),
+		mean:        rec.Mean(),
+		p50:         rec.Quantile(0.5),
+		p99:         rec.Quantile(0.99),
+		p99Series:   rec.QuantileSeries(0.99),
+		rpsSeries:   rec.RPSSeries(),
+		succSeries:  rec.SuccessRateSeries(),
+		counts:      counts,
+	}
+	if art != nil {
+		d.updates = art.updates
+		d.snaps = fmt.Sprint(art.snaps)
+		d.ejections = art.ejections
+		d.restores = art.restores
+	}
+	return d
+}
+
+// TestShardedRunByteIdenticalAcrossWorkerCounts is the tentpole's property
+// test: for a matrix of scenario × algorithm × chaos configurations, the
+// sharded core must produce identical recorder series, per-route counts and
+// control-plane traces at 1, 4 and 8 workers. Run under -race this also
+// exercises the window/barrier protocol for data races.
+func TestShardedRunByteIdenticalAcrossWorkerCounts(t *testing.T) {
+	cases := []struct {
+		name     string
+		scenario string
+		algo     Algorithm
+		chaos    *chaos.Schedule
+	}{
+		{"s1-rr", trace.Scenario1, AlgoRoundRobin, nil},
+		{"s1-l3", trace.Scenario1, AlgoL3, nil},
+		{"f1-failover-chaos", trace.Failure1, AlgoFailover, partitionQuick()},
+		{"s1-l3-chaos", trace.Scenario1, AlgoL3, partitionQuick()},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			opts := quick()
+			opts.Chaos = tc.chaos
+			base := shardRun(t, tc.scenario, tc.algo, opts, 1)
+			if base.count == 0 {
+				t.Fatal("sharded run recorded no requests")
+			}
+			for _, workers := range []int{4, 8} {
+				got := shardRun(t, tc.scenario, tc.algo, opts, workers)
+				if !reflect.DeepEqual(base, got) {
+					t.Fatalf("workers=%d diverged from workers=1:\n  base n=%d p99=%v counts=%v\n  got  n=%d p99=%v counts=%v",
+						workers, base.count, base.p99, base.counts,
+						got.count, got.p99, got.counts)
+				}
+			}
+		})
+	}
+}
+
+// TestShardedRunDeterministicForSeed pins run-to-run determinism at a fixed
+// worker count (the property -shards relies on when figures are regenerated).
+func TestShardedRunDeterministicForSeed(t *testing.T) {
+	a := shardRun(t, trace.Scenario1, AlgoL3, quick(), 4)
+	b := shardRun(t, trace.Scenario1, AlgoL3, quick(), 4)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed diverged: n=%d/%d p99=%v/%v", a.count, b.count, a.p99, b.p99)
+	}
+}
+
+// TestShardedRunProducesPlausibleTraffic sanity-checks that the sharded path
+// runs the same experiment as the classic path: scenario-1 offers ~300 RPS
+// with no failures.
+func TestShardedRunProducesPlausibleTraffic(t *testing.T) {
+	d := shardRun(t, trace.Scenario1, AlgoRoundRobin, quick(), 4)
+	if d.count < 30000 || d.count > 45000 {
+		t.Fatalf("recorded %d requests, want ~36k", d.count)
+	}
+	if d.successRate != 1 {
+		t.Fatalf("success = %v, scenario-1 has no failures", d.successRate)
+	}
+	if d.p99 < 100*time.Millisecond || d.p99 > 2*time.Second {
+		t.Fatalf("P99 = %v, outside scenario-1's plausible band", d.p99)
+	}
+}
+
+// TestShardedRejectsUnsupportedLayers pins the explicit errors for the
+// layers that are classic-only.
+func TestShardedRejectsUnsupportedLayers(t *testing.T) {
+	o := quick()
+	o.Shards = 2
+	o.Retry = &retry.Policy{MaxAttempts: 3}
+	if _, err := RunScenario(trace.Scenario1, AlgoRoundRobin, o); err == nil {
+		t.Fatal("Retry accepted with Shards > 0")
+	}
+	o.Retry = nil
+	o.Resilience = &resilience.Policy{}
+	if _, err := RunScenario(trace.Scenario1, AlgoRoundRobin, o); err == nil {
+		t.Fatal("Resilience accepted with Shards > 0")
+	}
+	o.Resilience = nil
+	if _, err := RunDSB(AlgoRoundRobin, 100, time.Minute, o); err == nil {
+		t.Fatal("DSB accepted with Shards > 0")
+	}
+}

@@ -67,13 +67,16 @@ func (a *L3Assigner) RateController() *RateController { return a.rate }
 // same 5 s default scrape interval and therefore the same data-freshness
 // limits.
 type Scraper struct {
-	engine   *sim.Engine
-	db       *timeseries.DB
-	registry *metrics.Registry
-	interval time.Duration
-	timer    *sim.Timer
-	dropping bool
-	dropped  uint64
+	engine     *sim.Engine
+	db         *timeseries.DB
+	registries []*metrics.Registry
+	interval   time.Duration
+	timer      *sim.Timer
+	dropping   bool
+	dropped    uint64
+	// buf is the recycled snapshot buffer: every scrape pass refills it via
+	// SnapshotAppend, so the steady-state scrape allocates nothing.
+	buf []metrics.Sample
 
 	// Fault-injection state (internal/chaos drives these): garbage maps a
 	// backend name ("" = every series) to a value-corruption mode, skew
@@ -87,10 +90,19 @@ type Scraper struct {
 
 // NewScraper returns a scraper; call Start to begin scraping.
 func NewScraper(engine *sim.Engine, db *timeseries.DB, reg *metrics.Registry, interval time.Duration) *Scraper {
+	return NewScraperMulti(engine, db, []*metrics.Registry{reg}, interval)
+}
+
+// NewScraperMulti returns a scraper over several registries — the sharded
+// world keeps one registry per cluster shard, and a scrape round reads them
+// all in shard order, exactly as a Prometheus instance federating per-cluster
+// endpoints would. The pass runs on the given engine (the control engine in
+// sharded runs, where all shards are paused at the scrape's timestamp).
+func NewScraperMulti(engine *sim.Engine, db *timeseries.DB, regs []*metrics.Registry, interval time.Duration) *Scraper {
 	if interval <= 0 {
 		interval = 5 * time.Second
 	}
-	return &Scraper{engine: engine, db: db, registry: reg, interval: interval}
+	return &Scraper{engine: engine, db: db, registries: regs, interval: interval}
 }
 
 // Start begins periodic scraping (first scrape one interval from now).
@@ -115,11 +127,17 @@ func (s *Scraper) tick() {
 		// interval this reorders ingestion.
 		t -= s.skew
 	}
+	s.buf = s.buf[:0]
+	for _, reg := range s.registries {
+		s.buf = reg.SnapshotAppend(s.buf)
+	}
 	if len(s.garbage) > 0 {
 		s.scrapeCorrupted(t)
 		return
 	}
-	s.db.Scrape(t, s.registry)
+	for _, sample := range s.buf {
+		s.db.AppendSample(sample.Name, sample.Labels, sample.Kind, t, sample.Value)
+	}
 }
 
 // Stop halts scraping.
@@ -166,9 +184,11 @@ func (s *Scraper) SetSkew(d time.Duration) { s.skew = d }
 func (s *Scraper) SetSlowFactor(n int) { s.slowFactor = n }
 
 // scrapeCorrupted runs one scrape pass with value corruption applied to the
-// series selected by the garbage map.
+// series selected by the garbage map. The sample index driving "mixed"
+// corruption runs across the whole round (all registries), so a sharded
+// scrape corrupts the same sample positions a merged single registry would.
 func (s *Scraper) scrapeCorrupted(t time.Duration) {
-	for i, sample := range s.registry.Snapshot() {
+	for i, sample := range s.buf {
 		v := sample.Value
 		if mode, ok := s.garbageMode(sample.Labels); ok {
 			v = corruptValue(mode, i, v)

@@ -9,6 +9,17 @@
 // TrafficSplit-driven weighted distribution, round-robin and the C3
 // adaptation all live in internal/balancer and internal/c3.
 //
+// A Mesh runs in one of two modes. The classic mode (New) drives everything
+// on one sim.Engine. The sharded mode (NewSharded) keys one logical shard
+// per cluster on a sim.ShardedEngine: each cluster's backends, load and
+// client proxies execute on their own event loop with their own metrics
+// registry, rng stream and request pool, and a WAN-traversing call crosses
+// shards as a conservative lookahead message (forward hop to the backend's
+// shard, return hop back to the source shard, where the response metrics are
+// recorded). Since every piece of per-request state is confined to one shard
+// at a time, the sharded data plane needs no locks and stays deterministic
+// at any worker count.
+//
 // Fidelity note: the sidecar proxy's own forwarding overhead (~sub-ms
 // median per the Linkerd benchmark study §4 cites) is folded into the WAN
 // model's local delay rather than modelled separately.
@@ -65,10 +76,13 @@ type Backend struct {
 	// Server models the deployment's serving behaviour.
 	Server Server
 
-	// routes caches the resolved metric handles per source cluster. The
+	// routes caches the resolved metric handles per source cluster, one
+	// bucket per mesh shard (classic mode has exactly one). Each inner
 	// slice is tiny (one entry per source cluster) so a linear scan beats
 	// any map, and the steady-state request path touches no maps at all.
-	routes []*routeStats
+	// Bucket i is only touched by shard i's execution, so the cache needs
+	// no lock in sharded mode.
+	routes [][]*routeStats
 }
 
 // Picker chooses a backend for one request. Implementations may keep state
@@ -109,11 +123,15 @@ type Result struct {
 type Service struct {
 	name     string
 	backends []*Backend
-	picker   Picker
-	// observer is picker's Observer view, resolved once at SetPicker time so
-	// the per-request path skips the type assertion and a mid-flight picker
-	// swap cannot feed responses to a picker that never saw the pick.
-	observer Observer
+	// pickers holds the routing strategy per mesh shard (classic mode uses
+	// slot 0 only). Stateful pickers must be distinct instances per shard —
+	// they execute concurrently during windows.
+	pickers []Picker
+	// observers are the pickers' Observer views, resolved once at
+	// SetPicker/SetShardPicker time so the per-request path skips the type
+	// assertion and a mid-flight picker swap cannot feed responses to a
+	// picker that never saw the pick.
+	observers []Observer
 }
 
 // Backends returns the service's deployments (shared slice; do not mutate).
@@ -124,20 +142,35 @@ func (s *Service) Backends() []*Backend { return s.backends }
 // client talking into a blackholed link.
 const DefaultLostTimeout = time.Second
 
+// meshShard is the per-shard slice of the data plane: the event loop,
+// metrics registry, rng stream and request pool owned by one cluster's
+// logical shard. Classic mode has exactly one, wrapping the caller's engine,
+// rng and registry.
+type meshShard struct {
+	id       int
+	cluster  string // "" in classic mode (one shard hosts every cluster)
+	engine   *sim.Engine
+	shard    *sim.Shard // nil in classic mode
+	rng      *sim.Rand
+	registry *metrics.Registry
+	// freeCalls recycles per-request state (and its pre-bound closures)
+	// between requests. A call struct belongs to its source shard for life:
+	// it is taken from and returned to this pool on the shard's own
+	// timeline, so the free list needs no lock.
+	freeCalls []*call
+}
+
 // Mesh wires clusters, services, WAN and metrics together.
 type Mesh struct {
-	engine      *sim.Engine
-	rng         *sim.Rand
 	wan         *wan.Model
-	registry    *metrics.Registry
 	splits      *smi.Store
 	services    map[string]*Service
 	spans       SpanRecorder
 	lostTimeout time.Duration
-	// freeCalls recycles per-request state (and its pre-bound closures)
-	// between requests; like the engine, a Mesh is single-threaded, so the
-	// free list needs no lock.
-	freeCalls []*call
+
+	shards         []*meshShard
+	shardByCluster map[string]int // sharded mode only
+	se             *sim.ShardedEngine
 }
 
 // classStats holds the resolved response handles of one classification
@@ -150,13 +183,14 @@ type classStats struct {
 }
 
 // routeStats caches the metric handles of one (service, backend, src)
-// route. After the first few requests resolve its handles, a request
-// records its metrics through pointer loads alone: no label maps, no series
-// keys, no registry lock.
+// route in one shard's registry. After the first few requests resolve its
+// handles, a request records its metrics through pointer loads alone: no
+// label maps, no series keys, no registry lock.
 type routeStats struct {
 	src     string
 	service string
 	backend string
+	reg     *metrics.Registry // the source shard's registry
 	// inflight resolves when the route is first used (call time).
 	inflight *metrics.Gauge
 	success  classStats
@@ -166,7 +200,7 @@ type routeStats struct {
 // class returns the classification's resolved handles, registering the
 // counter and histogram series on first use — counter first, histogram
 // second, matching the order the label-built path registered them in.
-func (rs *routeStats) class(reg *metrics.Registry, success bool) *classStats {
+func (rs *routeStats) class(success bool) *classStats {
 	cs, name := &rs.failure, ClassFailure
 	if success {
 		cs, name = &rs.success, ClassSuccess
@@ -176,26 +210,27 @@ func (rs *routeStats) class(reg *metrics.Registry, success bool) *classStats {
 			"service": rs.service, "backend": rs.backend, "src": rs.src,
 			"classification": name,
 		}
-		cs.total = reg.Counter(MetricResponseTotal, labels)
-		cs.latency = reg.Histogram(MetricResponseLatency, labels, histogram.LinkerdLatencyBounds)
+		cs.total = rs.reg.Counter(MetricResponseTotal, labels)
+		cs.latency = rs.reg.Histogram(MetricResponseLatency, labels, histogram.LinkerdLatencyBounds)
 	}
 	return cs
 }
 
-// route returns the cached routeStats for (service, b, src), resolving the
-// inflight gauge (and the cache entry) on the route's first request.
-func (m *Mesh) route(service string, b *Backend, src string) *routeStats {
-	for _, rs := range b.routes {
+// route returns the cached routeStats for (service, b, src) in the source
+// shard's bucket, resolving the inflight gauge (and the cache entry) on the
+// route's first request.
+func (m *Mesh) route(service string, b *Backend, src string, ss *meshShard) *routeStats {
+	for _, rs := range b.routes[ss.id] {
 		if rs.src == src {
 			return rs
 		}
 	}
 	labels := metrics.Labels{"service": service, "backend": b.Name, "src": src}
 	rs := &routeStats{
-		src: src, service: service, backend: b.Name,
-		inflight: m.registry.Gauge(MetricInflight, labels),
+		src: src, service: service, backend: b.Name, reg: ss.registry,
+		inflight: ss.registry.Gauge(MetricInflight, labels),
 	}
-	b.routes = append(b.routes, rs)
+	b.routes[ss.id] = append(b.routes[ss.id], rs)
 	return rs
 }
 
@@ -205,6 +240,8 @@ func (m *Mesh) route(service string, b *Backend, src string) *routeStats {
 // allocates neither closures nor state.
 type call struct {
 	m         *Mesh
+	ss        *meshShard // source shard: pick, metrics, finish (never cleared)
+	dst       *meshShard // destination shard: serve, return hop
 	b         *Backend
 	rs        *routeStats
 	obs       Observer
@@ -220,40 +257,96 @@ type call struct {
 }
 
 // getCall pops a recycled request (or builds one, binding its callbacks).
-func (m *Mesh) getCall() *call {
-	if n := len(m.freeCalls); n > 0 {
-		c := m.freeCalls[n-1]
-		m.freeCalls[n-1] = nil
-		m.freeCalls = m.freeCalls[:n-1]
+func (ss *meshShard) getCall(m *Mesh) *call {
+	if n := len(ss.freeCalls); n > 0 {
+		c := ss.freeCalls[n-1]
+		ss.freeCalls[n-1] = nil
+		ss.freeCalls = ss.freeCalls[:n-1]
 		return c
 	}
-	c := &call{m: m}
+	c := &call{m: m, ss: ss}
 	c.forward = func() { c.b.Server.Serve(c.serveDone) }
 	c.serveDone = func(res backend.Result) { c.onServed(res) }
 	c.finishFn = func() { c.finish() }
 	return c
 }
 
-// putCall recycles a finished request, dropping caller references.
-func (m *Mesh) putCall(c *call) {
-	c.b, c.rs, c.obs, c.done = nil, nil, nil, nil
-	m.freeCalls = append(m.freeCalls, c)
+// putCall recycles a finished request into its source shard's pool,
+// dropping caller references.
+func (c *call) putCall() {
+	ss := c.ss
+	c.b, c.rs, c.obs, c.done, c.dst = nil, nil, nil, nil, nil
+	ss.freeCalls = append(ss.freeCalls, c)
 }
 
-// New returns an empty mesh. All arguments are required.
+// New returns an empty mesh in classic single-engine mode. All arguments
+// are required.
 func New(engine *sim.Engine, rng *sim.Rand, wanModel *wan.Model, registry *metrics.Registry) *Mesh {
 	if engine == nil || rng == nil || wanModel == nil || registry == nil {
 		panic("mesh: New requires engine, rng, wan model and registry")
 	}
 	return &Mesh{
-		engine:      engine,
-		rng:         rng,
 		wan:         wanModel,
-		registry:    registry,
 		splits:      smi.NewStore(),
 		services:    make(map[string]*Service),
 		lostTimeout: DefaultLostTimeout,
+		shards: []*meshShard{{
+			engine: engine, rng: rng, registry: registry,
+		}},
 	}
+}
+
+// NewSharded returns an empty mesh in sharded mode on se: one logical shard
+// per cluster, in the given order (shard i hosts clusters[i]). Every shard
+// gets its own metrics registry and an rng stream forked from rng in shard
+// order, so the run is a pure function of the seed. se's lookahead must
+// lower-bound wanModel.MinOneWayDelay(); callers derive it from there.
+func NewSharded(se *sim.ShardedEngine, clusters []string, rng *sim.Rand, wanModel *wan.Model) (*Mesh, error) {
+	if se == nil || rng == nil || wanModel == nil {
+		panic("mesh: NewSharded requires sharded engine, rng and wan model")
+	}
+	if len(clusters) != se.NumShards() {
+		return nil, fmt.Errorf("mesh: %d clusters for %d shards", len(clusters), se.NumShards())
+	}
+	m := &Mesh{
+		wan:            wanModel,
+		splits:         smi.NewStore(),
+		services:       make(map[string]*Service),
+		lostTimeout:    DefaultLostTimeout,
+		shards:         make([]*meshShard, len(clusters)),
+		shardByCluster: make(map[string]int, len(clusters)),
+		se:             se,
+	}
+	for i, cl := range clusters {
+		if _, dup := m.shardByCluster[cl]; dup {
+			return nil, fmt.Errorf("mesh: duplicate cluster %q", cl)
+		}
+		m.shardByCluster[cl] = i
+		m.shards[i] = &meshShard{
+			id: i, cluster: cl,
+			engine:   se.Shard(i).Engine(),
+			shard:    se.Shard(i),
+			rng:      rng.Fork(),
+			registry: metrics.NewRegistry(),
+		}
+	}
+	return m, nil
+}
+
+// Sharded reports whether the mesh runs in sharded mode.
+func (m *Mesh) Sharded() bool { return m.se != nil }
+
+// shardFor resolves the shard hosting a cluster. Classic mode hosts every
+// cluster on shard 0.
+func (m *Mesh) shardFor(cluster string) (*meshShard, error) {
+	if m.se == nil {
+		return m.shards[0], nil
+	}
+	i, ok := m.shardByCluster[cluster]
+	if !ok {
+		return nil, fmt.Errorf("mesh: unknown cluster %q", cluster)
+	}
+	return m.shards[i], nil
 }
 
 // SetLostTimeout overrides the client timeout applied to requests lost to a
@@ -267,18 +360,76 @@ func (m *Mesh) SetLostTimeout(d time.Duration) {
 }
 
 // Splits exposes the mesh's TrafficSplit store — the write-side interface
-// controllers like L3 use.
+// controllers like L3 use. In sharded mode, writes must happen on the
+// control engine's timeline (shards paused); reads during windows are safe.
 func (m *Mesh) Splits() *smi.Store { return m.splits }
 
 // Registry exposes the data-plane metrics registry (scraped by the
-// timeseries pipeline).
-func (m *Mesh) Registry() *metrics.Registry { return m.registry }
+// timeseries pipeline). In sharded mode this is shard 0's registry; scrape
+// loops should use Registries.
+func (m *Mesh) Registry() *metrics.Registry { return m.shards[0].registry }
 
-// Engine returns the mesh's simulation engine.
-func (m *Mesh) Engine() *sim.Engine { return m.engine }
+// Registries returns every shard's registry in shard order — what a scrape
+// round reads in sharded mode (core.NewScraperMulti consumes it).
+func (m *Mesh) Registries() []*metrics.Registry {
+	regs := make([]*metrics.Registry, len(m.shards))
+	for i, sh := range m.shards {
+		regs[i] = sh.registry
+	}
+	return regs
+}
 
-// SetSpanRecorder installs a tracing sink (nil disables tracing).
-func (m *Mesh) SetSpanRecorder(r SpanRecorder) { m.spans = r }
+// Clusters returns the cluster names in shard order — the canonical
+// iteration order for per-shard wiring (pickers, scrapes, reductions).
+func (m *Mesh) Clusters() []string {
+	names := make([]string, len(m.shards))
+	for i, sh := range m.shards {
+		names[i] = sh.cluster
+	}
+	return names
+}
+
+// RegistryFor returns the registry of the shard hosting a cluster.
+func (m *Mesh) RegistryFor(cluster string) (*metrics.Registry, error) {
+	sh, err := m.shardFor(cluster)
+	if err != nil {
+		return nil, err
+	}
+	return sh.registry, nil
+}
+
+// Engine returns the mesh's simulation engine (shard 0's in sharded mode;
+// per-cluster components should use EngineFor).
+func (m *Mesh) Engine() *sim.Engine { return m.shards[0].engine }
+
+// EngineFor returns the event loop of the shard hosting a cluster — where
+// that cluster's load generators and backends must schedule.
+func (m *Mesh) EngineFor(cluster string) (*sim.Engine, error) {
+	sh, err := m.shardFor(cluster)
+	if err != nil {
+		return nil, err
+	}
+	return sh.engine, nil
+}
+
+// RngFor returns the rng stream of the shard hosting a cluster, for wiring
+// per-cluster components (load generators) deterministically.
+func (m *Mesh) RngFor(cluster string) (*sim.Rand, error) {
+	sh, err := m.shardFor(cluster)
+	if err != nil {
+		return nil, err
+	}
+	return sh.rng, nil
+}
+
+// SetSpanRecorder installs a tracing sink (nil disables tracing). Classic
+// mode only: a recorder would be written from several shard timelines.
+func (m *Mesh) SetSpanRecorder(r SpanRecorder) {
+	if m.se != nil && r != nil {
+		panic("mesh: span recording is not supported in sharded mode")
+	}
+	m.spans = r
+}
 
 // AddService registers a service. It errors if the name is taken.
 func (m *Mesh) AddService(name string) (*Service, error) {
@@ -288,7 +439,11 @@ func (m *Mesh) AddService(name string) (*Service, error) {
 	if _, ok := m.services[name]; ok {
 		return nil, fmt.Errorf("mesh: service %q already exists", name)
 	}
-	svc := &Service{name: name}
+	svc := &Service{
+		name:      name,
+		pickers:   make([]Picker, len(m.shards)),
+		observers: make([]Observer, len(m.shards)),
+	}
 	m.services[name] = svc
 	return svc, nil
 }
@@ -300,15 +455,22 @@ func (m *Mesh) Service(name string) (*Service, bool) {
 }
 
 // AddBackend deploys a replica-pool backend of the named service into a
-// cluster. The backend name must be unique within the service.
+// cluster. The backend name must be unique within the service. The backend
+// lives on the cluster's shard: its replicas schedule on that shard's engine
+// and draw from an rng forked off that shard's stream.
 func (m *Mesh) AddBackend(service, backendName, cluster string, cfg backend.Config, profile backend.Profile) (*Backend, error) {
+	sh, err := m.shardFor(cluster)
+	if err != nil {
+		return nil, err
+	}
 	cfg.Name = backendName
 	return m.AddServerBackend(service, backendName, cluster,
-		backend.New(m.engine, m.rng.Fork(), cfg, profile))
+		backend.New(sh.engine, sh.rng.Fork(), cfg, profile))
 }
 
 // AddServerBackend deploys an arbitrary Server as a backend of the named
-// service — the hook application-level models (internal/dsb) use.
+// service — the hook application-level models (internal/dsb) use. The
+// server must schedule exclusively on its cluster's shard engine.
 func (m *Mesh) AddServerBackend(service, backendName, cluster string, srv Server) (*Backend, error) {
 	svc, ok := m.services[service]
 	if !ok {
@@ -317,36 +479,64 @@ func (m *Mesh) AddServerBackend(service, backendName, cluster string, srv Server
 	if srv == nil {
 		return nil, fmt.Errorf("mesh: nil server for backend %q", backendName)
 	}
+	if _, err := m.shardFor(cluster); err != nil {
+		return nil, err
+	}
 	for _, b := range svc.backends {
 		if b.Name == backendName {
 			return nil, fmt.Errorf("mesh: backend %q already exists in service %q", backendName, service)
 		}
 	}
-	b := &Backend{Name: backendName, Cluster: cluster, Server: srv}
+	b := &Backend{
+		Name: backendName, Cluster: cluster, Server: srv,
+		routes: make([][]*routeStats, len(m.shards)),
+	}
 	svc.backends = append(svc.backends, b)
 	return b, nil
 }
 
-// SetPicker installs the routing strategy for a service. The picker's
-// Observer view is resolved here, once, so requests in flight across a
-// picker swap keep reporting to the picker that made their pick.
+// SetPicker installs the routing strategy for a service on every shard.
+// Classic mode has one shard, so this is the complete wiring. In sharded
+// mode it only suits stateless pickers; stateful ones (round-robin
+// counters, P2C state, split-weighted rngs) execute concurrently across
+// shards and must be installed per shard with SetShardPicker.
 func (m *Mesh) SetPicker(service string, p Picker) error {
 	svc, ok := m.services[service]
 	if !ok {
 		return fmt.Errorf("mesh: unknown service %q", service)
 	}
-	svc.picker = p
-	svc.observer, _ = p.(Observer)
+	obs, _ := p.(Observer)
+	for i := range svc.pickers {
+		svc.pickers[i] = p
+		svc.observers[i] = obs
+	}
+	return nil
+}
+
+// SetShardPicker installs the routing strategy one cluster's proxies use —
+// each shard's picker instance is private to that shard's timeline.
+func (m *Mesh) SetShardPicker(service, cluster string, p Picker) error {
+	svc, ok := m.services[service]
+	if !ok {
+		return fmt.Errorf("mesh: unknown service %q", service)
+	}
+	sh, err := m.shardFor(cluster)
+	if err != nil {
+		return err
+	}
+	svc.pickers[sh.id] = p
+	svc.observers[sh.id], _ = p.(Observer)
 	return nil
 }
 
 // Picker returns the routing strategy currently installed for a service
-// (nil when the service is unknown or has no picker). Wrapping layers —
-// health failover, the resilience circuit breaker — read the installed
-// strategy here and re-install their filtered view through SetPicker.
+// (nil when the service is unknown or has no picker; shard 0's in sharded
+// mode). Wrapping layers — health failover, the resilience circuit breaker —
+// read the installed strategy here and re-install their filtered view
+// through SetPicker.
 func (m *Mesh) Picker(service string) Picker {
 	if svc, ok := m.services[service]; ok {
-		return svc.picker
+		return svc.pickers[0]
 	}
 	return nil
 }
@@ -355,6 +545,12 @@ func (m *Mesh) Picker(service string) Picker {
 // exactly once with the client-observed result. The request path is:
 // client proxy (pick backend, start metrics) → WAN to the backend's cluster
 // → backend queue/execution → WAN back → client proxy (record metrics).
+//
+// In sharded mode, Call must be invoked on the source cluster's shard
+// timeline (from an event executing on that shard's engine); done fires
+// there too. A WAN hop to another cluster's shard travels as a cross-shard
+// message whose delay — the WAN one-way delay — is lower-bounded by the
+// engine's lookahead, which is what keeps barrier delivery conservative.
 func (m *Mesh) Call(srcCluster, service string, done func(Result)) error {
 	svc, ok := m.services[service]
 	if !ok {
@@ -363,74 +559,102 @@ func (m *Mesh) Call(srcCluster, service string, done func(Result)) error {
 	if len(svc.backends) == 0 {
 		return fmt.Errorf("mesh: service %q has no backends", service)
 	}
+	ss, err := m.shardFor(srcCluster)
+	if err != nil {
+		return err
+	}
 
-	now := m.engine.Now()
+	now := ss.engine.Now()
 	// Bind the picker and its Observer view at pick time: a SetPicker swap
 	// mid-flight must not feed this response to a picker that never saw the
 	// pick.
-	picker, obs := svc.picker, svc.observer
+	picker, obs := svc.pickers[ss.id], svc.observers[ss.id]
 	var b *Backend
 	if picker != nil {
 		b = picker.Pick(now, srcCluster, service, svc.backends)
 	}
 	if b == nil {
-		b = svc.backends[m.rng.IntN(len(svc.backends))]
+		b = svc.backends[ss.rng.IntN(len(svc.backends))]
 	}
 
-	c := m.getCall()
-	c.b, c.rs, c.obs = b, m.route(service, b, srcCluster), obs
+	c := ss.getCall(m)
+	c.b, c.rs, c.obs = b, m.route(service, b, srcCluster, ss), obs
 	c.src, c.start, c.done = srcCluster, now, done
 	c.rs.inflight.Inc()
+	c.dst = ss
+	if m.se != nil {
+		if ds, err := m.shardFor(b.Cluster); err == nil {
+			c.dst = ds
+		}
+	}
 
 	// A partitioned forward link swallows the request: the client observes
 	// nothing until its timeout trips and counts the request as failed. The
 	// return link is checked again at response time, so a partition injected
-	// mid-request still blackholes the response.
+	// mid-request still blackholes the response. The timeout runs locally on
+	// the source shard — the request never leaves it.
 	if m.wan.Partitioned(srcCluster, b.Cluster) {
 		c.success, c.serverDur = false, 0
-		m.engine.Schedule(now+m.lostTimeout, c.finishFn)
+		ss.engine.Schedule(now+m.lostTimeout, c.finishFn)
 		return nil
 	}
 	forward := m.wan.OneWayDelay(srcCluster, b.Cluster, now)
-	m.engine.ScheduleAfter(forward, c.forward)
+	if c.dst == ss {
+		ss.engine.Schedule(now+forward, c.forward)
+	} else {
+		ss.shard.Send(c.dst.id, now+forward, c.forward)
+	}
 	return nil
 }
 
-// onServed is the backend-completion leg of a request: check the return
-// link, then schedule the finish after the return hop (or at the client
-// timeout when the link is partitioned — Schedule clamps to "now" when the
-// timeout already passed while the backend was serving).
+// onServed is the backend-completion leg of a request, executing on the
+// destination shard: check the return link, then route the finish back to
+// the source shard after the return hop (or at the client timeout when the
+// link is partitioned — Schedule clamps to "now" when the timeout already
+// passed while the backend was serving; a cross-shard timeout delivery is
+// clamped to the next barrier, the sharded analogue).
 func (c *call) onServed(res backend.Result) {
 	m := c.m
+	now := c.dst.engine.Now()
 	if m.wan.Partitioned(c.b.Cluster, c.src) {
 		c.success, c.serverDur = false, res.Latency
-		m.engine.Schedule(c.start+m.lostTimeout, c.finishFn)
+		at := c.start + m.lostTimeout
+		if c.dst == c.ss {
+			c.dst.engine.Schedule(at, c.finishFn)
+		} else {
+			c.dst.shard.Send(c.ss.id, at, c.finishFn)
+		}
 		return
 	}
-	back := m.wan.OneWayDelay(c.b.Cluster, c.src, m.engine.Now())
+	back := m.wan.OneWayDelay(c.b.Cluster, c.src, now)
 	c.success, c.serverDur = res.Success && !res.Rejected, res.Latency
-	m.engine.ScheduleAfter(back, c.finishFn)
+	if c.dst == c.ss {
+		c.dst.engine.Schedule(now+back, c.finishFn)
+	} else {
+		c.dst.shard.Send(c.ss.id, now+back, c.finishFn)
+	}
 }
 
 // finish records the response at the client proxy — inflight, spans,
 // response_total, response_latency, Observer feedback — through the route's
-// cached handles, recycles the request state, and completes the caller.
+// cached handles into the source shard's registry, recycles the request
+// state, and completes the caller. It executes on the source shard.
 func (c *call) finish() {
 	m := c.m
-	end := m.engine.Now()
+	end := c.ss.engine.Now()
 	latency := end - c.start
 	c.rs.inflight.Dec()
 	if m.spans != nil {
 		m.spans.RecordSpan(c.rs.service, c.b.Name, c.src, c.start, end, c.serverDur, c.success)
 	}
-	cs := c.rs.class(m.registry, c.success)
+	cs := c.rs.class(c.success)
 	cs.total.Inc()
 	cs.latency.Observe(latency.Seconds())
 	if c.obs != nil {
 		c.obs.Observe(end, c.src, c.b.Name, latency, c.success)
 	}
 	done, backendName, success := c.done, c.b.Name, c.success
-	m.putCall(c) // recycle before done: the callback may issue nested Calls
+	c.putCall() // recycle before done: the callback may issue nested Calls
 	done(Result{Backend: backendName, Latency: latency, Success: success})
 }
 
@@ -440,18 +664,55 @@ func (c *call) finish() {
 // direction is partitioned, in which case done never fires and the caller's
 // probe timeout counts the probe as failed, exactly as a real checker
 // behind a blackholed link would observe.
+//
+// In sharded mode, Probe must be called from the control engine's timeline
+// (health checkers live there): the probe's serve leg is scheduled straight
+// onto the backend's shard — legal because every shard is paused at the
+// control barrier — and the response returns as a shard→control message, so
+// done fires at the first barrier after the return hop lands (quantized at
+// most one lookahead late, uniformly for every probe).
 func (m *Mesh) Probe(src string, b *Backend, done func(success bool)) {
-	now := m.engine.Now()
+	if m.se == nil {
+		m.probeClassic(src, b, done)
+		return
+	}
+	ds, err := m.shardFor(b.Cluster)
+	if err != nil {
+		return
+	}
+	now := m.se.Control().Now()
 	if m.wan.Partitioned(src, b.Cluster) {
 		return
 	}
-	m.engine.After(m.wan.OneWayDelay(src, b.Cluster, now), func() {
+	forward := m.wan.OneWayDelay(src, b.Cluster, now)
+	ds.engine.Schedule(now+forward, func() {
 		b.Server.Serve(func(res backend.Result) {
-			back := m.engine.Now()
+			served := ds.engine.Now()
 			if m.wan.Partitioned(b.Cluster, src) {
 				return
 			}
-			m.engine.After(m.wan.OneWayDelay(b.Cluster, src, back), func() {
+			back := m.wan.OneWayDelay(b.Cluster, src, served)
+			ds.shard.SendControl(served+back, func() {
+				done(res.Success && !res.Rejected)
+			})
+		})
+	})
+}
+
+// probeClassic is the single-engine probe path.
+func (m *Mesh) probeClassic(src string, b *Backend, done func(success bool)) {
+	eng := m.shards[0].engine
+	now := eng.Now()
+	if m.wan.Partitioned(src, b.Cluster) {
+		return
+	}
+	eng.After(m.wan.OneWayDelay(src, b.Cluster, now), func() {
+		b.Server.Serve(func(res backend.Result) {
+			back := eng.Now()
+			if m.wan.Partitioned(b.Cluster, src) {
+				return
+			}
+			eng.After(m.wan.OneWayDelay(b.Cluster, src, back), func() {
 				done(res.Success && !res.Rejected)
 			})
 		})

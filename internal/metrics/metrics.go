@@ -225,27 +225,23 @@ func (h *Histogram) Sum() float64 { return h.sum.load() }
 // Bounds returns the histogram's upper bounds (shared, do not mutate).
 func (h *Histogram) Bounds() []float64 { return h.bounds }
 
-// snapshot appends the histogram's flattened samples.
-func (h *Histogram) snapshot(name string, labels Labels, out []Sample) []Sample {
+// snapshot appends the histogram's flattened samples through the
+// registration-time sample templates (see registered.templates), so a
+// scrape builds no label maps and formats no bounds.
+func (h *Histogram) snapshot(reg *registered, out []Sample) []Sample {
 	cum := 0.0
+	tpl := reg.templates
 	for i := range h.counts {
 		cum += float64(h.counts[i].Load())
-		le := "+Inf"
-		if i < len(h.bounds) {
-			le = strconv.FormatFloat(h.bounds[i], 'g', -1, 64)
-		}
-		out = append(out, Sample{
-			Name:   name + "_bucket",
-			Labels: labels.With("le", le),
-			Kind:   KindCounter,
-			Value:  cum,
-		})
+		s := tpl[i]
+		s.Value = cum
+		out = append(out, s)
 	}
-	out = append(out,
-		Sample{Name: name + "_sum", Labels: labels.Clone(), Kind: KindCounter, Value: h.sum.load()},
-		Sample{Name: name + "_count", Labels: labels.Clone(), Kind: KindCounter, Value: float64(h.total.Load())},
-	)
-	return out
+	sum := tpl[len(h.counts)]
+	sum.Value = h.sum.load()
+	count := tpl[len(h.counts)+1]
+	count.Value = float64(h.total.Load())
+	return append(out, sum, count)
 }
 
 // reset zeroes the histogram, as a restarted process would re-expose it.
@@ -265,16 +261,54 @@ type Registry struct {
 	gauges     map[string]*Gauge
 	histograms map[string]*Histogram
 	order      []registered
+	samples    int // total flattened sample count across order (histograms expand)
 }
 
 // registered is one series in registration order, holding the series
-// directly so a scrape never goes back through the lookup maps.
+// directly so a scrape never goes back through the lookup maps, plus the
+// series' sample templates: everything about a sample except its value is
+// fixed once, so the scrape path fills in values and allocates nothing.
+// Templates build lazily on the series' first snapshot — not at
+// registration, which keeps lazy first-request registration on the data
+// plane's hot path as cheap as it always was. Template label maps are
+// shared across scrapes by contract (see SnapshotAppend).
 type registered struct {
 	name      string
 	labels    Labels
 	counter   *Counter
 	gauge     *Gauge
 	histogram *Histogram
+	// templates holds value-less samples: one for a counter/gauge; for a
+	// histogram, one per bucket (with the "le" label and formatted bound
+	// baked in) followed by _sum and _count. nil until first snapshot.
+	templates []Sample
+}
+
+// buildTemplates fills reg.templates; called under the registry lock on the
+// series' first snapshot.
+func (reg *registered) buildTemplates() {
+	switch {
+	case reg.counter != nil:
+		reg.templates = []Sample{{Name: reg.name, Labels: reg.labels, Kind: KindCounter}}
+	case reg.gauge != nil:
+		reg.templates = []Sample{{Name: reg.name, Labels: reg.labels, Kind: KindGauge}}
+	case reg.histogram != nil:
+		h := reg.histogram
+		templates := make([]Sample, 0, len(h.counts)+2)
+		for i := range h.counts {
+			le := "+Inf"
+			if i < len(h.bounds) {
+				le = strconv.FormatFloat(h.bounds[i], 'g', -1, 64)
+			}
+			templates = append(templates, Sample{
+				Name: reg.name + "_bucket", Labels: reg.labels.With("le", le), Kind: KindCounter,
+			})
+		}
+		reg.templates = append(templates,
+			Sample{Name: reg.name + "_sum", Labels: reg.labels, Kind: KindCounter},
+			Sample{Name: reg.name + "_count", Labels: reg.labels, Kind: KindCounter},
+		)
+	}
 }
 
 // NewRegistry returns an empty registry.
@@ -301,6 +335,7 @@ func (r *Registry) Counter(name string, labels Labels) *Counter {
 		c = &Counter{}
 		r.counters[key] = c
 		r.order = append(r.order, registered{name: name, labels: labels.Clone(), counter: c})
+		r.samples++
 	}
 	return c
 }
@@ -316,6 +351,7 @@ func (r *Registry) Gauge(name string, labels Labels) *Gauge {
 		g = &Gauge{}
 		r.gauges[key] = g
 		r.order = append(r.order, registered{name: name, labels: labels.Clone(), gauge: g})
+		r.samples++
 	}
 	return g
 }
@@ -336,6 +372,7 @@ func (r *Registry) Histogram(name string, labels Labels, bounds []float64) *Hist
 		h = newHistogram(bounds)
 		r.histograms[key] = h
 		r.order = append(r.order, registered{name: name, labels: labels.Clone(), histogram: h})
+		r.samples += len(h.counts) + 2
 		return h
 	}
 	if len(h.bounds) != len(bounds) {
@@ -346,6 +383,22 @@ func (r *Registry) Histogram(name string, labels Labels, bounds []float64) *Hist
 
 // Snapshot renders every series into flat samples, in registration order
 // (stable across scrapes). Histograms expand into _bucket/_sum/_count.
+// Equivalent to SnapshotAppend(nil); the label-sharing contract below
+// applies here too.
+func (r *Registry) Snapshot() []Sample {
+	return r.SnapshotAppend(nil)
+}
+
+// SnapshotAppend appends every series' current sample to out and returns
+// the extended slice, in registration order (stable across scrapes).
+// Histograms expand into _bucket/_sum/_count. Scrape loops pass a recycled
+// buffer (`buf = reg.SnapshotAppend(buf[:0])`); once the buffer has grown
+// to the registry's series count, a scrape allocates nothing.
+//
+// Sample label maps are the registry's registration-time sets, shared
+// across snapshots and across callers: they must be treated as read-only.
+// Consumers that retain labels past the scrape (the time-series DB, the
+// hygiene gate) already clone on first sight.
 //
 // The whole pass runs under one lock acquisition, so a scrape sees a single
 // coherent registration state instead of re-locking per series (the old
@@ -354,19 +407,28 @@ func (r *Registry) Histogram(name string, labels Labels, bounds []float64) *Hist
 // Value reads are atomic loads; when callers follow the simulator's
 // single-threaded execution model, the snapshot is an exact point-in-time
 // cut between events.
-func (r *Registry) Snapshot() []Sample {
+func (r *Registry) SnapshotAppend(out []Sample) []Sample {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	out := make([]Sample, 0, len(r.order))
+	if out == nil {
+		out = make([]Sample, 0, r.samples)
+	}
 	for i := range r.order {
 		reg := &r.order[i]
+		if reg.templates == nil {
+			reg.buildTemplates()
+		}
 		switch {
 		case reg.counter != nil:
-			out = append(out, Sample{Name: reg.name, Labels: reg.labels.Clone(), Kind: KindCounter, Value: reg.counter.Value()})
+			s := reg.templates[0]
+			s.Value = reg.counter.Value()
+			out = append(out, s)
 		case reg.gauge != nil:
-			out = append(out, Sample{Name: reg.name, Labels: reg.labels.Clone(), Kind: KindGauge, Value: reg.gauge.Value()})
+			s := reg.templates[0]
+			s.Value = reg.gauge.Value()
+			out = append(out, s)
 		case reg.histogram != nil:
-			out = reg.histogram.snapshot(reg.name, reg.labels, out)
+			out = reg.histogram.snapshot(reg, out)
 		}
 	}
 	return out

@@ -201,14 +201,67 @@ func TestConcurrentCounterAdds(t *testing.T) {
 	}
 }
 
-func TestSnapshotLabelsAreCopies(t *testing.T) {
+func TestSnapshotLabelsIndependentOfCallerMap(t *testing.T) {
+	// Snapshot labels are registry-owned and read-only by contract
+	// (see SnapshotAppend); what must hold is that mutating the map the
+	// caller registered with does not leak into snapshots.
+	caller := Labels{"a": "1"}
+	r := NewRegistry()
+	r.Counter("c", caller).Inc()
+	caller["a"] = "mutated"
+	s := r.Snapshot()
+	if s[0].Labels["a"] != "1" {
+		t.Fatal("snapshot labels alias the caller's registration map")
+	}
+}
+
+func TestSnapshotAppendReusesBuffer(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("c", Labels{"a": "1"}).Inc()
-	s := r.Snapshot()
-	s[0].Labels["a"] = "mutated"
-	s2 := r.Snapshot()
-	if s2[0].Labels["a"] != "1" {
-		t.Fatal("snapshot labels alias registry state")
+	r.Gauge("g", Labels{"a": "1"}).Set(2)
+	r.Histogram("h", Labels{"a": "1"}, []float64{1, 2}).Observe(1.5)
+
+	buf := r.SnapshotAppend(nil)
+	want := r.Snapshot()
+	if len(buf) != len(want) {
+		t.Fatalf("len = %d, want %d", len(buf), len(want))
+	}
+	for i := range buf {
+		if buf[i].Name != want[i].Name || buf[i].Value != want[i].Value ||
+			buf[i].Kind != want[i].Kind || buf[i].Labels.Key() != want[i].Labels.Key() {
+			t.Fatalf("sample %d: %+v != %+v", i, buf[i], want[i])
+		}
+	}
+
+	// A warm buffer round-trips without growing or allocating.
+	r.Counter("c", Labels{"a": "1"}).Inc()
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = r.SnapshotAppend(buf[:0])
+	})
+	if allocs != 0 {
+		t.Fatalf("warm SnapshotAppend allocated %.0f times, want 0", allocs)
+	}
+	if buf[0].Value != 2 {
+		t.Fatalf("reused buffer holds stale value %v", buf[0].Value)
+	}
+}
+
+func TestSnapshotAllocsPinned(t *testing.T) {
+	// Satellite pin: a cold Snapshot on a populated registry must stay at
+	// ≤ 2 allocations (the output slice; histogram expansion and label maps
+	// are pre-built at registration).
+	r := NewRegistry()
+	for i := 0; i < 3; i++ {
+		l := Labels{"cluster": string(rune('a' + i))}
+		r.Counter("req_total", l).Inc()
+		r.Gauge("inflight", l).Set(float64(i))
+		r.Histogram("latency", l, []float64{1, 5, 10, 50, 100}).Observe(float64(i))
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		_ = r.Snapshot()
+	})
+	if allocs > 2 {
+		t.Fatalf("Snapshot allocated %.0f times, want ≤ 2", allocs)
 	}
 }
 

@@ -44,9 +44,11 @@ func Suite() []Bench {
 		{"MeshCall", BenchMeshCall},
 		{"MeshCallP2C", BenchMeshCallP2C},
 		{"MetricsSeriesAccess", BenchMetricsSeriesAccess},
+		{"MetricsLabelledLookup", BenchMetricsLabelledLookup},
 		{"MetricsCounterAdd", BenchMetricsCounterAdd},
 		{"MetricsHistogramObserve", BenchMetricsHistogramObserve},
 		{"RegistrySnapshot", BenchRegistrySnapshot},
+		{"RegistrySnapshotCold", BenchRegistrySnapshotCold},
 		{"HistogramRecord", BenchHistogramRecord},
 		{"HistogramQuantile", BenchHistogramQuantile},
 		{"EngineSchedule", BenchEngineSchedule},
@@ -119,10 +121,33 @@ func BenchMeshCallP2C(b *testing.B) {
 	runMeshCalls(b, engine, m)
 }
 
-// BenchMetricsSeriesAccess measures the labelled get-or-create lookup the
-// pre-fast-path data plane paid on every response: build a label set, key
-// it, and resolve the series under the registry lock.
+// BenchMetricsSeriesAccess measures one response's metric work through
+// route-cached handles — what the mesh's routeStats fast path does per
+// response (inflight up/down, class counter, latency observation). The
+// handles resolve once when the route is first seen; steady state is
+// allocation-free, which the pin in perf_test.go enforces.
 func BenchMetricsSeriesAccess(b *testing.B) {
+	r := metrics.NewRegistry()
+	labels := metrics.Labels{"service": "api", "backend": "api-cluster-2", "src": "cluster-1"}
+	cl := labels.With("classification", "success")
+	inflight := r.Gauge("request_inflight", labels)
+	total := r.Counter("response_total", cl)
+	lat := r.Histogram("response_latency", cl, histogram.LinkerdLatencyBounds)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inflight.Inc()
+		total.Inc()
+		lat.Observe(0.042)
+		inflight.Dec()
+	}
+}
+
+// BenchMetricsLabelledLookup preserves the pre-fast-path measurement the
+// route cache replaced: build a label set, key it, and resolve the series
+// under the registry lock on every access (6 allocs/op) — kept as the
+// comparison baseline for MetricsSeriesAccess.
+func BenchMetricsLabelledLookup(b *testing.B) {
 	r := metrics.NewRegistry()
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -157,10 +182,9 @@ func BenchMetricsHistogramObserve(b *testing.B) {
 	}
 }
 
-// BenchRegistrySnapshot measures one scrape pass over a registry shaped
-// like the scenario testbed's: 3 routes x (gauge + 2 counters + 2
-// histograms).
-func BenchRegistrySnapshot(b *testing.B) {
+// newSnapshotRegistry builds a registry shaped like the scenario testbed's:
+// 3 routes x (gauge + 2 counters + 2 histograms).
+func newSnapshotRegistry() *metrics.Registry {
 	r := metrics.NewRegistry()
 	for _, c := range []string{"cluster-1", "cluster-2", "cluster-3"} {
 		labels := metrics.Labels{"service": "api", "backend": "api-" + c, "src": "cluster-1"}
@@ -172,6 +196,32 @@ func BenchRegistrySnapshot(b *testing.B) {
 			h.Observe(0.05)
 		}
 	}
+	return r
+}
+
+// BenchRegistrySnapshot measures one scrape pass over the testbed-shaped
+// registry through the buffer-reusing path scrape loops use.
+func BenchRegistrySnapshot(b *testing.B) {
+	r := newSnapshotRegistry()
+	// Scrape loops hold their buffer across rounds (core.Scraper does), so
+	// the steady-state cost is value-filling alone: zero allocations once
+	// the buffer and the registry's sample templates are warm.
+	buf := r.SnapshotAppend(nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = r.SnapshotAppend(buf[:0])
+		if len(buf) == 0 {
+			b.Fatal("empty snapshot")
+		}
+	}
+}
+
+// BenchRegistrySnapshotCold measures the allocating variant — a fresh
+// result slice per scrape, the cost callers pay without a held buffer
+// (bounded at ≤ 2 allocs/op by the pin in internal/metrics).
+func BenchRegistrySnapshotCold(b *testing.B) {
+	r := newSnapshotRegistry()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -4,6 +4,9 @@ import (
 	"bytes"
 	"encoding/json"
 	"testing"
+
+	"l3/internal/histogram"
+	"l3/internal/metrics"
 )
 
 // Standard wrappers so `go test -bench .` exercises the same bodies
@@ -12,12 +15,50 @@ import (
 func BenchmarkMeshCall(b *testing.B)                { BenchMeshCall(b) }
 func BenchmarkMeshCallP2C(b *testing.B)             { BenchMeshCallP2C(b) }
 func BenchmarkMetricsSeriesAccess(b *testing.B)     { BenchMetricsSeriesAccess(b) }
+func BenchmarkMetricsLabelledLookup(b *testing.B)   { BenchMetricsLabelledLookup(b) }
 func BenchmarkMetricsCounterAdd(b *testing.B)       { BenchMetricsCounterAdd(b) }
 func BenchmarkMetricsHistogramObserve(b *testing.B) { BenchMetricsHistogramObserve(b) }
 func BenchmarkRegistrySnapshot(b *testing.B)        { BenchRegistrySnapshot(b) }
+func BenchmarkRegistrySnapshotCold(b *testing.B)    { BenchRegistrySnapshotCold(b) }
 func BenchmarkHistogramRecord(b *testing.B)         { BenchHistogramRecord(b) }
 func BenchmarkHistogramQuantile(b *testing.B)       { BenchHistogramQuantile(b) }
 func BenchmarkEngineSchedule(b *testing.B)          { BenchEngineSchedule(b) }
+
+// TestSeriesAccessAllocsPinned pins the MetricsSeriesAccess bugfix: the
+// route-cached handle path must perform a response's full metric work —
+// inflight up/down, class counter, latency observation — with zero heap
+// allocations (the labelled lookup it replaced paid 6 allocs/336 B).
+func TestSeriesAccessAllocsPinned(t *testing.T) {
+	r := metrics.NewRegistry()
+	labels := metrics.Labels{"service": "api", "backend": "api-cluster-2", "src": "cluster-1"}
+	cl := labels.With("classification", "success")
+	inflight := r.Gauge("request_inflight", labels)
+	total := r.Counter("response_total", cl)
+	lat := r.Histogram("response_latency", cl, histogram.LinkerdLatencyBounds)
+	allocs := testing.AllocsPerRun(200, func() {
+		inflight.Inc()
+		total.Inc()
+		lat.Observe(0.042)
+		inflight.Dec()
+	})
+	if allocs != 0 {
+		t.Fatalf("route-cached metric access allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestSnapshotBufferReuseAllocsPinned pins the RegistrySnapshot bugfix at
+// the call site scrape loops use: with a caller-held buffer, a scrape pass
+// over the testbed-shaped registry allocates nothing.
+func TestSnapshotBufferReuseAllocsPinned(t *testing.T) {
+	r := newSnapshotRegistry()
+	buf := r.SnapshotAppend(nil)
+	allocs := testing.AllocsPerRun(200, func() {
+		buf = r.SnapshotAppend(buf[:0])
+	})
+	if allocs != 0 {
+		t.Fatalf("warm SnapshotAppend allocates %.1f objects/op, want 0", allocs)
+	}
+}
 
 func TestSuiteNamesUniqueAndNonEmpty(t *testing.T) {
 	seen := map[string]bool{}

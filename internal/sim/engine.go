@@ -26,6 +26,7 @@ type Engine struct {
 	now     time.Duration
 	queue   []*event // binary min-heap on (at, seq)
 	seq     uint64
+	fired   uint64
 	running bool
 	free    []*event // recycled events, reused by schedule
 }
@@ -45,6 +46,22 @@ func (e *Engine) Now() time.Duration {
 // Pending returns the number of scheduled events that have not yet fired.
 func (e *Engine) Pending() int {
 	return len(e.queue)
+}
+
+// Fired returns the number of events executed so far — the self-metric the
+// sharded harness aggregates into events/second.
+func (e *Engine) Fired() uint64 {
+	return e.fired
+}
+
+// NextAt returns the timestamp of the earliest scheduled event, ok=false
+// when the queue is empty. A cancelled-but-unpopped event still reports its
+// time; the barrier scheduler treats that as a (harmless) early stop.
+func (e *Engine) NextAt() (time.Duration, bool) {
+	if len(e.queue) == 0 {
+		return 0, false
+	}
+	return e.queue[0].at, true
 }
 
 // schedule enqueues fn at absolute time t (clamped to now) and returns the
@@ -163,6 +180,7 @@ func (e *Engine) Step() bool {
 		e.now = ev.at
 		fn := ev.fn
 		e.recycle(ev)
+		e.fired++
 		fn()
 		return true
 	}
@@ -188,6 +206,7 @@ func (e *Engine) RunUntil(t time.Duration) {
 		e.now = ev.at
 		fn := ev.fn
 		e.recycle(ev)
+		e.fired++
 		fn()
 	}
 	if e.now < t {

@@ -1,0 +1,315 @@
+// Sharded deterministic execution: a ShardedEngine runs N per-shard Engines
+// in conservatively synchronized lookahead windows — the classic conservative
+// parallel discrete-event recipe — plus one control Engine whose events run
+// exclusively at global barriers.
+//
+// The contract that makes sharded runs byte-identical at any worker count is
+// the same one the repo's -parallel fan-out honours: the *decomposition* is
+// fixed (one logical shard per model partition, e.g. per cluster) and the
+// worker count only decides how many shards execute their window at the same
+// wall-clock moment. Because shard state is disjoint during a window and
+// cross-shard messages are merged in a canonical order at each barrier, the
+// event trace of every shard is a pure function of the seed — scheduling
+// cannot leak in.
+//
+// Synchronization protocol:
+//
+//   - Time advances in windows of at most `lookahead`, the caller-supplied
+//     lower bound on every cross-shard delivery delay (the WAN model's
+//     minimum one-way delay). A message sent during window (w0, w1] carries
+//     a delivery time ≥ send time + lookahead > w1, so delivering mailboxes
+//     at the w1 barrier is always early enough: no shard can ever receive an
+//     event in its past.
+//   - At each barrier, outboxes drain into destination queues in canonical
+//     order — destination, then source shard id, then send order — so the
+//     FIFO tie-break among equal timestamps is identical however the window
+//     was scheduled across workers.
+//   - The control engine never runs concurrently with shard windows. Its
+//     next event time caps the window, all shards run exactly up to that
+//     barrier, and the control events execute alone while every shard is
+//     paused — which is what lets scrape rounds, controller split pushes and
+//     chaos injections read and mutate cross-shard state without locks and
+//     land on the owning shard's timeline at an exact virtual time.
+package sim
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// xmsg is one cross-shard (or shard→control) delivery: a callback and the
+// absolute virtual time it should fire at on the destination timeline.
+type xmsg struct {
+	at time.Duration
+	fn func()
+}
+
+// Shard is one deterministic event-loop partition of a ShardedEngine. Its
+// embedded Engine must only be driven by the ShardedEngine's barrier loop;
+// components owned by the shard (backends, load generators, per-shard
+// metrics) schedule on Engine() exactly as they would on a standalone one.
+type Shard struct {
+	id  int
+	se  *ShardedEngine
+	eng *Engine
+	// outbox collects outgoing messages per destination shard; the last
+	// slot addresses the control engine. Only this shard's own execution
+	// appends, so no locking is needed.
+	outbox [][]xmsg
+	sends  uint64 // cross-shard sends issued (self-metric)
+}
+
+// ID returns the shard's index.
+func (s *Shard) ID() int { return s.id }
+
+// Engine returns the shard's event loop.
+func (s *Shard) Engine() *Engine { return s.eng }
+
+// Send schedules fn on shard dst's timeline at absolute virtual time at.
+// It must be called from this shard's executing context (an event callback
+// on its engine) or while all shards are paused at a barrier. Delivery
+// happens at the next barrier; an `at` earlier than the barrier is clamped
+// to it, which never triggers when at ≥ send time + lookahead — the
+// conservative guarantee cross-shard callers must uphold (WAN transit does,
+// by construction of the lookahead).
+func (s *Shard) Send(dst int, at time.Duration, fn func()) {
+	if fn == nil {
+		panic("sim: Send called with nil callback")
+	}
+	s.outbox[dst] = append(s.outbox[dst], xmsg{at: at, fn: fn})
+	s.sends++
+}
+
+// SendControl schedules fn on the control engine's timeline. The callback
+// runs exclusively — no shard window executes concurrently — at the first
+// barrier ≥ at (control deliveries are quantized to barriers so the control
+// clock never lags the shards').
+func (s *Shard) SendControl(at time.Duration, fn func()) {
+	if fn == nil {
+		panic("sim: SendControl called with nil callback")
+	}
+	n := len(s.outbox) - 1
+	s.outbox[n] = append(s.outbox[n], xmsg{at: at, fn: fn})
+	s.sends++
+}
+
+// ShardStats is the sharded engine's self-accounting.
+type ShardStats struct {
+	// Windows counts barrier-synchronized windows executed.
+	Windows uint64
+	// CrossSends counts cross-shard and shard→control messages exchanged.
+	CrossSends uint64
+	// Events counts events fired across all shard engines plus the control
+	// engine.
+	Events uint64
+}
+
+// ShardedEngine coordinates N shard engines plus one control engine under
+// the conservative-lookahead protocol described in the package comment for
+// this file. It is driven from a single goroutine (RunUntil); only the
+// shard windows inside one barrier interval fan out across workers.
+type ShardedEngine struct {
+	shards    []*Shard
+	control   *Engine
+	lookahead time.Duration
+	workers   int
+	now       time.Duration
+	running   bool
+	windows   uint64
+}
+
+// NewSharded returns a sharded engine with n shards, all clocks at zero.
+// lookahead must be a positive lower bound on every cross-shard Send delay;
+// smaller lookaheads are correct but cost more barriers.
+func NewSharded(n int, lookahead time.Duration) *ShardedEngine {
+	if n < 1 {
+		panic(fmt.Sprintf("sim: NewSharded with %d shards", n))
+	}
+	if lookahead <= 0 {
+		panic(fmt.Sprintf("sim: NewSharded with non-positive lookahead %v", lookahead))
+	}
+	se := &ShardedEngine{
+		shards:    make([]*Shard, n),
+		control:   NewEngine(),
+		lookahead: lookahead,
+		workers:   1,
+	}
+	for i := range se.shards {
+		se.shards[i] = &Shard{
+			id:     i,
+			se:     se,
+			eng:    NewEngine(),
+			outbox: make([][]xmsg, n+1),
+		}
+	}
+	return se
+}
+
+// NumShards returns the number of shards.
+func (se *ShardedEngine) NumShards() int { return len(se.shards) }
+
+// Shard returns shard i.
+func (se *ShardedEngine) Shard(i int) *Shard { return se.shards[i] }
+
+// Control returns the control engine. Events scheduled on it run
+// exclusively at global barriers, with every shard advanced to exactly the
+// event's timestamp — the place for scrapers, controllers, electors and
+// chaos injectors, whose callbacks touch state across shards.
+func (se *ShardedEngine) Control() *Engine { return se.control }
+
+// Lookahead returns the configured conservative lookahead.
+func (se *ShardedEngine) Lookahead() time.Duration { return se.lookahead }
+
+// SetWorkers caps how many shards execute a window concurrently. The value
+// changes wall-clock speed only, never output: 1 runs windows serially on
+// the caller's goroutine. Values below 1 or above the shard count clamp.
+func (se *ShardedEngine) SetWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	if n > len(se.shards) {
+		n = len(se.shards)
+	}
+	se.workers = n
+}
+
+// Now returns the global virtual low-water mark: every shard clock and the
+// control clock are exactly here between RunUntil calls.
+func (se *ShardedEngine) Now() time.Duration { return se.now }
+
+// Stats returns the engine's self-accounting.
+func (se *ShardedEngine) Stats() ShardStats {
+	st := ShardStats{Windows: se.windows, Events: se.control.Fired()}
+	for _, sh := range se.shards {
+		st.CrossSends += sh.sends
+		st.Events += sh.eng.Fired()
+	}
+	return st
+}
+
+// pendingLE reports whether any shard or the control engine still holds an
+// event at or before t.
+func (se *ShardedEngine) pendingLE(t time.Duration) bool {
+	if at, ok := se.control.NextAt(); ok && at <= t {
+		return true
+	}
+	for _, sh := range se.shards {
+		if at, ok := sh.eng.NextAt(); ok && at <= t {
+			return true
+		}
+	}
+	return false
+}
+
+// RunUntil advances all shards and the control engine to t, window by
+// window. Like Engine.RunUntil, events scheduled exactly at t execute and
+// every clock is left at t.
+func (se *ShardedEngine) RunUntil(t time.Duration) {
+	if se.running {
+		panic("sim: ShardedEngine.RunUntil re-entered")
+	}
+	se.running = true
+	defer func() { se.running = false }()
+	for se.now < t || se.pendingLE(t) {
+		// The next barrier: one lookahead ahead, capped at t, pulled in to
+		// the control engine's next event so control events execute at
+		// their exact timestamp with all shards paused there.
+		next := se.now + se.lookahead
+		if next > t {
+			next = t
+		}
+		if at, ok := se.control.NextAt(); ok && at < next {
+			next = at
+			if next < se.now {
+				next = se.now
+			}
+		}
+		se.runWindow(next)
+		se.deliver(next)
+		se.control.RunUntil(next)
+		se.windows++
+		se.now = next
+	}
+}
+
+// runWindow executes every shard's events in (shard clock, until], fanning
+// out across the worker cap. Shards share no mutable state during a window
+// (that is the decomposition contract), so the work-stealing order cannot
+// influence any shard's execution.
+func (se *ShardedEngine) runWindow(until time.Duration) {
+	w := se.workers
+	if w > len(se.shards) {
+		w = len(se.shards)
+	}
+	if w > 1 {
+		// Zero-width and control-capped windows often leave work on at most
+		// one shard; the fan-out would be pure overhead there.
+		busy := 0
+		for _, sh := range se.shards {
+			if at, ok := sh.eng.NextAt(); ok && at <= until {
+				busy++
+			}
+		}
+		if busy < 2 {
+			w = 1
+		}
+	}
+	if w <= 1 {
+		for _, sh := range se.shards {
+			sh.eng.RunUntil(until)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < w; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				j := int(next.Add(1)) - 1
+				if j >= len(se.shards) {
+					return
+				}
+				se.shards[j].eng.RunUntil(until)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// deliver drains every outbox into its destination queue in canonical
+// order: destination shard, then source shard id, then send order. The
+// destination engine's clock sits exactly at the barrier, so scheduling
+// preserves each message's requested time (schedule clamps the rare
+// too-early delivery to the barrier). Control-bound messages clamp to the
+// barrier explicitly, keeping the control clock in lockstep with the
+// shards'.
+func (se *ShardedEngine) deliver(barrier time.Duration) {
+	for dst := range se.shards {
+		de := se.shards[dst].eng
+		for _, src := range se.shards {
+			box := src.outbox[dst]
+			for i := range box {
+				de.Schedule(box[i].at, box[i].fn)
+				box[i].fn = nil
+			}
+			src.outbox[dst] = box[:0]
+		}
+	}
+	n := len(se.shards)
+	for _, src := range se.shards {
+		box := src.outbox[n]
+		for i := range box {
+			at := box[i].at
+			if at < barrier {
+				at = barrier
+			}
+			se.control.Schedule(at, box[i].fn)
+			box[i].fn = nil
+		}
+		src.outbox[n] = box[:0]
+	}
+}

@@ -195,6 +195,37 @@ func (m *Model) OneWayDelay(from, to string, t time.Duration) time.Duration {
 	return time.Duration(d)
 }
 
+// MinOneWayDelay returns a lower bound on OneWayDelay over every
+// cross-cluster link and every time — the conservative lookahead a sharded
+// simulation (sim.ShardedEngine) may use when shards are keyed by cluster.
+//
+// The bound follows from the delay formula: jitter ≥ -JitterFraction (drift
+// and noise both live in [-1, 1]), pathExtra ≥ 0, injected faults only add
+// delay (a partitioned link never delivers at all), and every delay is
+// clamped below at the intra-cluster constant. Hence
+//
+//	OneWayDelay ≥ max(local, (minBaseRTT/2) · (1 − JitterFraction))
+//
+// where minBaseRTT is the smallest base RTT across the default and every
+// per-link overlay.
+func (m *Model) MinOneWayDelay() time.Duration {
+	minBase := m.cfg.BaseRTT
+	for _, rtt := range m.overlays {
+		if rtt < minBase {
+			minBase = rtt
+		}
+	}
+	frac := 1 - m.cfg.JitterFraction
+	if frac < 0 {
+		frac = 0
+	}
+	d := time.Duration(float64(minBase/2) * frac)
+	if d < m.local {
+		d = m.local
+	}
+	return d
+}
+
 // RTT returns the modelled round-trip time at t (forward + return delay).
 func (m *Model) RTT(from, to string, t time.Duration) time.Duration {
 	return m.OneWayDelay(from, to, t) + m.OneWayDelay(to, from, t)

@@ -1,12 +1,13 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race chaos-smoke resilience-smoke guard-smoke fuzz-smoke shards-smoke bench bench-smoke
+.PHONY: check fmt vet build test race chaos-smoke resilience-smoke guard-smoke fuzz-smoke shards-smoke serve-smoke bench bench-smoke
 
 ## check: the pre-merge gate — formatting, vet, build, the full suite under
-## the race detector, chaos + resilience + guard + shards + bench smoke runs,
-## and a short fuzz pass over the chaos-schedule parser. Run before every
-## merge; CI and the tier-1 verify in ROADMAP.md assume it passes.
-check: fmt vet build race chaos-smoke resilience-smoke guard-smoke fuzz-smoke shards-smoke bench-smoke
+## the race detector, chaos + resilience + guard + shards + serve + bench
+## smoke runs, and a short fuzz pass over the chaos-schedule parser. Run
+## before every merge; CI and the tier-1 verify in ROADMAP.md assume it
+## passes.
+check: fmt vet build race chaos-smoke resilience-smoke guard-smoke fuzz-smoke shards-smoke serve-smoke bench-smoke
 
 ## fmt: fail if any file needs gofmt (prints the offenders).
 fmt:
@@ -22,8 +23,11 @@ build:
 test:
 	$(GO) test ./...
 
+## race: the full suite under the race detector. -short skips only the
+## wall-clock serve smoke, which serve-smoke below runs explicitly (with its
+## report shown) so the 25 s pass doesn't run twice per check.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -short ./...
 
 ## chaos-smoke: a quick partition+heal chaos run through the CLI — proves
 ## the fault engine injects, heals and reports end to end.
@@ -66,12 +70,23 @@ shards-smoke:
 	echo "shards-smoke: fig 8 sha256 $$a identical at -shards 1 and 4"
 	$(GO) run ./cmd/l3bench -fig S1 >/dev/null
 
+## serve-smoke: the wall-clock serving mode end to end under the race
+## detector — l3serve + stub backends on ephemeral ports, ~1.8k proxied
+## requests of open-loop load per run, asserting the self-scraped /metrics
+## parse, the L3 weight shift off the slow backend, the p99 win over
+## round-robin and zero dropped requests across every graceful drain.
+serve-smoke:
+	$(GO) test -race -run 'TestServeSmoke' -count=1 -v ./internal/serve
+
 ## bench: the fast-path benchmark suite (mesh.Call, metrics, histogram, event
 ## heap), machine-readable results in BENCH_fastpath.json, plus the
-## shard-scaling sweep in BENCH_shards.json.
+## shard-scaling sweep in BENCH_shards.json and the wall-clock serving-mode
+## trajectory in BENCH_serve.json (rr vs l3 on skewed stubs: rps,
+## p50/p99/p999, proxy-layer allocs/op).
 bench:
 	$(GO) run ./cmd/l3bench -bench -benchout BENCH_fastpath.json
 	$(GO) run ./cmd/l3bench -bench-shards -benchout BENCH_shards.json
+	$(GO) run ./cmd/l3serve -selftest -bench-out BENCH_serve.json
 
 ## bench-smoke: the same suite discarding results — proves the benchmark
 ## harness runs end to end.

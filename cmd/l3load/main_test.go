@@ -1,0 +1,69 @@
+package main
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+)
+
+type syncBuffer struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+func TestRunRequiresURL(t *testing.T) {
+	if err := run(nil); err == nil || !strings.Contains(err.Error(), "-url") {
+		t.Fatalf("err = %v, want missing -url error", err)
+	}
+	if err := run([]string{"-url", "http://h", "-rate", "0"}); err == nil || !strings.Contains(err.Error(), "-rate") {
+		t.Fatalf("err = %v, want bad -rate error", err)
+	}
+}
+
+func TestRunDrivesOpenLoopLoad(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	var out syncBuffer
+	old := stdout
+	stdout = &out
+	defer func() { stdout = old }()
+
+	if err := run([]string{
+		"-url", "http://" + ln.Addr().String() + "/",
+		"-rate", "200",
+		"-duration", "500ms",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "p99=") || !strings.Contains(got, "ok=1.0000") {
+		t.Fatalf("report missing percentiles or success rate: %q", got)
+	}
+	// Open loop at 200 rps for 500ms must land near 100 requests.
+	if !strings.Contains(got, "issued=") {
+		t.Fatalf("report missing issued count: %q", got)
+	}
+}

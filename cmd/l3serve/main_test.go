@@ -1,0 +1,118 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"regexp"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// syncBuffer collects tool output written from the run goroutine.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	old := stderr
+	stderr = io.Discard
+	defer func() { stderr = old }()
+	if err := run([]string{"-no-such-flag"}); err == nil {
+		t.Fatal("want flag parse error")
+	}
+}
+
+func TestRunRejectsInvalidConfig(t *testing.T) {
+	err := run([]string{"-algo", "fancy", "-backends", "a=http://127.0.0.1:1"})
+	if err == nil || !strings.Contains(err.Error(), `algo "fancy"`) {
+		t.Fatalf("err = %v, want validation error", err)
+	}
+	if err := run([]string{"-listen", "127.0.0.1:0"}); err == nil || !strings.Contains(err.Error(), "no backends") {
+		t.Fatalf("err = %v, want no-backends error", err)
+	}
+}
+
+func TestServeSignalDrain(t *testing.T) {
+	// A minimal upstream.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	upstream := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})}
+	go upstream.Serve(ln)
+	defer upstream.Close()
+
+	var out syncBuffer
+	oldOut, oldSig := stdout, signals
+	stdout = &out
+	sigCh := make(chan os.Signal, 1)
+	signals = func() <-chan os.Signal { return sigCh }
+	defer func() { stdout, signals = oldOut, oldSig }()
+
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-listen", "127.0.0.1:0",
+			"-algo", "rr",
+			"-backends", "up=http://" + ln.Addr().String(),
+		})
+	}()
+
+	// Wait for the serving banner, proxy one request through, then signal.
+	addrRE := regexp.MustCompile(`on (127\.0\.0\.1:\d+)`)
+	var addr string
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if m := addrRE.FindStringSubmatch(out.String()); m != nil {
+			addr = m[1]
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if addr == "" {
+		t.Fatalf("no serving banner in output: %q", out.String())
+	}
+	resp, err := http.Get("http://" + addr + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("proxied status = %d", resp.StatusCode)
+	}
+
+	sigCh <- syscall.SIGTERM
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v, want clean drain", err)
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("run did not return after SIGTERM")
+	}
+	if !strings.Contains(out.String(), "drained clean") {
+		t.Fatalf("output missing drain confirmation: %q", out.String())
+	}
+}

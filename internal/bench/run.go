@@ -797,7 +797,7 @@ func perClusterControllers(clusters []string) []controllerSpec {
 func RunDSB(algo Algorithm, rps float64, duration time.Duration, opts Options) (*loadgen.Recorder, error) {
 	opts = opts.withDefaults()
 	if opts.Shards > 0 {
-		return nil, fmt.Errorf("bench: the DSB workload does not support Shards > 0")
+		return nil, fmt.Errorf("bench: the DSB workload (cross-service call graph) requires the classic single-timeline engine; run without sharding (-shards 0)")
 	}
 	recs := make([]*loadgen.Recorder, opts.Reps)
 	err := ForEach(opts.Parallel, opts.Reps, func(rep int) error {

@@ -50,8 +50,11 @@ func (r multiResetter) ResetBackendCounters(backend string) {
 // windows across opts.Shards workers.
 func runOnceShardedCounted(sc *trace.Scenario, algo Algorithm, opts Options, seed uint64) (*loadgen.Recorder, map[[2]string]float64, *chaosArtifacts, error) {
 	defer func(start time.Time) { recordRun(time.Since(start)) }(time.Now())
-	if opts.Retry != nil || opts.Resilience != nil {
-		return nil, nil, nil, fmt.Errorf("bench: retry/resilience layers are not supported with Shards > 0")
+	if opts.Retry != nil {
+		return nil, nil, nil, fmt.Errorf("bench: the retry layer requires the classic single-timeline engine (retries reschedule across cluster shards); run without sharding (-shards 0)")
+	}
+	if opts.Resilience != nil {
+		return nil, nil, nil, fmt.Errorf("bench: the resilience layer (deadlines/hedging/breakers) requires the classic single-timeline engine; run without sharding (-shards 0)")
 	}
 
 	rng := sim.NewRand(seed)

@@ -3,6 +3,7 @@ package bench
 import (
 	"fmt"
 	"reflect"
+	"strings"
 	"testing"
 	"time"
 
@@ -129,21 +130,31 @@ func TestShardedRunProducesPlausibleTraffic(t *testing.T) {
 }
 
 // TestShardedRejectsUnsupportedLayers pins the explicit errors for the
-// layers that are classic-only.
+// layers that are classic-only: each must name the offending layer and
+// point at the remedy (-shards 0), so a CLI user knows which flag to drop.
 func TestShardedRejectsUnsupportedLayers(t *testing.T) {
+	wantActionable := func(t *testing.T, err error, layer string) {
+		t.Helper()
+		if err == nil {
+			t.Fatalf("%s accepted with Shards > 0", layer)
+		}
+		if !strings.Contains(err.Error(), layer) {
+			t.Fatalf("error %q does not name the %s layer", err, layer)
+		}
+		if !strings.Contains(err.Error(), "-shards 0") {
+			t.Fatalf("error %q does not suggest -shards 0", err)
+		}
+	}
 	o := quick()
 	o.Shards = 2
 	o.Retry = &retry.Policy{MaxAttempts: 3}
-	if _, err := RunScenario(trace.Scenario1, AlgoRoundRobin, o); err == nil {
-		t.Fatal("Retry accepted with Shards > 0")
-	}
+	_, err := RunScenario(trace.Scenario1, AlgoRoundRobin, o)
+	wantActionable(t, err, "retry")
 	o.Retry = nil
 	o.Resilience = &resilience.Policy{}
-	if _, err := RunScenario(trace.Scenario1, AlgoRoundRobin, o); err == nil {
-		t.Fatal("Resilience accepted with Shards > 0")
-	}
+	_, err = RunScenario(trace.Scenario1, AlgoRoundRobin, o)
+	wantActionable(t, err, "resilience")
 	o.Resilience = nil
-	if _, err := RunDSB(AlgoRoundRobin, 100, time.Minute, o); err == nil {
-		t.Fatal("DSB accepted with Shards > 0")
-	}
+	_, err = RunDSB(AlgoRoundRobin, 100, time.Minute, o)
+	wantActionable(t, err, "DSB")
 }

@@ -1,0 +1,141 @@
+package clock
+
+import (
+	"sync"
+	"time"
+)
+
+// Wall is the real-time Clock: callbacks fire on Go runtime timers at their
+// wall-clock due times, and Now is the monotonic time elapsed since the
+// clock was created. It is the clock under cmd/l3serve's control plane and
+// cmd/l3load's open-loop arrival process.
+//
+// Callbacks are serialized through one mutex, preserving the simulator's
+// single-threaded execution model: a health checker, an L3 controller and a
+// scraper sharing one Wall never observe each other mid-update, exactly as
+// they never interleave on a sim.Engine. Scheduling calls (After, Every,
+// Cancel) are safe from any goroutine, including from inside a callback.
+//
+// Unlike the simulator, due times are best-effort: a callback that runs long
+// delays the callbacks behind it, and the Go runtime adds scheduling jitter.
+// Components that must not drift (the open-loop load generator) schedule
+// from an absolute cursor rather than relative gaps.
+type Wall struct {
+	epoch time.Time
+	mu    sync.Mutex
+	// stopped is read under mu by firing timers; once set, no callback ever
+	// runs again (pending runtime timers drain as no-ops).
+	stopped bool
+}
+
+// NewWall returns a wall clock with its epoch (Now() == 0) at the call.
+func NewWall() *Wall {
+	return &Wall{epoch: time.Now()}
+}
+
+// Now returns the monotonic time elapsed since the clock was created. It is
+// safe from any goroutine and never blocks on the callback mutex, so data
+// planes may timestamp requests with it at arbitrary rates.
+func (w *Wall) Now() time.Duration { return time.Since(w.epoch) }
+
+// After implements Clock.
+func (w *Wall) After(d time.Duration, fn func()) Timer {
+	return w.schedule(d, 0, fn)
+}
+
+// Every implements Clock.
+func (w *Wall) Every(interval time.Duration, fn func()) Timer {
+	if interval <= 0 {
+		panic("clock: Every called with non-positive interval")
+	}
+	return w.schedule(interval, interval, fn)
+}
+
+func (w *Wall) schedule(d, interval time.Duration, fn func()) Timer {
+	if fn == nil {
+		panic("clock: schedule called with nil callback")
+	}
+	if d < 0 {
+		d = 0
+	}
+	t := &wallTimer{w: w, fn: fn, interval: interval}
+	// Holding t.mu across the AfterFunc call orders the t.t assignment
+	// before any fire() that wants to reschedule through it.
+	t.mu.Lock()
+	t.t = time.AfterFunc(d, t.fire)
+	t.mu.Unlock()
+	return t
+}
+
+// Stop terminally silences the clock: no callback runs after Stop returns.
+// Timers already executing finish first (Stop takes the callback mutex), so
+// a caller that stops the clock and then reads clock-driven state sees a
+// quiesced world. Stop is idempotent.
+func (w *Wall) Stop() {
+	w.mu.Lock()
+	w.stopped = true
+	w.mu.Unlock()
+}
+
+// Do runs fn serialized against the clock's callbacks — the way code outside
+// the callback world (an HTTP completion on its own goroutine, a test
+// assertion) safely touches state owned by clock-driven components. Calling
+// Do from inside a callback deadlocks; callbacks already hold the mutex and
+// can touch shared state directly.
+func (w *Wall) Do(fn func()) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	fn()
+}
+
+// wallTimer is one scheduled callback on a Wall. Its own tiny mutex guards
+// the cancelled flag and the runtime timer handle; the ordering is always
+// Wall.mu before wallTimer.mu, and Cancel/After take only wallTimer.mu, so
+// cancelling from inside a callback cannot deadlock.
+type wallTimer struct {
+	w        *Wall
+	mu       sync.Mutex
+	t        *time.Timer
+	fn       func()
+	interval time.Duration // 0 = one-shot
+	// cancelled is sticky; a cancelled timer never fires and never
+	// reschedules.
+	cancelled bool
+}
+
+// fire runs on the runtime timer's goroutine: serialize, re-check liveness,
+// run the callback, and reschedule when periodic.
+func (t *wallTimer) fire() {
+	w := t.w
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	t.mu.Lock()
+	dead := t.cancelled || w.stopped
+	t.mu.Unlock()
+	if dead {
+		return
+	}
+	t.fn()
+	if t.interval <= 0 {
+		return
+	}
+	t.mu.Lock()
+	if !t.cancelled && !w.stopped {
+		// Reset on a fired AfterFunc timer re-arms it; the next tick is
+		// interval after this callback finished (periodic wall ticks pace
+		// from completion, not from the ideal grid — control loops tolerate
+		// that, and the load generator uses an absolute cursor instead).
+		t.t.Reset(t.interval)
+	}
+	t.mu.Unlock()
+}
+
+// Cancel implements Timer.
+func (t *wallTimer) Cancel() {
+	t.mu.Lock()
+	t.cancelled = true
+	if t.t != nil {
+		t.t.Stop()
+	}
+	t.mu.Unlock()
+}

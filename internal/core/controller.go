@@ -5,6 +5,7 @@ import (
 	"math"
 	"time"
 
+	"l3/internal/clock"
 	"l3/internal/cluster"
 	"l3/internal/metrics"
 	"l3/internal/sim"
@@ -67,11 +68,11 @@ func (a *L3Assigner) RateController() *RateController { return a.rate }
 // same 5 s default scrape interval and therefore the same data-freshness
 // limits.
 type Scraper struct {
-	engine     *sim.Engine
+	clk        clock.Clock
 	db         *timeseries.DB
 	registries []*metrics.Registry
 	interval   time.Duration
-	timer      *sim.Timer
+	timer      clock.Timer
 	dropping   bool
 	dropped    uint64
 	// buf is the recycled snapshot buffer: every scrape pass refills it via
@@ -99,15 +100,27 @@ func NewScraper(engine *sim.Engine, db *timeseries.DB, reg *metrics.Registry, in
 // endpoints would. The pass runs on the given engine (the control engine in
 // sharded runs, where all shards are paused at the scrape's timestamp).
 func NewScraperMulti(engine *sim.Engine, db *timeseries.DB, regs []*metrics.Registry, interval time.Duration) *Scraper {
+	return NewScraperClock(clock.Sim(engine), db, regs, interval)
+}
+
+// NewScraperClock returns a scraper driven by an arbitrary clock — the wall
+// clock under cmd/l3serve, where the scrape pass is the moral equivalent of
+// Prometheus pulling /metrics. Like every sim-era component it is
+// single-threaded: its methods must run serialized with the clock's
+// callbacks.
+func NewScraperClock(clk clock.Clock, db *timeseries.DB, regs []*metrics.Registry, interval time.Duration) *Scraper {
+	if clk == nil {
+		panic("core: NewScraperClock requires a clock")
+	}
 	if interval <= 0 {
 		interval = 5 * time.Second
 	}
-	return &Scraper{engine: engine, db: db, registries: regs, interval: interval}
+	return &Scraper{clk: clk, db: db, registries: regs, interval: interval}
 }
 
 // Start begins periodic scraping (first scrape one interval from now).
 func (s *Scraper) Start() {
-	s.timer = s.engine.Every(s.interval, s.tick)
+	s.timer = s.clk.Every(s.interval, s.tick)
 }
 
 func (s *Scraper) tick() {
@@ -120,7 +133,7 @@ func (s *Scraper) tick() {
 		s.dropped++
 		return
 	}
-	t := s.engine.Now()
+	t := s.clk.Now()
 	if s.skew != 0 && s.ticks%2 == 1 {
 		// Alternating passes carry a back-dated timestamp, as a scraper with
 		// a wandering clock would stamp them. With skew beyond the scrape
@@ -272,14 +285,14 @@ type WriteGuard interface {
 // lifecycle (via the store watch), another periodically re-weights every
 // tracked split from fresh metrics.
 type Controller struct {
-	engine    *sim.Engine
+	clk       clock.Clock
 	splits    *smi.Store
 	collector *Collector
 	cfg       ControllerConfig
 
 	tracked     map[string]*trackedSplit
 	cancelWatch func()
-	ticker      *sim.Timer
+	ticker      clock.Timer
 	updates     uint64
 }
 
@@ -288,9 +301,19 @@ type trackedSplit struct {
 	backends map[string]bool
 }
 
-// NewController wires the operator together. splits, collector and
-// cfg.NewAssigner are required.
+// NewController wires the operator together on the simulation engine's
+// virtual clock. splits, collector and cfg.NewAssigner are required.
 func NewController(engine *sim.Engine, splits *smi.Store, collector *Collector, cfg ControllerConfig) *Controller {
+	return NewControllerClock(clock.Sim(engine), splits, collector, cfg)
+}
+
+// NewControllerClock wires the operator on an arbitrary clock. The
+// controller is single-threaded: its loops run as clock callbacks, and any
+// outside caller (tests, a drain path) must serialize with them.
+func NewControllerClock(clk clock.Clock, splits *smi.Store, collector *Collector, cfg ControllerConfig) *Controller {
+	if clk == nil {
+		panic("core: NewControllerClock requires a clock")
+	}
 	if splits == nil || collector == nil || cfg.NewAssigner == nil {
 		panic("core: NewController requires splits, collector and NewAssigner")
 	}
@@ -301,7 +324,7 @@ func NewController(engine *sim.Engine, splits *smi.Store, collector *Collector, 
 		cfg.WeightScale = 1000
 	}
 	return &Controller{
-		engine:    engine,
+		clk:       clk,
 		splits:    splits,
 		collector: collector,
 		cfg:       cfg,
@@ -313,7 +336,7 @@ func NewController(engine *sim.Engine, splits *smi.Store, collector *Collector, 
 // existing splits) and the periodic weight updater.
 func (c *Controller) Start() {
 	c.cancelWatch = c.splits.Watch(true, c.onSplitEvent)
-	c.ticker = c.engine.Every(c.cfg.Interval, c.updateAll)
+	c.ticker = c.clk.Every(c.cfg.Interval, c.updateAll)
 	if c.cfg.Elector != nil {
 		c.cfg.Elector.Run()
 	}
@@ -423,7 +446,7 @@ func (c *Controller) isLeader() bool {
 }
 
 func (c *Controller) updateAll() {
-	now := c.engine.Now()
+	now := c.clk.Now()
 	leader := c.isLeader()
 	if reg := c.cfg.SelfRegistry; reg != nil {
 		v := 0.0

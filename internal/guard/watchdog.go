@@ -3,6 +3,7 @@ package guard
 import (
 	"time"
 
+	"l3/internal/clock"
 	"l3/internal/metrics"
 	"l3/internal/sim"
 	"l3/internal/smi"
@@ -14,26 +15,37 @@ import (
 // leaves behind a safe static split instead of whatever weights it last
 // wrote. It re-arms automatically once rounds resume.
 type Watchdog struct {
-	engine *sim.Engine
+	clk    clock.Clock
 	splits *smi.Store
 	gates  []*WriteGate
 	cfg    Config
 	filter func(name string) bool
 
-	timer    *sim.Timer
+	timer    clock.Timer
 	start    time.Duration
 	degraded bool
 	degrades *metrics.Counter
 }
 
-// NewWatchdog builds a watchdog over the given write gates (at least one).
-// filter restricts which splits are degraded on a stall (nil = all). reg
-// receives the watchdog's counter when non-nil.
+// NewWatchdog builds a watchdog over the given write gates (at least one),
+// on the simulation engine's virtual clock. filter restricts which splits
+// are degraded on a stall (nil = all). reg receives the watchdog's counter
+// when non-nil.
 func NewWatchdog(engine *sim.Engine, splits *smi.Store, cfg Config, reg *metrics.Registry, filter func(name string) bool, gates ...*WriteGate) *Watchdog {
-	if engine == nil || splits == nil || len(gates) == 0 {
+	if engine == nil {
 		panic("guard: NewWatchdog requires engine, splits and at least one gate")
 	}
-	w := &Watchdog{engine: engine, splits: splits, gates: gates, cfg: cfg.withDefaults(), filter: filter}
+	return NewWatchdogClock(clock.Sim(engine), splits, cfg, reg, filter, gates...)
+}
+
+// NewWatchdogClock builds a watchdog on an arbitrary clock. Single-threaded
+// like the rest of the control plane: run it on the clock that drives the
+// controller whose stalls it guards.
+func NewWatchdogClock(clk clock.Clock, splits *smi.Store, cfg Config, reg *metrics.Registry, filter func(name string) bool, gates ...*WriteGate) *Watchdog {
+	if clk == nil || splits == nil || len(gates) == 0 {
+		panic("guard: NewWatchdog requires a clock, splits and at least one gate")
+	}
+	w := &Watchdog{clk: clk, splits: splits, gates: gates, cfg: cfg.withDefaults(), filter: filter}
 	if reg == nil {
 		w.degrades = &metrics.Counter{}
 	} else {
@@ -44,12 +56,12 @@ func NewWatchdog(engine *sim.Engine, splits *smi.Store, cfg Config, reg *metrics
 
 // Start arms the watchdog; the stall check runs at a third of the TTL.
 func (w *Watchdog) Start() {
-	w.start = w.engine.Now()
+	w.start = w.clk.Now()
 	interval := w.cfg.WatchdogTTL / 3
 	if interval < time.Second {
 		interval = time.Second
 	}
-	w.timer = w.engine.Every(interval, w.tick)
+	w.timer = w.clk.Every(interval, w.tick)
 }
 
 // Stop disarms the watchdog.
@@ -61,7 +73,7 @@ func (w *Watchdog) Stop() {
 }
 
 func (w *Watchdog) tick() {
-	now := w.engine.Now()
+	now := w.clk.Now()
 	var last time.Duration
 	have := false
 	for _, g := range w.gates {

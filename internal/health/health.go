@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"l3/internal/backend"
+	"l3/internal/clock"
 	"l3/internal/mesh"
 	"l3/internal/metrics"
 	"l3/internal/sim"
@@ -85,22 +86,35 @@ type probeState struct {
 	transitions int
 }
 
-// Checker probes backends on the virtual clock and tracks their health.
+// Checker probes backends on a clock (virtual or wall) and tracks their
+// health.
 type Checker struct {
-	engine  *sim.Engine
+	clk     clock.Clock
 	cfg     Config
 	states  map[string]*probeState
-	timers  []*sim.Timer
+	timers  []clock.Timer
 	stopped bool
 }
 
-// NewChecker returns a checker; register backends with Watch.
+// NewChecker returns a checker on the simulation engine's virtual clock;
+// register backends with Watch.
 func NewChecker(engine *sim.Engine, cfg Config) *Checker {
 	if engine == nil {
 		panic("health: NewChecker requires an engine")
 	}
+	return NewCheckerClock(clock.Sim(engine), cfg)
+}
+
+// NewCheckerClock returns a checker driven by an arbitrary clock. The
+// checker is single-threaded: all its methods must run serialized with the
+// clock's callbacks (automatic on a sim engine; via clock.Wall.Do — or by
+// only touching it from clock callbacks — on a wall clock).
+func NewCheckerClock(clk clock.Clock, cfg Config) *Checker {
+	if clk == nil {
+		panic("health: NewCheckerClock requires a clock")
+	}
 	return &Checker{
-		engine: engine,
+		clk:    clk,
 		cfg:    cfg.withDefaults(),
 		states: make(map[string]*probeState),
 	}
@@ -117,7 +131,7 @@ func (c *Checker) Watch(b *mesh.Backend) {
 	}
 	st := &probeState{healthy: true, name: b.Name}
 	c.states[b.Name] = st
-	c.timers = append(c.timers, c.engine.Every(c.cfg.Interval, func() {
+	c.timers = append(c.timers, c.clk.Every(c.cfg.Interval, func() {
 		c.probe(b, st)
 	}))
 }
@@ -164,7 +178,7 @@ func (c *Checker) Transitions(name string) int {
 func (c *Checker) probe(b *mesh.Backend, st *probeState) {
 	answered := false
 	timedOut := false
-	timeout := c.engine.After(c.cfg.Timeout, func() {
+	timeout := c.clk.After(c.cfg.Timeout, func() {
 		if answered {
 			return
 		}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"time"
 
+	"l3/internal/clock"
 	"l3/internal/histogram"
 	"l3/internal/sim"
 )
@@ -39,22 +40,45 @@ type Config struct {
 	// BucketWidth is the recorder's time-series granularity (default 1 s,
 	// the granularity the paper's coordinator retrieves).
 	BucketWidth time.Duration
+	// CatchUp schedules arrivals from an absolute cursor instead of
+	// relative gaps: if the clock delivers a callback late (wall-clock
+	// scheduling jitter, a long callback ahead in the queue), the next
+	// arrivals fire back-to-back until the cursor catches the ideal
+	// schedule — wrk2's constant-throughput correction, and the reason an
+	// open-loop wall-clock run keeps its offered RPS honest. Virtual-time
+	// runs never fire late, so the default (false) keeps the simulated
+	// arrival sequence — and every golden derived from it — unchanged.
+	CatchUp bool
 }
 
-// Generator schedules open-loop arrivals on the virtual clock.
+// Generator schedules open-loop arrivals on a Clock — the simulator's
+// virtual clock in benchmarks, a wall clock under cmd/l3load.
 type Generator struct {
-	engine   *sim.Engine
+	clk      clock.Clock
 	issue    IssueFunc
 	cfg      Config
 	recorder *Recorder
-	timer    *sim.Timer
+	timer    clock.Timer
+	next     time.Duration // absolute cursor for CatchUp scheduling
 	stopped  bool
 	issued   uint64
 	errors   uint64
 }
 
-// New returns a generator; call Start to begin offering load.
+// New returns a generator on the simulation engine's virtual clock; call
+// Start to begin offering load.
 func New(engine *sim.Engine, cfg Config, issue IssueFunc) *Generator {
+	return NewClock(clock.Sim(engine), cfg, issue)
+}
+
+// NewClock returns a generator driven by an arbitrary clock. Completions
+// are recorded on whatever goroutine calls done; on a wall clock the caller
+// must serialize those (clock.Wall.Do, or a mutex around the Recorder) —
+// the Recorder itself is single-threaded, like every sim-era component.
+func NewClock(clk clock.Clock, cfg Config, issue IssueFunc) *Generator {
+	if clk == nil {
+		panic("loadgen: nil clock")
+	}
 	if issue == nil {
 		panic("loadgen: nil issue function")
 	}
@@ -65,7 +89,7 @@ func New(engine *sim.Engine, cfg Config, issue IssueFunc) *Generator {
 		cfg.BucketWidth = time.Second
 	}
 	return &Generator{
-		engine:   engine,
+		clk:      clk,
 		issue:    issue,
 		cfg:      cfg,
 		recorder: NewRecorder(cfg.BucketWidth),
@@ -85,6 +109,7 @@ func (g *Generator) IssueErrors() uint64 { return g.errors }
 // Start schedules the first arrival. The generator keeps offering load
 // until Stop.
 func (g *Generator) Start() {
+	g.next = g.clk.Now()
 	g.scheduleNext()
 }
 
@@ -101,24 +126,37 @@ func (g *Generator) scheduleNext() {
 	if g.stopped {
 		return
 	}
-	rate := g.cfg.Rate(g.engine.Now())
+	now := g.clk.Now()
+	rate := g.cfg.Rate(now)
 	if rate <= 0 {
 		// No load right now; poll again shortly for the rate to return.
-		g.timer = g.engine.After(100*time.Millisecond, g.scheduleNext)
+		g.next = now + 100*time.Millisecond
+		g.timer = g.clk.After(100*time.Millisecond, g.scheduleNext)
 		return
 	}
 	gap := time.Duration(float64(time.Second) / rate)
 	if gap <= 0 {
 		gap = time.Nanosecond
 	}
-	g.timer = g.engine.After(gap, func() {
+	delay := gap
+	if g.cfg.CatchUp {
+		// Advance the ideal cursor by one gap and sleep only the remaining
+		// distance to it; a late wake-up shrinks (or zeroes) the next sleep
+		// instead of shifting the whole schedule.
+		g.next += gap
+		delay = g.next - now
+		if delay < 0 {
+			delay = 0
+		}
+	}
+	g.timer = g.clk.After(delay, func() {
 		g.fire()
 		g.scheduleNext()
 	})
 }
 
 func (g *Generator) fire() {
-	start := g.engine.Now()
+	start := g.clk.Now()
 	g.issued++
 	err := g.issue(func(latency time.Duration, success bool) {
 		if start >= g.cfg.WarmUp {

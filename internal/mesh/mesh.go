@@ -426,7 +426,7 @@ func (m *Mesh) RngFor(cluster string) (*sim.Rand, error) {
 // mode only: a recorder would be written from several shard timelines.
 func (m *Mesh) SetSpanRecorder(r SpanRecorder) {
 	if m.se != nil && r != nil {
-		panic("mesh: span recording is not supported in sharded mode")
+		panic("mesh: the span-recording layer requires the classic single-timeline engine; run without sharding (-shards 0) to record spans")
 	}
 	m.spans = r
 }

@@ -3,6 +3,7 @@ package metrics
 import (
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -23,7 +24,20 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		if samples[i].Name != samples[j].Name {
 			return samples[i].Name < samples[j].Name
 		}
-		return samples[i].Labels.Key() < samples[j].Labels.Key()
+		li, lj := samples[i].Labels, samples[j].Labels
+		// Histogram buckets sort by their numeric bound, +Inf last — the
+		// order Prometheus's linter expects — not by the lexical label key
+		// (which would put le="10" before le="5" and +Inf first).
+		if vi, ok := li["le"]; ok {
+			if vj, ok := lj["le"]; ok {
+				ki, kj := li.keyWithout("le"), lj.keyWithout("le")
+				if ki != kj {
+					return ki < kj
+				}
+				return leBound(vi) < leBound(vj)
+			}
+		}
+		return li.Key() < lj.Key()
 	})
 	for _, s := range samples {
 		if err := writeSample(w, s); err != nil {
@@ -31,6 +45,37 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// keyWithout returns the canonical label key with one label dropped.
+func (l Labels) keyWithout(skip string) string {
+	names := make([]string, 0, len(l))
+	for k := range l {
+		if k != skip {
+			names = append(names, k)
+		}
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for i, k := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(l[k])
+	}
+	return b.String()
+}
+
+// leBound parses a bucket's upper bound for sort order; unparsable bounds
+// sort last alongside +Inf.
+func leBound(v string) float64 {
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return math.Inf(1)
+	}
+	return f
 }
 
 func writeSample(w io.Writer, s Sample) error {
@@ -49,7 +94,7 @@ func writeSample(w io.Writer, s Sample) error {
 			}
 			b.WriteString(sanitizeName(k))
 			b.WriteByte('=')
-			b.WriteString(strconv.Quote(s.Labels[k]))
+			writeEscapedLabelValue(&b, s.Labels[k])
 		}
 		b.WriteByte('}')
 	}
@@ -58,6 +103,28 @@ func writeSample(w io.Writer, s Sample) error {
 	b.WriteByte('\n')
 	_, err := io.WriteString(w, b.String())
 	return err
+}
+
+// writeEscapedLabelValue quotes a label value with the exposition format's
+// escaping: exactly backslash, double-quote and newline are escaped, and
+// everything else (including non-ASCII UTF-8) passes through raw. This is
+// narrower than strconv.Quote, whose \u/\x escapes Prometheus does not
+// understand.
+func writeEscapedLabelValue(b *strings.Builder, v string) {
+	b.WriteByte('"')
+	for i := 0; i < len(v); i++ {
+		switch c := v[i]; c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	b.WriteByte('"')
 }
 
 // formatValue renders a sample value the way Prometheus does (shortest

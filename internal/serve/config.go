@@ -1,0 +1,457 @@
+package serve
+
+import (
+	"fmt"
+	"net/url"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Algorithms the serving mode can run. They mirror internal/bench's
+// ablation arms: weighted selection with uniform weights (rr), uniform
+// weights gated on health probes (failover), and the two metric-driven
+// controllers (l3, c3).
+const (
+	AlgoRR       = "rr"
+	AlgoFailover = "failover"
+	AlgoL3       = "l3"
+	AlgoC3       = "c3"
+)
+
+// BackendConfig names one upstream HTTP server.
+type BackendConfig struct {
+	// Name is the backend's identity in metrics, TrafficSplits and logs.
+	Name string
+	// URL is the upstream base URL (scheme + host[:port]).
+	URL string
+}
+
+// Config parameterises a serve.Server. Durations are real wall-clock time.
+type Config struct {
+	// Listen is the proxy's listen address (default "127.0.0.1:8080";
+	// ":0" picks an ephemeral port, the smoke tests' mode).
+	Listen string
+	// Service is the logical service name carried in every metric label
+	// and the TrafficSplit (default "api").
+	Service string
+	// Algo selects the balancing algorithm: rr, failover, l3 or c3
+	// (default l3).
+	Algo string
+	// Backends are the upstreams. At least one is required.
+	Backends []BackendConfig
+
+	// ScrapeInterval is how often the control plane scrapes its own
+	// /metrics endpoint over HTTP (default 5s, the paper's Prometheus
+	// interval; the smoke tests shrink it).
+	ScrapeInterval time.Duration
+	// ReconcileInterval is the controller's reweighting period (default
+	// matches ScrapeInterval).
+	ReconcileInterval time.Duration
+	// Window is the collector's trailing query window (default 2×
+	// ScrapeInterval, min 2s).
+	Window time.Duration
+	// Percentile is the latency quantile steering L3 (default 0.99).
+	Percentile float64
+	// Guard enables the internal/guard hardening layer — ingestion
+	// hygiene, write gating, stall watchdog (default true).
+	Guard bool
+
+	// HealthInterval is the HTTP health-probe period (default 2s).
+	HealthInterval time.Duration
+	// HealthTimeout fails an unanswered probe (default 1s).
+	HealthTimeout time.Duration
+	// HealthPath is the upstream path probed (default "/healthz").
+	HealthPath string
+
+	// BreakerThreshold opens a backend's circuit after this many
+	// consecutive proxy-observed failures (default 5; 0 disables).
+	BreakerThreshold int
+	// BreakerWindow is how long an opened circuit stays open (default 2s).
+	BreakerWindow time.Duration
+
+	// MaxAttempts bounds proxy-level attempts per request: transport
+	// errors where no bytes reached the client retry on another backend
+	// (default 2; 1 disables retries).
+	MaxAttempts int
+	// RetryBudgetRatio is the Finagle-style token-bucket earn rate
+	// bounding the steady-state retry ratio (default 0.2).
+	RetryBudgetRatio float64
+
+	// DrainTimeout bounds graceful shutdown (default 15s).
+	DrainTimeout time.Duration
+}
+
+// DefaultConfig returns the documented defaults (no backends).
+func DefaultConfig() Config {
+	return Config{
+		Listen:           "127.0.0.1:8080",
+		Service:          "api",
+		Algo:             AlgoL3,
+		ScrapeInterval:   5 * time.Second,
+		Percentile:       0.99,
+		Guard:            true,
+		HealthInterval:   2 * time.Second,
+		HealthTimeout:    time.Second,
+		HealthPath:       "/healthz",
+		BreakerThreshold: 5,
+		BreakerWindow:    2 * time.Second,
+		MaxAttempts:      2,
+		RetryBudgetRatio: 0.2,
+		DrainTimeout:     15 * time.Second,
+	}
+}
+
+// withDerived fills the intervals that default relative to others.
+func (c Config) withDerived() Config {
+	if c.ReconcileInterval <= 0 {
+		c.ReconcileInterval = c.ScrapeInterval
+	}
+	if c.Window <= 0 {
+		c.Window = 2 * c.ScrapeInterval
+		if c.Window < 2*time.Second {
+			c.Window = 2 * time.Second
+		}
+	}
+	return c
+}
+
+// Validate checks the configuration, returning every problem at once so an
+// operator fixes one bad file in one round trip.
+func (c Config) Validate() error {
+	var problems []string
+	bad := func(format string, args ...any) {
+		problems = append(problems, fmt.Sprintf(format, args...))
+	}
+	if c.Listen == "" {
+		bad("listen address is empty")
+	}
+	if c.Service == "" {
+		bad("service name is empty")
+	}
+	switch c.Algo {
+	case AlgoRR, AlgoFailover, AlgoL3, AlgoC3:
+	default:
+		bad("algo %q is not one of rr, failover, l3, c3", c.Algo)
+	}
+	if len(c.Backends) == 0 {
+		bad("no backends configured")
+	}
+	seen := make(map[string]bool, len(c.Backends))
+	for i, b := range c.Backends {
+		if b.Name == "" {
+			bad("backend %d has no name", i)
+		}
+		if seen[b.Name] {
+			bad("backend name %q is duplicated", b.Name)
+		}
+		seen[b.Name] = true
+		u, err := url.Parse(b.URL)
+		if err != nil || u.Scheme == "" || u.Host == "" {
+			bad("backend %q URL %q is not an absolute http(s) URL", b.Name, b.URL)
+		} else if u.Scheme != "http" && u.Scheme != "https" {
+			bad("backend %q URL scheme %q is not http or https", b.Name, u.Scheme)
+		}
+	}
+	if c.ScrapeInterval <= 0 {
+		bad("scrape_interval must be positive")
+	}
+	if c.Percentile <= 0 || c.Percentile >= 1 {
+		bad("percentile %v is outside (0, 1)", c.Percentile)
+	}
+	if c.MaxAttempts < 1 {
+		bad("max_attempts must be at least 1")
+	}
+	if c.RetryBudgetRatio < 0 {
+		bad("retry_budget_ratio must be non-negative")
+	}
+	if len(problems) == 0 {
+		return nil
+	}
+	return fmt.Errorf("serve: invalid config:\n  - %s", strings.Join(problems, "\n  - "))
+}
+
+// LoadConfig builds the effective configuration: defaults, then the YAML
+// file (optional, "" skips), then L3SERVE_* environment overrides. The
+// layering matches the 12-factor convention: files declare, the environment
+// overrides. Validation happens in NewServer, after any command-line
+// overrides land on top.
+func LoadConfig(path string) (Config, error) {
+	return loadConfig(path, os.LookupEnv)
+}
+
+func loadConfig(path string, lookup func(string) (string, bool)) (Config, error) {
+	cfg := DefaultConfig()
+	if path != "" {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return cfg, fmt.Errorf("serve: reading config: %w", err)
+		}
+		if err := cfg.applyYAML(string(src)); err != nil {
+			return cfg, err
+		}
+	}
+	if err := cfg.applyEnv(lookup); err != nil {
+		return cfg, err
+	}
+	return cfg.withDerived(), nil
+}
+
+// applyYAML folds a YAML document into the config. Unknown keys are errors:
+// a typoed "percentil:" silently running defaults is how production configs
+// rot.
+func (c *Config) applyYAML(src string) error {
+	root, err := parseYAML(src)
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	if !root.isMapping() {
+		return fmt.Errorf("serve: config root must be a mapping")
+	}
+	for _, key := range root.order {
+		node := root.mapping[key]
+		var err error
+		switch key {
+		case "listen":
+			err = node.toString(&c.Listen)
+		case "service":
+			err = node.toString(&c.Service)
+		case "algo":
+			err = node.toString(&c.Algo)
+		case "backends":
+			err = c.applyBackendsYAML(node)
+		case "scrape_interval":
+			err = node.toDuration(&c.ScrapeInterval)
+		case "reconcile_interval":
+			err = node.toDuration(&c.ReconcileInterval)
+		case "window":
+			err = node.toDuration(&c.Window)
+		case "percentile":
+			err = node.toFloat(&c.Percentile)
+		case "guard":
+			err = node.toBool(&c.Guard)
+		case "health_interval":
+			err = node.toDuration(&c.HealthInterval)
+		case "health_timeout":
+			err = node.toDuration(&c.HealthTimeout)
+		case "health_path":
+			err = node.toString(&c.HealthPath)
+		case "breaker_threshold":
+			err = node.toInt(&c.BreakerThreshold)
+		case "breaker_window":
+			err = node.toDuration(&c.BreakerWindow)
+		case "max_attempts":
+			err = node.toInt(&c.MaxAttempts)
+		case "retry_budget_ratio":
+			err = node.toFloat(&c.RetryBudgetRatio)
+		case "drain_timeout":
+			err = node.toDuration(&c.DrainTimeout)
+		default:
+			err = fmt.Errorf("unknown key %q", key)
+		}
+		if err != nil {
+			return fmt.Errorf("serve: config key %q: %w", key, err)
+		}
+	}
+	return nil
+}
+
+func (c *Config) applyBackendsYAML(node *yamlNode) error {
+	if !node.isSequence() {
+		return fmt.Errorf("expected a sequence of {name, url} mappings")
+	}
+	c.Backends = nil
+	for i, item := range node.sequence {
+		if !item.isMapping() {
+			return fmt.Errorf("backend %d: expected a {name, url} mapping", i)
+		}
+		var b BackendConfig
+		for _, k := range item.order {
+			switch k {
+			case "name":
+				if err := item.mapping[k].toString(&b.Name); err != nil {
+					return fmt.Errorf("backend %d name: %w", i, err)
+				}
+			case "url":
+				if err := item.mapping[k].toString(&b.URL); err != nil {
+					return fmt.Errorf("backend %d url: %w", i, err)
+				}
+			default:
+				return fmt.Errorf("backend %d: unknown key %q", i, k)
+			}
+		}
+		c.Backends = append(c.Backends, b)
+	}
+	return nil
+}
+
+// applyEnv folds L3SERVE_* variables over the config. Every scalar key has
+// an override; backends use L3SERVE_BACKENDS="name=url,name=url".
+func (c *Config) applyEnv(lookup func(string) (string, bool)) error {
+	str := func(name string, dst *string) error {
+		if v, ok := lookup(name); ok {
+			*dst = v
+		}
+		return nil
+	}
+	var firstErr error
+	record := func(name string, err error) {
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("serve: %s: %w", name, err)
+		}
+	}
+	dur := func(name string, dst *time.Duration) {
+		if v, ok := lookup(name); ok {
+			d, err := time.ParseDuration(v)
+			record(name, err)
+			if err == nil {
+				*dst = d
+			}
+		}
+	}
+	_ = str("L3SERVE_LISTEN", &c.Listen)
+	_ = str("L3SERVE_SERVICE", &c.Service)
+	_ = str("L3SERVE_ALGO", &c.Algo)
+	_ = str("L3SERVE_HEALTH_PATH", &c.HealthPath)
+	dur("L3SERVE_SCRAPE_INTERVAL", &c.ScrapeInterval)
+	dur("L3SERVE_RECONCILE_INTERVAL", &c.ReconcileInterval)
+	dur("L3SERVE_WINDOW", &c.Window)
+	dur("L3SERVE_HEALTH_INTERVAL", &c.HealthInterval)
+	dur("L3SERVE_HEALTH_TIMEOUT", &c.HealthTimeout)
+	dur("L3SERVE_BREAKER_WINDOW", &c.BreakerWindow)
+	dur("L3SERVE_DRAIN_TIMEOUT", &c.DrainTimeout)
+	if v, ok := lookup("L3SERVE_PERCENTILE"); ok {
+		f, err := strconv.ParseFloat(v, 64)
+		record("L3SERVE_PERCENTILE", err)
+		if err == nil {
+			c.Percentile = f
+		}
+	}
+	if v, ok := lookup("L3SERVE_RETRY_BUDGET_RATIO"); ok {
+		f, err := strconv.ParseFloat(v, 64)
+		record("L3SERVE_RETRY_BUDGET_RATIO", err)
+		if err == nil {
+			c.RetryBudgetRatio = f
+		}
+	}
+	if v, ok := lookup("L3SERVE_GUARD"); ok {
+		b, err := strconv.ParseBool(v)
+		record("L3SERVE_GUARD", err)
+		if err == nil {
+			c.Guard = b
+		}
+	}
+	if v, ok := lookup("L3SERVE_BREAKER_THRESHOLD"); ok {
+		n, err := strconv.Atoi(v)
+		record("L3SERVE_BREAKER_THRESHOLD", err)
+		if err == nil {
+			c.BreakerThreshold = n
+		}
+	}
+	if v, ok := lookup("L3SERVE_MAX_ATTEMPTS"); ok {
+		n, err := strconv.Atoi(v)
+		record("L3SERVE_MAX_ATTEMPTS", err)
+		if err == nil {
+			c.MaxAttempts = n
+		}
+	}
+	if v, ok := lookup("L3SERVE_BACKENDS"); ok {
+		backends, err := ParseBackendList(v)
+		record("L3SERVE_BACKENDS", err)
+		if err == nil {
+			c.Backends = backends
+		}
+	}
+	return firstErr
+}
+
+// ParseBackendList parses the "name=url,name=url" form shared by the
+// L3SERVE_BACKENDS variable and the -backends flag.
+func ParseBackendList(s string) ([]BackendConfig, error) {
+	var out []BackendConfig
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, u, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("backend %q is not name=url", part)
+		}
+		out = append(out, BackendConfig{Name: strings.TrimSpace(name), URL: strings.TrimSpace(u)})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty backend list")
+	}
+	return out, nil
+}
+
+// BackendNames returns the configured backend names, sorted.
+func (c Config) BackendNames() []string {
+	names := make([]string, len(c.Backends))
+	for i, b := range c.Backends {
+		names[i] = b.Name
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Typed extraction helpers from parsed YAML scalars.
+
+func (n *yamlNode) toString(dst *string) error {
+	if n == nil || !n.isScalar {
+		return fmt.Errorf("expected a scalar")
+	}
+	*dst = n.scalar
+	return nil
+}
+
+func (n *yamlNode) toDuration(dst *time.Duration) error {
+	if n == nil || !n.isScalar {
+		return fmt.Errorf("expected a duration scalar")
+	}
+	d, err := time.ParseDuration(n.scalar)
+	if err != nil {
+		return err
+	}
+	*dst = d
+	return nil
+}
+
+func (n *yamlNode) toFloat(dst *float64) error {
+	if n == nil || !n.isScalar {
+		return fmt.Errorf("expected a number")
+	}
+	f, err := strconv.ParseFloat(n.scalar, 64)
+	if err != nil {
+		return err
+	}
+	*dst = f
+	return nil
+}
+
+func (n *yamlNode) toInt(dst *int) error {
+	if n == nil || !n.isScalar {
+		return fmt.Errorf("expected an integer")
+	}
+	v, err := strconv.Atoi(n.scalar)
+	if err != nil {
+		return err
+	}
+	*dst = v
+	return nil
+}
+
+func (n *yamlNode) toBool(dst *bool) error {
+	if n == nil || !n.isScalar {
+		return fmt.Errorf("expected a boolean")
+	}
+	b, err := strconv.ParseBool(n.scalar)
+	if err != nil {
+		return err
+	}
+	*dst = b
+	return nil
+}

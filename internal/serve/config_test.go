@@ -1,0 +1,124 @@
+package serve
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func envMap(m map[string]string) func(string) (string, bool) {
+	return func(k string) (string, bool) {
+		v, ok := m[k]
+		return v, ok
+	}
+}
+
+func TestLoadConfigLayering(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "l3serve.yaml")
+	yaml := `
+listen: 127.0.0.1:9999
+algo: c3
+scrape_interval: 1s
+backends:
+  - name: a
+    url: http://10.0.0.1:8001
+  - name: b
+    url: http://10.0.0.2:8001
+`
+	if err := os.WriteFile(path, []byte(yaml), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// File over defaults; env over file.
+	cfg, err := loadConfig(path, envMap(map[string]string{
+		"L3SERVE_ALGO":     "failover",
+		"L3SERVE_BACKENDS": "x=http://127.0.0.1:1, y=http://127.0.0.1:2",
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Listen != "127.0.0.1:9999" {
+		t.Fatalf("Listen = %q, want file value", cfg.Listen)
+	}
+	if cfg.Algo != AlgoFailover {
+		t.Fatalf("Algo = %q, want env override", cfg.Algo)
+	}
+	if got := cfg.BackendNames(); len(got) != 2 || got[0] != "x" || got[1] != "y" {
+		t.Fatalf("Backends = %v, want env override [x y]", got)
+	}
+	// Derived: reconcile follows scrape, window = 2× scrape floored at 2s.
+	if cfg.ReconcileInterval != time.Second {
+		t.Fatalf("ReconcileInterval = %v, want 1s (derived from scrape)", cfg.ReconcileInterval)
+	}
+	if cfg.Window != 2*time.Second {
+		t.Fatalf("Window = %v, want 2s floor", cfg.Window)
+	}
+	// Untouched keys keep documented defaults.
+	if cfg.Service != "api" || cfg.Percentile != 0.99 || !cfg.Guard {
+		t.Fatalf("defaults leaked: service=%q percentile=%v guard=%v", cfg.Service, cfg.Percentile, cfg.Guard)
+	}
+}
+
+func TestLoadConfigUnknownKey(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.yaml")
+	os.WriteFile(path, []byte("percentil: 0.98\n"), 0o644)
+	_, err := loadConfig(path, envMap(nil))
+	if err == nil || !strings.Contains(err.Error(), `unknown key "percentil"`) {
+		t.Fatalf("err = %v, want unknown-key error", err)
+	}
+}
+
+func TestValidateCollectsAllProblems(t *testing.T) {
+	cfg := Config{
+		Algo:     "fancy",
+		Backends: []BackendConfig{{Name: "", URL: "not-a-url"}, {Name: "a", URL: "http://x"}, {Name: "a", URL: "http://y"}},
+	}
+	err := cfg.Validate()
+	if err == nil {
+		t.Fatal("want error")
+	}
+	for _, sub := range []string{
+		"listen address is empty",
+		"service name is empty",
+		`algo "fancy"`,
+		"has no name",
+		`name "a" is duplicated`,
+		"not an absolute http(s) URL",
+		"scrape_interval must be positive",
+		"percentile",
+	} {
+		if !strings.Contains(err.Error(), sub) {
+			t.Errorf("error missing %q:\n%v", sub, err)
+		}
+	}
+}
+
+func TestParseBackendList(t *testing.T) {
+	got, err := ParseBackendList("a=http://h:1, b=http://h:2,")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Name != "a" || got[1].URL != "http://h:2" {
+		t.Fatalf("got %+v", got)
+	}
+	if _, err := ParseBackendList("nourl"); err == nil {
+		t.Fatal("want error for entry without =")
+	}
+	if _, err := ParseBackendList(" , "); err == nil {
+		t.Fatal("want error for empty list")
+	}
+}
+
+func TestLoadConfigBadEnvDuration(t *testing.T) {
+	_, err := loadConfig("", envMap(map[string]string{
+		"L3SERVE_SCRAPE_INTERVAL": "soon",
+		"L3SERVE_BACKENDS":        "a=http://h:1",
+	}))
+	if err == nil || !strings.Contains(err.Error(), "L3SERVE_SCRAPE_INTERVAL") {
+		t.Fatalf("err = %v, want duration parse error naming the variable", err)
+	}
+}

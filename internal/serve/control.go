@@ -1,0 +1,269 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"l3/internal/c3"
+	"l3/internal/clock"
+	"l3/internal/cluster"
+	"l3/internal/core"
+	"l3/internal/guard"
+	"l3/internal/health"
+	"l3/internal/mesh"
+	"l3/internal/metrics"
+	"l3/internal/smi"
+	"l3/internal/timeseries"
+)
+
+// control is the serve-mode control plane: the same component graph the
+// simulated benches wire — scraper → TSDB (guard-gated) → collector →
+// assigner → controller → SMI store → data plane — running single-threaded
+// on a clock.Wall instead of a sim.Engine.
+//
+// Two deliberate differences from the in-process sim wiring:
+//
+//   - The scrape is a real HTTP GET of the server's own /metrics endpoint,
+//     parsed from exposition text (metrics.ParseExposition). The controller
+//     steers from what a real Prometheus would see — serialization quirks
+//     included — not from registry pointers.
+//   - Split updates additionally publish a new Router weight table, the
+//     atomic handoff from the single-threaded control world to the
+//     concurrent data plane.
+type control struct {
+	cfg      Config
+	wall     *clock.Wall
+	backends []*Backend
+
+	splits     *smi.Store
+	db         *timeseries.DB
+	collector  *core.Collector
+	controller *core.Controller
+	checker    *health.Checker
+	watchdog   *guard.Watchdog
+	gate       *guard.WriteGate
+
+	client     *http.Client
+	metricsURL string
+
+	scrapes        atomic.Int64
+	scrapeFailures atomic.Int64
+	scrapeTimer    clock.Timer
+	pushTimer      clock.Timer
+
+	cancelWatch func()
+}
+
+// newControl wires the control plane over an already-listening server.
+// metricsURL is the server's own /metrics endpoint. Nothing runs until
+// start.
+func newControl(cfg Config, wall *clock.Wall, router *Router, backends []*Backend, ctrlReg *metrics.Registry, metricsURL string) *control {
+	c := &control{
+		cfg:        cfg,
+		wall:       wall,
+		backends:   backends,
+		splits:     smi.NewStore(),
+		db:         timeseries.NewDB(2 * cfg.Window),
+		client:     &http.Client{Timeout: cfg.ScrapeInterval},
+		metricsURL: metricsURL,
+	}
+
+	var hyg *guard.Hygiene
+	if cfg.Guard {
+		hyg = guard.NewHygiene(guard.Config{}, ctrlReg)
+		c.db.SetGate(hyg)
+		c.gate = guard.NewWriteGate(guard.Config{}, ctrlReg)
+	}
+
+	// The TrafficSplit under management: one split, the configured
+	// service, uniform initial weights — the state a fresh deployment
+	// declares before any controller has observed traffic.
+	ts := &smi.TrafficSplit{Name: cfg.Service, RootService: cfg.Service}
+	for _, b := range backends {
+		ts.Backends = append(ts.Backends, smi.Backend{Service: b.Name, Weight: 1})
+	}
+	if err := c.splits.Create(ts); err != nil {
+		panic(fmt.Sprintf("serve: creating own split: %v", err))
+	}
+
+	c.collector = &core.Collector{DB: c.db, Window: cfg.Window, Percentile: cfg.Percentile}
+	if hyg != nil {
+		c.collector.Resets = hyg
+	}
+
+	if cfg.Algo == AlgoL3 || cfg.Algo == AlgoC3 {
+		// The paper's filter half-lives (5 s latency/in-flight, 10 s
+		// success/RPS) assume its 5 s reconcile interval. Serve configs may
+		// reconcile faster (the selftest runs at 500 ms); scaling the
+		// half-lives with the interval keeps the paper's convergence
+		// behaviour — N rounds to settle — instead of its absolute seconds.
+		wcfg := core.WeightingConfig{
+			LatencyHalfLife:  cfg.ReconcileInterval,
+			InflightHalfLife: cfg.ReconcileInterval,
+			SuccessHalfLife:  2 * cfg.ReconcileInterval,
+			RPSHalfLife:      2 * cfg.ReconcileInterval,
+		}
+		rcfg := core.RateControlConfig{RPSHalfLife: 2 * cfg.ReconcileInterval}
+		newAssigner := func() core.Assigner {
+			var a core.Assigner
+			if cfg.Algo == AlgoC3 {
+				a = c3.New(c3.Config{})
+			} else {
+				a = core.NewL3Assigner(wcfg, rcfg, true)
+			}
+			if cfg.Guard {
+				a = guard.NewAssigner(a, guard.Config{}, ctrlReg)
+			}
+			return a
+		}
+		ctrlCfg := core.ControllerConfig{
+			Interval:     cfg.ReconcileInterval,
+			NewAssigner:  newAssigner,
+			SelfRegistry: ctrlReg,
+		}
+		if c.gate != nil {
+			ctrlCfg.WriteGuard = c.gate
+		}
+		c.controller = core.NewControllerClock(wall, c.splits, c.collector, ctrlCfg)
+		if c.gate != nil {
+			c.watchdog = guard.NewWatchdogClock(wall, c.splits, guard.Config{}, ctrlReg, nil, c.gate)
+		}
+	}
+
+	if cfg.Algo != AlgoRR {
+		hcfg := health.Config{
+			Interval: cfg.HealthInterval,
+			Timeout:  cfg.HealthTimeout,
+			Registry: ctrlReg,
+			Probe:    c.httpProber(),
+		}
+		c.checker = health.NewCheckerClock(wall, hcfg)
+	}
+
+	return c
+}
+
+// start arms every loop. Must be called before traffic; it touches
+// single-threaded state from the caller's goroutine, so the wall clock must
+// not be delivering callbacks yet (Server.Start guarantees the ordering).
+func (c *control) start(router *Router) {
+	// Rebuild the router on every split write (the watch fires
+	// synchronously inside store mutations, which happen only on the wall
+	// clock's single thread), and via replay once now for the initial
+	// uniform table. The data plane sees each rebuild as one atomic
+	// pointer swap.
+	c.cancelWatch = c.splits.Watch(true, func(e cluster.Event[*smi.TrafficSplit]) {
+		ts := e.Object
+		if ts.Name != c.cfg.Service || e.Type == cluster.Deleted {
+			return
+		}
+		weights := make(map[string]int64, len(ts.Backends))
+		for _, b := range ts.Backends {
+			weights[b.Service] = b.Weight
+		}
+		router.rebuild(c.backends, weights)
+	})
+
+	c.scrapeTimer = c.wall.Every(c.cfg.ScrapeInterval, c.scrape)
+	if c.checker != nil {
+		for _, b := range c.backends {
+			// The checker keys on Name; the shell backend never serves.
+			c.checker.Watch(&mesh.Backend{Name: b.Name})
+		}
+		// Push the checker's verdicts into the data plane's atomic bits.
+		interval := c.cfg.HealthInterval / 2
+		if interval < 100*time.Millisecond {
+			interval = 100 * time.Millisecond
+		}
+		c.pushTimer = c.wall.Every(interval, func() {
+			for _, b := range c.backends {
+				b.SetHealthy(c.checker.Healthy(b.Name))
+			}
+		})
+	}
+	if c.controller != nil {
+		c.controller.Start()
+	}
+	if c.watchdog != nil {
+		c.watchdog.Start()
+	}
+}
+
+// stop halts every loop (the wall clock itself is stopped by the server).
+func (c *control) stop() {
+	if c.cancelWatch != nil {
+		c.cancelWatch()
+	}
+	if c.scrapeTimer != nil {
+		c.scrapeTimer.Cancel()
+	}
+	if c.pushTimer != nil {
+		c.pushTimer.Cancel()
+	}
+	if c.controller != nil {
+		c.controller.Stop()
+	}
+	if c.watchdog != nil {
+		c.watchdog.Stop()
+	}
+	if c.checker != nil {
+		c.checker.Stop()
+	}
+}
+
+// scrape is the control plane's Prometheus stand-in: GET the server's own
+// /metrics over HTTP, parse the exposition text, ingest into the TSDB. It
+// runs as a wall callback; the GET targets the local listener, so the
+// blocking fetch holds the control plane for microseconds (bounded by the
+// client timeout either way — a stall shorter than the watchdog TTL).
+func (c *control) scrape() {
+	now := c.wall.Now()
+	resp, err := c.client.Get(c.metricsURL)
+	if err != nil {
+		c.scrapeFailures.Add(1)
+		return
+	}
+	samples, err := metrics.ParseExposition(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		c.scrapeFailures.Add(1)
+		return
+	}
+	for _, s := range samples {
+		c.db.AppendSample(s.Name, s.Labels, s.Kind, now, s.Value)
+	}
+	c.scrapes.Add(1)
+}
+
+// httpProber probes a backend's health endpoint over real HTTP. The fetch
+// runs on its own goroutine (a wall callback must not block on a remote
+// server); the verdict re-enters the single-threaded world via wall.Do.
+func (c *control) httpProber() health.Prober {
+	client := &http.Client{Timeout: c.cfg.HealthTimeout}
+	byName := make(map[string]*Backend, len(c.backends))
+	for _, b := range c.backends {
+		byName[b.Name] = b
+	}
+	return func(mb *mesh.Backend, done func(success bool)) {
+		b := byName[mb.Name]
+		if b == nil {
+			done(false)
+			return
+		}
+		probeURL := b.URL.JoinPath(c.cfg.HealthPath).String()
+		go func() {
+			ok := false
+			if resp, err := client.Get(probeURL); err == nil {
+				ok = resp.StatusCode >= 200 && resp.StatusCode < 400
+				resp.Body.Close()
+			}
+			c.wall.Do(func() { done(ok) })
+		}()
+	}
+}
+
+// Scrapes and ScrapeFailures expose scrape-loop counters for smoke tests.
+func (c *control) Scrapes() int64        { return c.scrapes.Load() }
+func (c *control) ScrapeFailures() int64 { return c.scrapeFailures.Load() }

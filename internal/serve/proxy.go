@@ -1,0 +1,227 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// proxyHandler is the data-plane HTTP handler: pick a backend, forward,
+// record the outcome, retry transport errors that never reached the client.
+// Its own work — pick, breaker, budget, metric recording, status-writer
+// pooling — is allocation-free; what net/http and ReverseProxy allocate per
+// request is theirs (and the honest cost of running on real sockets, which
+// BENCH_serve.json reports separately from this layer's allocs/op).
+type proxyHandler struct {
+	router  *Router
+	nowFn   func() time.Duration
+	budget  *retryBudget
+	retries *atomic.Int64
+
+	maxAttempts int
+
+	inflight atomic.Int64
+	draining atomic.Bool
+}
+
+func newProxyHandler(router *Router, nowFn func() time.Duration, maxAttempts int, budgetRatio float64) *proxyHandler {
+	return &proxyHandler{
+		router:      router,
+		nowFn:       nowFn,
+		budget:      newRetryBudget(budgetRatio),
+		retries:     &atomic.Int64{},
+		maxAttempts: maxAttempts,
+	}
+}
+
+func (p *proxyHandler) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	if p.draining.Load() {
+		// Connections that were mid-request at drain start finish normally
+		// (Shutdown waits for them); fresh requests on lingering keep-alive
+		// connections are turned away.
+		w.Header().Set("Connection", "close")
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	p.inflight.Add(1)
+	defer p.inflight.Add(-1)
+
+	p.budget.deposit()
+	sw := acquireStatusWriter(w)
+	defer releaseStatusWriter(sw)
+
+	// A consumed request body cannot be replayed to a second backend;
+	// bodyless requests (the health-check and benchmark shape) retry
+	// freely.
+	canRetry := req.Body == nil || req.Body == http.NoBody
+
+	var b *Backend
+	for attempt := 0; ; attempt++ {
+		start := p.nowFn()
+		if attempt == 0 {
+			b = p.router.Pick(start)
+		} else {
+			b = p.router.PickAvoiding(start, b)
+		}
+		if b == nil {
+			http.Error(w, "no backends", http.StatusServiceUnavailable)
+			return
+		}
+		b.inflight.Inc()
+		sw.beginAttempt()
+		b.rp.ServeHTTP(sw, req)
+		latency := p.nowFn() - start
+		b.inflight.Dec()
+
+		ok := sw.transportErr == nil && sw.status() < http.StatusInternalServerError
+		b.Record(p.nowFn(), latency, ok)
+		if ok {
+			return
+		}
+		// Retry only when the client saw nothing: a transport error before
+		// any bytes were written, within the attempt cap, paid for from
+		// the budget. 5xx responses already streamed to the client are
+		// final.
+		if sw.transportErr == nil || sw.wroteAny || !canRetry || attempt+1 >= p.maxAttempts || !p.budget.withdraw() {
+			if sw.transportErr != nil && !sw.wroteAny {
+				http.Error(w, "upstream unreachable", http.StatusBadGateway)
+			}
+			return
+		}
+		p.retries.Add(1)
+	}
+}
+
+// Inflight returns the requests currently inside the handler.
+func (p *proxyHandler) Inflight() int64 { return p.inflight.Load() }
+
+// Retries returns proxy-level retry attempts launched.
+func (p *proxyHandler) Retries() int64 { return p.retries.Load() }
+
+// setDraining flips the handler into drain mode.
+func (p *proxyHandler) setDraining() { p.draining.Store(true) }
+
+// proxyErrorHandler is installed on every backend's ReverseProxy: it files
+// the transport error on the status writer instead of writing 502, so the
+// handler loop can retry on another backend.
+func proxyErrorHandler(rw http.ResponseWriter, req *http.Request, err error) {
+	if sw, ok := rw.(*statusWriter); ok {
+		sw.transportErr = err
+		return
+	}
+	rw.WriteHeader(http.StatusBadGateway)
+}
+
+// statusWriter wraps the client's ResponseWriter to observe what an attempt
+// did: the status code, whether any bytes were written, and any transport
+// error the ReverseProxy hit. Instances recycle through a pool so the
+// steady-state handler allocates none.
+type statusWriter struct {
+	http.ResponseWriter
+	code         int
+	wroteAny     bool
+	transportErr error
+}
+
+var statusWriterPool = sync.Pool{New: func() any { return new(statusWriter) }}
+
+func acquireStatusWriter(w http.ResponseWriter) *statusWriter {
+	sw := statusWriterPool.Get().(*statusWriter)
+	sw.ResponseWriter = w
+	sw.code = 0
+	sw.wroteAny = false
+	sw.transportErr = nil
+	return sw
+}
+
+func releaseStatusWriter(sw *statusWriter) {
+	sw.ResponseWriter = nil
+	statusWriterPool.Put(sw)
+}
+
+// beginAttempt clears per-attempt state before a retry.
+func (sw *statusWriter) beginAttempt() {
+	sw.transportErr = nil
+}
+
+func (sw *statusWriter) status() int {
+	if sw.code == 0 {
+		return http.StatusOK
+	}
+	return sw.code
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	sw.code = code
+	sw.wroteAny = true
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(b []byte) (int, error) {
+	sw.wroteAny = true
+	return sw.ResponseWriter.Write(b)
+}
+
+// Unwrap lets http.ResponseController reach the underlying writer, which
+// ReverseProxy uses for flushing.
+func (sw *statusWriter) Unwrap() http.ResponseWriter { return sw.ResponseWriter }
+
+// retryBudget is a Finagle/Linkerd-style token bucket shared by all
+// retries: each logical request deposits ratio tokens, each retry withdraws
+// one, bounding the steady-state retry ratio so a dead backend cannot turn
+// offered load into a retry storm. Token arithmetic is integer milli-tokens
+// on one atomic, CAS-looped, allocation-free.
+type retryBudget struct {
+	tokens     atomic.Int64 // milli-tokens
+	ratioMilli int64
+	burstMilli int64
+}
+
+func newRetryBudget(ratio float64) *retryBudget {
+	b := &retryBudget{ratioMilli: int64(ratio * 1000)}
+	burst := 100 * ratio
+	if burst < 10 {
+		burst = 10
+	}
+	b.burstMilli = int64(burst * 1000)
+	b.tokens.Store(b.burstMilli) // start full so cold starts can retry
+	return b
+}
+
+func (b *retryBudget) deposit() {
+	if b.ratioMilli <= 0 {
+		return
+	}
+	for {
+		cur := b.tokens.Load()
+		next := cur + b.ratioMilli
+		if next > b.burstMilli {
+			next = b.burstMilli
+		}
+		if next == cur || b.tokens.CompareAndSwap(cur, next) {
+			return
+		}
+	}
+}
+
+func (b *retryBudget) withdraw() bool {
+	if b.ratioMilli <= 0 {
+		return false
+	}
+	for {
+		cur := b.tokens.Load()
+		if cur < 1000 {
+			return false
+		}
+		if b.tokens.CompareAndSwap(cur, cur-1000) {
+			return true
+		}
+	}
+}
+
+// String describes the handler for logs.
+func (p *proxyHandler) String() string {
+	return fmt.Sprintf("proxy{inflight=%d retries=%d}", p.Inflight(), p.Retries())
+}

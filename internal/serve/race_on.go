@@ -1,0 +1,8 @@
+//go:build race
+
+package serve
+
+// raceEnabled reports whether the race detector is compiled in. Allocation
+// pins are meaningless under -race: sync.Pool deliberately drops a fraction
+// of Puts to expose races, so the pooled hot path appears to allocate.
+const raceEnabled = true

@@ -1,0 +1,183 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"l3/internal/clock"
+	"l3/internal/metrics"
+)
+
+// Server assembles the serve mode: data plane (Router + proxy handler on
+// real sockets), control plane (control.go on a clock.Wall), and the
+// operational endpoints (/metrics, /healthz, /debug/pprof).
+type Server struct {
+	cfg  Config
+	wall *clock.Wall
+
+	// dataReg holds the data plane's mesh-schema metrics (what the control
+	// plane scrapes and steers from); ctrlReg holds the control plane's own
+	// self-metrics (guard verdicts, reconcile counters, health transitions).
+	// Both are exposed on /metrics.
+	dataReg *metrics.Registry
+	ctrlReg *metrics.Registry
+
+	backends []*Backend
+	router   *Router
+	handler  *proxyHandler
+	control  *control
+
+	listener net.Listener
+	httpSrv  *http.Server
+	serveErr chan error
+}
+
+// NewServer builds a stopped server from a validated config. Call Start to
+// listen and arm the control plane.
+func NewServer(cfg Config) (*Server, error) {
+	cfg = cfg.withDerived()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:      cfg,
+		wall:     clock.NewWall(),
+		dataReg:  metrics.NewRegistry(),
+		ctrlReg:  metrics.NewRegistry(),
+		serveErr: make(chan error, 1),
+	}
+	for _, bc := range cfg.Backends {
+		b, err := newBackend(bc, cfg.Service, s.dataReg, cfg.BreakerThreshold, cfg.BreakerWindow)
+		if err != nil {
+			return nil, fmt.Errorf("serve: backend %s: %w", bc.Name, err)
+		}
+		s.backends = append(s.backends, b)
+	}
+	s.router = NewRouter(s.backends)
+	s.handler = newProxyHandler(s.router, s.wall.Now, cfg.MaxAttempts, cfg.RetryBudgetRatio)
+	return s, nil
+}
+
+// Start binds the listener, serves in a background goroutine, and arms the
+// control plane. With cfg.Listen ending in ":0" the kernel picks the port;
+// Addr reports the bound address.
+func (s *Server) Start() error {
+	ln, err := net.Listen("tcp", s.cfg.Listen)
+	if err != nil {
+		return fmt.Errorf("serve: listen %s: %w", s.cfg.Listen, err)
+	}
+	s.listener = ln
+
+	mux := http.NewServeMux()
+	// The /metrics handler reads the registries directly — it must not
+	// enter the wall clock's mutex, because the control plane's own scrape
+	// GETs this endpoint from inside a wall callback.
+	mux.HandleFunc("/metrics", s.serveMetrics)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/", s.handler)
+
+	s.httpSrv = &http.Server{Handler: mux}
+	go func() {
+		err := s.httpSrv.Serve(ln)
+		if err != nil && err != http.ErrServerClosed {
+			s.serveErr <- err
+		}
+		close(s.serveErr)
+	}()
+
+	// The control plane scrapes through the real listener, same path a
+	// Prometheus would take.
+	metricsURL := fmt.Sprintf("http://%s/metrics", ln.Addr().String())
+	s.control = newControl(s.cfg, s.wall, s.router, s.backends, s.ctrlReg, metricsURL)
+	// start touches single-threaded control state from this goroutine; no
+	// wall callbacks can be pending yet because nothing has been scheduled.
+	s.control.start(s.router)
+	return nil
+}
+
+func (s *Server) serveMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	if err := s.dataReg.WritePrometheus(w); err != nil {
+		return
+	}
+	s.ctrlReg.WritePrometheus(w)
+}
+
+// Addr returns the bound listen address (valid after Start).
+func (s *Server) Addr() string {
+	if s.listener == nil {
+		return s.cfg.Listen
+	}
+	return s.listener.Addr().String()
+}
+
+// URL returns the server's base URL (valid after Start).
+func (s *Server) URL() string { return "http://" + s.Addr() }
+
+// Handler exposes the proxy handler (tests, drain accounting).
+func (s *Server) Handler() *proxyHandler { return s.handler }
+
+// Router exposes the routing table (tests, selftest reporting).
+func (s *Server) Router() *Router { return s.router }
+
+// Control exposes the control plane (tests, selftest reporting).
+func (s *Server) Control() *control { return s.control }
+
+// DataRegistry exposes the data-plane metric registry.
+func (s *Server) DataRegistry() *metrics.Registry { return s.dataReg }
+
+// Shutdown drains gracefully: stop admitting proxy requests, let in-flight
+// requests finish (bounded by the context), halt the control loops, stop the
+// wall clock. It returns the number of requests still in flight when the
+// drain gave up — zero on a clean drain.
+func (s *Server) Shutdown(ctx context.Context) (dropped int64, err error) {
+	if s.httpSrv == nil {
+		return 0, nil
+	}
+	s.handler.setDraining()
+	// Control loops stop first so no callback re-arms after the wall stops;
+	// the scrape GET may still be in flight — Shutdown below waits for it.
+	s.wall.Do(s.control.stop)
+	err = s.httpSrv.Shutdown(ctx)
+	dropped = s.handler.Inflight()
+	s.wall.Stop()
+	if serveErr := <-s.serveErr; serveErr != nil && err == nil {
+		err = serveErr
+	}
+	return dropped, err
+}
+
+// ShutdownTimeout is Shutdown with the configured drain deadline.
+func (s *Server) ShutdownTimeout() (int64, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+	defer cancel()
+	return s.Shutdown(ctx)
+}
+
+// WaitErr returns the terminal serve error, if the listener failed.
+func (s *Server) WaitErr() <-chan error { return s.serveErr }
+
+// ScrapeWait blocks until the control plane has completed at least n
+// successful self-scrapes or the timeout passes (tests and selftest).
+func (s *Server) ScrapeWait(n int64, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if s.control != nil && s.control.Scrapes() >= n {
+			return true
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return false
+}

@@ -1,0 +1,88 @@
+package serve
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// StubBackend is a controllable upstream for tests and the selftest: fixed
+// (settable) latency, settable failure rate via an explicit fail switch, a
+// health endpoint that can be flipped, and request accounting.
+type StubBackend struct {
+	Name string
+
+	latencyNs atomic.Int64
+	failing   atomic.Bool
+	unhealthy atomic.Bool
+	requests  atomic.Int64
+
+	listener net.Listener
+	srv      *http.Server
+	done     chan struct{}
+}
+
+// NewStubBackend starts a stub on an ephemeral 127.0.0.1 port.
+func NewStubBackend(name string, latency time.Duration) (*StubBackend, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	s := &StubBackend{Name: name, listener: ln, done: make(chan struct{})}
+	s.latencyNs.Store(int64(latency))
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		if s.unhealthy.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, _ *http.Request) {
+		s.requests.Add(1)
+		if d := time.Duration(s.latencyNs.Load()); d > 0 {
+			time.Sleep(d)
+		}
+		if s.failing.Load() {
+			w.WriteHeader(http.StatusInternalServerError)
+			fmt.Fprintln(w, "stub failure")
+			return
+		}
+		fmt.Fprintf(w, "ok from %s\n", s.Name)
+	})
+	s.srv = &http.Server{Handler: mux}
+	go func() {
+		s.srv.Serve(ln)
+		close(s.done)
+	}()
+	return s, nil
+}
+
+// URL returns the stub's base URL.
+func (s *StubBackend) URL() string { return "http://" + s.listener.Addr().String() }
+
+// SetLatency changes the per-request sleep.
+func (s *StubBackend) SetLatency(d time.Duration) { s.latencyNs.Store(int64(d)) }
+
+// SetFailing makes (or stops making) every request answer 500.
+func (s *StubBackend) SetFailing(v bool) { s.failing.Store(v) }
+
+// SetUnhealthy makes (or stops making) /healthz answer 503.
+func (s *StubBackend) SetUnhealthy(v bool) { s.unhealthy.Store(v) }
+
+// Requests returns the number of proxied requests served (health probes hit
+// /healthz and are not counted).
+func (s *StubBackend) Requests() int64 { return s.requests.Load() }
+
+// Close stops the stub immediately.
+func (s *StubBackend) Close() {
+	s.srv.Close()
+	<-s.done
+}
+
+// BackendConfigOf returns the serve config entry pointing at the stub.
+func (s *StubBackend) BackendConfigOf() BackendConfig {
+	return BackendConfig{Name: s.Name, URL: s.URL()}
+}

@@ -1,0 +1,264 @@
+package serve
+
+import (
+	"fmt"
+	"strings"
+)
+
+// The repo is dependency-free (go.mod has no requires), so l3serve's config
+// loader hand-rolls the slice of YAML it documents instead of importing a
+// parser: block mappings, block sequences of scalars or mappings, scalar
+// values with optional double quotes, and '#' comments. That subset covers
+// every config in docs/ and the README; anything outside it (flow
+// collections, anchors, multi-line scalars, tabs) is a parse error rather
+// than a silent misread.
+
+// yamlNode is one parsed value: exactly one of scalar (leaf), mapping or
+// sequence is populated.
+type yamlNode struct {
+	scalar   string
+	isScalar bool
+	mapping  map[string]*yamlNode
+	order    []string // mapping keys in document order
+	sequence []*yamlNode
+}
+
+func (n *yamlNode) isMapping() bool  { return n.mapping != nil }
+func (n *yamlNode) isSequence() bool { return n.sequence != nil }
+
+// child returns the mapping value for key, or nil.
+func (n *yamlNode) child(key string) *yamlNode {
+	if n == nil || n.mapping == nil {
+		return nil
+	}
+	return n.mapping[key]
+}
+
+type yamlLine struct {
+	no     int // 1-based line number in the source
+	indent int
+	text   string // content with indentation stripped
+}
+
+// parseYAML parses a document into its root mapping.
+func parseYAML(src string) (*yamlNode, error) {
+	lines, err := splitYAMLLines(src)
+	if err != nil {
+		return nil, err
+	}
+	node, rest, err := parseBlock(lines, 0)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) > 0 {
+		return nil, fmt.Errorf("yaml: line %d: unexpected de-indented content %q", rest[0].no, rest[0].text)
+	}
+	if node == nil {
+		node = &yamlNode{mapping: map[string]*yamlNode{}}
+	}
+	return node, nil
+}
+
+func splitYAMLLines(src string) ([]yamlLine, error) {
+	var out []yamlLine
+	for i, raw := range strings.Split(src, "\n") {
+		no := i + 1
+		// Comments: '#' at start of content or preceded by whitespace.
+		if idx := findComment(raw); idx >= 0 {
+			raw = raw[:idx]
+		}
+		trimmed := strings.TrimRight(raw, " \r")
+		if strings.TrimSpace(trimmed) == "" {
+			continue
+		}
+		indent := len(trimmed) - len(strings.TrimLeft(trimmed, " "))
+		text := trimmed[indent:]
+		if strings.HasPrefix(text, "\t") {
+			return nil, fmt.Errorf("yaml: line %d: tab indentation is not supported", no)
+		}
+		out = append(out, yamlLine{no: no, indent: indent, text: text})
+	}
+	return out, nil
+}
+
+// findComment locates an unquoted comment marker in a raw line.
+func findComment(s string) int {
+	inQuote := false
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			inQuote = !inQuote
+		case '#':
+			if inQuote {
+				continue
+			}
+			if i == 0 || s[i-1] == ' ' || s[i-1] == '\t' {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+// parseBlock parses the run of lines at the first line's indentation into
+// one node (mapping or sequence), returning the unconsumed tail.
+func parseBlock(lines []yamlLine, minIndent int) (*yamlNode, []yamlLine, error) {
+	if len(lines) == 0 {
+		return nil, nil, nil
+	}
+	indent := lines[0].indent
+	if indent < minIndent {
+		return nil, lines, nil
+	}
+	if strings.HasPrefix(lines[0].text, "- ") || lines[0].text == "-" {
+		return parseSequence(lines, indent)
+	}
+	return parseMapping(lines, indent)
+}
+
+func parseMapping(lines []yamlLine, indent int) (*yamlNode, []yamlLine, error) {
+	node := &yamlNode{mapping: map[string]*yamlNode{}}
+	for len(lines) > 0 {
+		l := lines[0]
+		if l.indent < indent {
+			break
+		}
+		if l.indent > indent {
+			return nil, nil, fmt.Errorf("yaml: line %d: unexpected indentation", l.no)
+		}
+		key, rest, err := splitKey(l)
+		if err != nil {
+			return nil, nil, err
+		}
+		if _, dup := node.mapping[key]; dup {
+			return nil, nil, fmt.Errorf("yaml: line %d: duplicate key %q", l.no, key)
+		}
+		lines = lines[1:]
+		var value *yamlNode
+		if rest != "" {
+			value = &yamlNode{scalar: unquoteScalar(rest), isScalar: true}
+		} else {
+			// Block value: everything indented deeper than the key.
+			if len(lines) > 0 && lines[0].indent > indent {
+				if value, lines, err = parseBlock(lines, indent+1); err != nil {
+					return nil, nil, err
+				}
+			} else {
+				value = &yamlNode{scalar: "", isScalar: true} // empty value
+			}
+		}
+		node.mapping[key] = value
+		node.order = append(node.order, key)
+	}
+	return node, lines, nil
+}
+
+func parseSequence(lines []yamlLine, indent int) (*yamlNode, []yamlLine, error) {
+	node := &yamlNode{sequence: []*yamlNode{}}
+	for len(lines) > 0 {
+		l := lines[0]
+		if l.indent < indent {
+			break
+		}
+		if l.indent > indent || !(strings.HasPrefix(l.text, "- ") || l.text == "-") {
+			return nil, nil, fmt.Errorf("yaml: line %d: expected a %q sequence item", l.no, "- ")
+		}
+		item := strings.TrimPrefix(strings.TrimPrefix(l.text, "-"), " ")
+		if item == "" {
+			// "-" alone: the item is the following deeper block.
+			lines = lines[1:]
+			var value *yamlNode
+			var err error
+			if len(lines) > 0 && lines[0].indent > indent {
+				if value, lines, err = parseBlock(lines, indent+1); err != nil {
+					return nil, nil, err
+				}
+			} else {
+				value = &yamlNode{scalar: "", isScalar: true}
+			}
+			node.sequence = append(node.sequence, value)
+			continue
+		}
+		if key, rest, err := splitKey(yamlLine{no: l.no, text: item}); err == nil {
+			// "- key: value": a mapping item whose further keys sit on the
+			// following lines, indented past the dash.
+			inner := &yamlNode{mapping: map[string]*yamlNode{}, order: []string{key}}
+			itemIndent := l.indent + (len(l.text) - len(item))
+			if rest != "" {
+				inner.mapping[key] = &yamlNode{scalar: unquoteScalar(rest), isScalar: true}
+				lines = lines[1:]
+			} else {
+				lines = lines[1:]
+				var value *yamlNode
+				if len(lines) > 0 && lines[0].indent > itemIndent {
+					if value, lines, err = parseBlock(lines, itemIndent+1); err != nil {
+						return nil, nil, err
+					}
+				} else {
+					value = &yamlNode{scalar: "", isScalar: true}
+				}
+				inner.mapping[key] = value
+			}
+			for len(lines) > 0 && lines[0].indent == itemIndent {
+				more, restLines, err := parseMapping(lines, itemIndent)
+				if err != nil {
+					return nil, nil, err
+				}
+				for _, k := range more.order {
+					if _, dup := inner.mapping[k]; dup {
+						return nil, nil, fmt.Errorf("yaml: line %d: duplicate key %q in sequence item", lines[0].no, k)
+					}
+					inner.mapping[k] = more.mapping[k]
+					inner.order = append(inner.order, k)
+				}
+				lines = restLines
+			}
+			node.sequence = append(node.sequence, inner)
+			continue
+		}
+		// Plain scalar item.
+		node.sequence = append(node.sequence, &yamlNode{scalar: unquoteScalar(item), isScalar: true})
+		lines = lines[1:]
+	}
+	return node, lines, nil
+}
+
+// splitKey splits "key: value" (value optional). The colon must be followed
+// by a space or end the line, so URLs in values never split.
+func splitKey(l yamlLine) (key, value string, err error) {
+	for i := 0; i < len(l.text); i++ {
+		if l.text[i] != ':' {
+			continue
+		}
+		if i+1 == len(l.text) {
+			return strings.TrimSpace(l.text[:i]), "", nil
+		}
+		if l.text[i+1] == ' ' {
+			return strings.TrimSpace(l.text[:i]), strings.TrimSpace(l.text[i+2:]), nil
+		}
+	}
+	return "", "", fmt.Errorf("yaml: line %d: expected \"key: value\", got %q", l.no, l.text)
+}
+
+// unquoteScalar strips one level of double quotes, honouring \" and \\.
+func unquoteScalar(s string) string {
+	if len(s) < 2 || s[0] != '"' || s[len(s)-1] != '"' {
+		return s
+	}
+	var b strings.Builder
+	body := s[1 : len(s)-1]
+	for i := 0; i < len(body); i++ {
+		if body[i] == '\\' && i+1 < len(body) {
+			i++
+			switch body[i] {
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				b.WriteByte(body[i])
+			}
+			continue
+		}
+		b.WriteByte(body[i])
+	}
+	return b.String()
+}

@@ -1,0 +1,97 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseYAMLMappingAndSequence(t *testing.T) {
+	src := `
+# top comment
+listen: 127.0.0.1:9000
+service: "quoted api"   # trailing comment
+backends:
+  - name: a
+    url: http://10.0.0.1:8001
+  - name: b
+    url: http://10.0.0.2:8001
+nested:
+  inner: 5s
+  flag: true
+plain_list:
+  - one
+  - "two # not a comment"
+`
+	root, err := parseYAML(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := root.child("listen").scalar; got != "127.0.0.1:9000" {
+		t.Fatalf("listen = %q", got)
+	}
+	if got := root.child("service").scalar; got != "quoted api" {
+		t.Fatalf("service = %q (quotes should strip, comment should drop)", got)
+	}
+	b := root.child("backends")
+	if !b.isSequence() || len(b.sequence) != 2 {
+		t.Fatalf("backends = %+v, want 2-item sequence", b)
+	}
+	if got := b.sequence[1].child("url").scalar; got != "http://10.0.0.2:8001" {
+		t.Fatalf("backend[1].url = %q (the URL colon must not split the key)", got)
+	}
+	if got := root.child("nested").child("inner").scalar; got != "5s" {
+		t.Fatalf("nested.inner = %q", got)
+	}
+	pl := root.child("plain_list")
+	if len(pl.sequence) != 2 || pl.sequence[1].scalar != "two # not a comment" {
+		t.Fatalf("plain_list = %+v (quoted # is content)", pl)
+	}
+	if want := []string{"listen", "service", "backends", "nested", "plain_list"}; strings.Join(root.order, ",") != strings.Join(want, ",") {
+		t.Fatalf("key order = %v, want %v", root.order, want)
+	}
+}
+
+func TestParseYAMLErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"tab indent", "a:\n\tb: 1", "tab"},
+		{"duplicate key", "a: 1\na: 2", "duplicate key"},
+		{"bad indent", "a: 1\n  b: 2", "indent"},
+		{"no colon", "just words", "key: value"},
+		{"mixed seq", "a:\n  - one\n  two: 3", "sequence item"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := parseYAML(tc.src)
+			if err == nil {
+				t.Fatalf("parseYAML(%q) succeeded, want error about %q", tc.src, tc.wantSub)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantSub)
+			}
+			if !strings.Contains(err.Error(), "line ") {
+				t.Fatalf("error %q does not carry a line number", err)
+			}
+		})
+	}
+}
+
+func TestParseYAMLEmptyDocument(t *testing.T) {
+	root, err := parseYAML("\n# only comments\n\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !root.isMapping() || len(root.mapping) != 0 {
+		t.Fatalf("empty doc = %+v, want empty mapping", root)
+	}
+}
+
+func TestUnquoteScalarEscapes(t *testing.T) {
+	if got := unquoteScalar(`"a\"b\\c\nd"`); got != "a\"b\\c\nd" {
+		t.Fatalf("unquote = %q", got)
+	}
+	if got := unquoteScalar(`plain`); got != "plain" {
+		t.Fatalf("plain = %q", got)
+	}
+}

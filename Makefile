@@ -1,13 +1,13 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race chaos-smoke resilience-smoke guard-smoke fuzz-smoke shards-smoke serve-smoke bench bench-smoke
+.PHONY: check fmt vet build test race chaos-smoke resilience-smoke guard-smoke fuzz-smoke shards-vet shards-smoke serve-smoke bench bench-smoke bench-diff
 
 ## check: the pre-merge gate — formatting, vet, build, the full suite under
 ## the race detector, chaos + resilience + guard + shards + serve + bench
 ## smoke runs, and a short fuzz pass over the chaos-schedule parser. Run
 ## before every merge; CI and the tier-1 verify in ROADMAP.md assume it
 ## passes.
-check: fmt vet build race chaos-smoke resilience-smoke guard-smoke fuzz-smoke shards-smoke serve-smoke bench-smoke
+check: fmt vet build race chaos-smoke resilience-smoke guard-smoke fuzz-smoke shards-vet shards-smoke serve-smoke bench-smoke
 
 ## fmt: fail if any file needs gofmt (prints the offenders).
 fmt:
@@ -58,16 +58,39 @@ guard-smoke:
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzParseSchedule -fuzztime 5s ./internal/chaos
 
+## shards-vet: formatting and vet focused on the sharded core's packages —
+## the fan-out/barrier code is where a stray data race or un-gofmt'd hot
+## patch costs the most, so the gate names them explicitly (and fails fast,
+## before the heavier smokes).
+shards-vet:
+	@out="$$(gofmt -l internal/sim internal/mesh internal/bench internal/perf)"; \
+	if [ -n "$$out" ]; then \
+		echo "shards-vet: gofmt needed on:"; echo "$$out"; exit 1; fi
+	$(GO) vet ./internal/sim ./internal/mesh ./internal/bench ./internal/perf
+	@echo "shards-vet: shard packages gofmt-clean and vetted"
+
 ## shards-smoke: figure 8 through the CLI on the sharded core at 1 and 4
 ## workers, stdout sha256-compared — proves the lookahead/barrier protocol
-## keeps a full figure byte-identical at any worker count; figure S1 proves
-## the 8-shard workload renders.
+## keeps a full figure byte-identical at any worker count. A second pass
+## runs a resilience policy (deadline, budgeted retries, breaker) under a
+## saturate fault at -shards 1 and 8 — the cross-shard continuation path —
+## with the same sha comparison. Figure S1 proves the 8-shard workload
+## renders.
 shards-smoke:
 	@a="$$($(GO) run ./cmd/l3bench -fig 8 -quick -shards 1 2>/dev/null | shasum -a 256 | cut -d' ' -f1)"; \
 	b="$$($(GO) run ./cmd/l3bench -fig 8 -quick -shards 4 2>/dev/null | shasum -a 256 | cut -d' ' -f1)"; \
 	if [ "$$a" != "$$b" ]; then \
 		echo "shards-smoke: -shards 1 ($$a) != -shards 4 ($$b)"; exit 1; fi; \
 	echo "shards-smoke: fig 8 sha256 $$a identical at -shards 1 and 4"
+	@a="$$($(GO) run ./cmd/l3bench -chaos 'saturate@48s+24s:api-cluster-1/0.25' \
+		-scenario scenario-1 -quick -shards 1 \
+		-resilience 'deadline=1s,retries=3,budget=0.2,breaker=5' 2>/dev/null | shasum -a 256 | cut -d' ' -f1)"; \
+	b="$$($(GO) run ./cmd/l3bench -chaos 'saturate@48s+24s:api-cluster-1/0.25' \
+		-scenario scenario-1 -quick -shards 8 \
+		-resilience 'deadline=1s,retries=3,budget=0.2,breaker=5' 2>/dev/null | shasum -a 256 | cut -d' ' -f1)"; \
+	if [ "$$a" != "$$b" ]; then \
+		echo "shards-smoke: resilience under -shards 1 ($$a) != -shards 8 ($$b)"; exit 1; fi; \
+	echo "shards-smoke: resilience-under-shards sha256 $$a identical at -shards 1 and 8"
 	$(GO) run ./cmd/l3bench -fig S1 >/dev/null
 
 ## serve-smoke: the wall-clock serving mode end to end under the race
@@ -92,3 +115,14 @@ bench:
 ## harness runs end to end.
 bench-smoke:
 	$(GO) run ./cmd/l3bench -bench -benchout /dev/null
+
+## bench-diff: re-measure the benchmark suites against the committed
+## baselines and fail on >15% ns/op or any allocs/op regression
+## (BENCH_fastpath.json gates the fast-path suite, BENCH_shards.json the
+## barrier/mailbox pair; BENCH_serve.json is load-dependent wall-clock and
+## has no micro-benchmark to diff). Wall-clock comparisons are only
+## meaningful on hardware comparable to the machine that wrote the
+## baselines — regenerate them with `make bench` when the host changes.
+bench-diff:
+	$(GO) run ./cmd/l3bench -benchdiff BENCH_fastpath.json
+	$(GO) run ./cmd/l3bench -benchdiff BENCH_shards.json

@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
@@ -48,6 +49,50 @@ func TestRunBenchWritesJSON(t *testing.T) {
 		if !found {
 			t.Fatalf("suite result %s missing", name)
 		}
+	}
+}
+
+// TestRunBenchDiffFlagValidation pins the cheap -benchdiff plumbing: mode
+// flags are mutually exclusive and a malformed baseline is rejected before
+// any benchmark runs.
+func TestRunBenchDiffFlagValidation(t *testing.T) {
+	if err := run([]string{"-benchdiff", "x.json", "-bench"}); err == nil {
+		t.Fatal("-benchdiff with -bench accepted")
+	}
+	if err := run([]string{"-benchdiff", "x.json", "-bench-shards"}); err == nil {
+		t.Fatal("-benchdiff with -bench-shards accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"nope":1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-benchdiff", bad}); err == nil {
+		t.Fatal("malformed baseline accepted")
+	}
+}
+
+// TestRunBenchDiffShardReportGate drives -benchdiff end to end against a
+// shard-report-shaped baseline: an absurdly fast committed ns/op must trip
+// the 15% gate; a generous baseline with the pinned alloc counts passes.
+func TestRunBenchDiffShardReportGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the shard benchmark suite twice")
+	}
+	report := `{"num_cpu":1,"benches":[` +
+		`{"name":"ShardBarrier","iterations":1,"ns_per_op":%g,"allocs_per_op":0,"bytes_per_op":0},` +
+		`{"name":"CrossShardSend","iterations":1,"ns_per_op":%g,"allocs_per_op":0,"bytes_per_op":0}]}`
+	base := filepath.Join(t.TempDir(), "BENCH_shards.json")
+	if err := os.WriteFile(base, []byte(fmt.Sprintf(report, 0.001, 0.001)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-benchdiff", base}); err == nil {
+		t.Fatal("ns/op regression not detected")
+	}
+	if err := os.WriteFile(base, []byte(fmt.Sprintf(report, 1e9, 1e9)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-benchdiff", base}); err != nil {
+		t.Fatalf("clean diff failed: %v", err)
 	}
 }
 

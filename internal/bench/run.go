@@ -157,9 +157,14 @@ type Options struct {
 	// derived from the WAN model's minimum one-way delay. The decomposition
 	// is fixed by the scenario, and Shards only caps the worker pool, so
 	// output is byte-identical for every value ≥ 1 (the -parallel merge
-	// discipline, applied inside one run). 0 keeps the classic single-loop
-	// path — byte-identical to all historical figures. Not composable with
-	// Retry, Resilience, or the DSB workload.
+	// discipline, applied inside one run) — and, because the sharded
+	// wiring replays the classic rng fork order, byte-identical to the
+	// classic path too. Retry and Resilience compose via cross-shard
+	// continuations (responses complete on the source-cluster shard, where
+	// the retry/hedge state lives). 0 keeps the classic single-loop path —
+	// byte-identical to all historical figures. The DSB workload remains
+	// classic-only: its cross-service call graph needs service-keyed
+	// sharding.
 	Shards int
 
 	// inflightExponent overrides Equation 4's exponent for the ablation

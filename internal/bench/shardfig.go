@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"io"
 	"runtime"
 	"time"
 
@@ -9,6 +10,8 @@ import (
 	"l3/internal/balancer"
 	"l3/internal/loadgen"
 	"l3/internal/mesh"
+	"l3/internal/metrics"
+	"l3/internal/perf"
 	"l3/internal/sim"
 	"l3/internal/wan"
 )
@@ -38,6 +41,94 @@ type shardFigRun struct {
 	rec       *loadgen.Recorder
 	stats     sim.ShardStats
 	lookahead time.Duration
+}
+
+// recDigest summarizes the simulated results for cross-run comparison.
+func (r *shardFigRun) recDigest() string {
+	return fmt.Sprintf("%d|%v|%v|%v",
+		r.rec.Count(), r.rec.Quantile(0.5), r.rec.Quantile(0.99), r.rec.SuccessRate())
+}
+
+// perSourceRR gives the classic baseline the sharded mesh's routing: one
+// RoundRobin rotation per source cluster (sharded mode instantiates one
+// picker per shard). With it, the classic and sharded executions of the
+// scaling workload are the same simulation — same routing, same WAN hash
+// delays, same backend rng streams — so their wall-clock difference is
+// purely the two cores' machinery, which is exactly what the overhead
+// number must isolate.
+type perSourceRR struct {
+	by map[string]mesh.Picker
+}
+
+func (p *perSourceRR) Pick(now time.Duration, src, svc string, bs []*mesh.Backend) *mesh.Backend {
+	rr := p.by[src]
+	if rr == nil {
+		rr = balancer.NewRoundRobin()
+		p.by[src] = rr
+	}
+	return rr.Pick(now, src, svc, bs)
+}
+
+// runShardWorkloadClassic executes the identical scaling workload on the
+// classic single-loop engine — the baseline the sharded core's workers=1
+// overhead is measured against.
+func runShardWorkloadClassic(seed uint64) (*shardFigRun, error) {
+	rng := sim.NewRand(seed)
+	wcfg := wan.DefaultConfig()
+	wcfg.BaseRTT = shardFigBaseRTT
+	wcfg.Seed = seed
+	wanModel := wan.New(wcfg)
+
+	engine := sim.NewEngine()
+	m := mesh.New(engine, rng.Fork(), wanModel, metrics.NewRegistry())
+	if _, err := m.AddService(apiService); err != nil {
+		return nil, err
+	}
+	clusters := make([]string, shardFigClusters)
+	for i := range clusters {
+		clusters[i] = fmt.Sprintf("cluster-%d", i+1)
+	}
+	for _, cl := range clusters {
+		profile := func(_ time.Duration, r *sim.Rand) (time.Duration, bool) {
+			return shardFigLatFloor + time.Duration(r.Float64()*float64(shardFigLatSpread)), true
+		}
+		if _, err := m.AddBackend(apiService, apiService+"-"+cl, cl,
+			backend.Config{Concurrency: 160}, profile); err != nil {
+			return nil, err
+		}
+	}
+	if err := m.SetPicker(apiService, &perSourceRR{by: make(map[string]mesh.Picker)}); err != nil {
+		return nil, err
+	}
+
+	gens := make([]*loadgen.Generator, len(clusters))
+	for i, cl := range clusters {
+		cl := cl
+		gens[i] = loadgen.New(engine, loadgen.Config{
+			Rate:   loadgen.ConstantRate(shardFigRPS),
+			WarmUp: shardFigWarm,
+		}, func(done func(time.Duration, bool)) error {
+			return m.Call(cl, apiService, func(r mesh.Result) {
+				done(r.Latency, r.Success)
+			})
+		})
+		gens[i].Start()
+	}
+
+	engine.RunUntil(shardFigWarm + shardFigMeasure)
+	for _, g := range gens {
+		g.Stop()
+	}
+	engine.RunUntil(shardFigWarm + shardFigMeasure + shardFigDrain)
+
+	recs := make([]*loadgen.Recorder, len(gens))
+	for i, g := range gens {
+		recs[i] = g.Recorder()
+	}
+	return &shardFigRun{
+		rec:   mergeRecorders(recs),
+		stats: sim.ShardStats{Events: engine.Fired()},
+	}, nil
 }
 
 // runShardWorkload executes the scaling workload with the given worker-pool
@@ -130,6 +221,7 @@ func FigS1(opts Options) (*Result, error) {
 	r.AddRow("P50 latency", msOf(run.rec.Quantile(0.5)), "ms", NoPaper)
 	r.AddRow("P99 latency", msOf(run.rec.Quantile(0.99)), "ms", NoPaper)
 	r.AddRow("Lookahead windows", float64(run.stats.Windows), "", NoPaper)
+	r.AddRow("Empty windows (no mailbox drain)", float64(run.stats.EmptyWindows), "", NoPaper)
 	r.AddRow("Events fired", float64(run.stats.Events), "", NoPaper)
 	r.AddRow("Cross-shard messages", float64(run.stats.CrossSends), "", NoPaper)
 	r.Note("8 clusters x %d RPS, %v measured; one shard per cluster, %v lookahead",
@@ -168,8 +260,7 @@ func ShardScaling(seed uint64, workerCounts []int) ([]ShardPoint, error) {
 			return nil, err
 		}
 		wallMS := float64(time.Since(start)) / float64(time.Millisecond)
-		digest := fmt.Sprintf("%d|%v|%v|%+v",
-			run.rec.Count(), run.rec.Quantile(0.5), run.rec.Quantile(0.99), run.stats)
+		digest := fmt.Sprintf("%s|%+v", run.recDigest(), run.stats)
 		if baseDigest == "" {
 			baseMS, baseDigest = wallMS, digest
 		} else if digest != baseDigest {
@@ -185,4 +276,67 @@ func ShardScaling(seed uint64, workerCounts []int) ([]ShardPoint, error) {
 		})
 	}
 	return points, nil
+}
+
+// ShardReport is BENCH_shards.json: the scaling sweep plus the classic
+// baseline it is judged against and the host facts (CPU count, GOMAXPROCS)
+// without which none of the wall-clock numbers can be interpreted.
+type ShardReport struct {
+	// NumCPU and GoMaxProcs stamp the host the sweep ran on.
+	NumCPU     int `json:"num_cpu"`
+	GoMaxProcs int `json:"gomaxprocs"`
+	// ClassicWallMS is the identical workload on the classic single-loop
+	// engine; ClassicEvents its event count (equal to every sharded row's —
+	// same simulation, different machinery).
+	ClassicWallMS float64 `json:"classic_wall_ms"`
+	ClassicEvents uint64  `json:"classic_events"`
+	// OverheadAtOneWorker is WallMS(workers=1)/ClassicWallMS − 1: what
+	// -shards costs before any parallelism pays for it. The acceptance bar
+	// is ≤ 0.05.
+	OverheadAtOneWorker float64 `json:"overhead_at_one_worker"`
+	// Scaling is the per-worker-count sweep.
+	Scaling []ShardPoint `json:"scaling"`
+	// Benches isolates the synchronization primitives the sweep exercises
+	// (perf.ShardSuite: ShardBarrier, CrossShardSend) — both 0 allocs/op.
+	Benches []perf.Result `json:"benches"`
+}
+
+// ShardScalingReport runs the classic baseline, the scaling sweep and the
+// shard micro-benchmarks, and assembles BENCH_shards.json. The classic and
+// sharded runs are asserted to be the same simulation (equal recorder
+// digests) — the overhead number would otherwise compare different work.
+// Benchmark progress lines go to w (nil silences them).
+func ShardScalingReport(seed uint64, workerCounts []int, w io.Writer) (*ShardReport, error) {
+	start := time.Now()
+	classic, err := runShardWorkloadClassic(seed)
+	if err != nil {
+		return nil, err
+	}
+	classicMS := float64(time.Since(start)) / float64(time.Millisecond)
+
+	points, err := ShardScaling(seed, workerCounts)
+	if err != nil {
+		return nil, err
+	}
+	sharded, err := runShardWorkload(1, seed)
+	if err != nil {
+		return nil, err
+	}
+	if got, want := sharded.recDigest(), classic.recDigest(); got != want {
+		return nil, fmt.Errorf("bench: sharded scaling workload diverged from classic baseline: %s vs %s", got, want)
+	}
+	report := &ShardReport{
+		NumCPU:        runtime.NumCPU(),
+		GoMaxProcs:    runtime.GOMAXPROCS(0),
+		ClassicWallMS: classicMS,
+		ClassicEvents: classic.stats.Events,
+		Scaling:       points,
+		Benches:       perf.RunSuiteBest(w, perf.ShardSuite(), 3),
+	}
+	for _, p := range points {
+		if p.Workers == 1 && classicMS > 0 {
+			report.OverheadAtOneWorker = p.WallMS/classicMS - 1
+		}
+	}
+	return report, nil
 }

@@ -26,6 +26,8 @@ import (
 	"l3/internal/loadgen"
 	"l3/internal/mesh"
 	"l3/internal/metrics"
+	"l3/internal/resilience"
+	"l3/internal/retry"
 	"l3/internal/sim"
 	"l3/internal/smi"
 	"l3/internal/timeseries"
@@ -50,13 +52,6 @@ func (r multiResetter) ResetBackendCounters(backend string) {
 // windows across opts.Shards workers.
 func runOnceShardedCounted(sc *trace.Scenario, algo Algorithm, opts Options, seed uint64) (*loadgen.Recorder, map[[2]string]float64, *chaosArtifacts, error) {
 	defer func(start time.Time) { recordRun(time.Since(start)) }(time.Now())
-	if opts.Retry != nil {
-		return nil, nil, nil, fmt.Errorf("bench: the retry layer requires the classic single-timeline engine (retries reschedule across cluster shards); run without sharding (-shards 0)")
-	}
-	if opts.Resilience != nil {
-		return nil, nil, nil, fmt.Errorf("bench: the resilience layer (deadlines/hedging/breakers) requires the classic single-timeline engine; run without sharding (-shards 0)")
-	}
-
 	rng := sim.NewRand(seed)
 	wcfg := wan.DefaultConfig()
 	wcfg.Seed = seed
@@ -132,8 +127,10 @@ func runOnceShardedCounted(sc *trace.Scenario, algo Algorithm, opts Options, see
 	}
 
 	var art *chaosArtifacts
-	if opts.Chaos != nil {
+	if opts.Chaos != nil || opts.Resilience != nil {
 		art = &chaosArtifacts{}
+	}
+	if opts.Chaos != nil {
 		m.Splits().Watch(false, func(e cluster.Event[*smi.TrafficSplit]) {
 			if e.Type != cluster.Updated || e.Object.Name != apiService {
 				return
@@ -164,20 +161,68 @@ func runOnceShardedCounted(sc *trace.Scenario, algo Algorithm, opts Options, see
 		art.injector = inj
 	}
 
+	// Client layers, forked off the root stream in the exact order the
+	// classic path forks them — this is what lets a sharded resilience
+	// figure reproduce the classic bytes: the backend streams already match
+	// (mesh wiring-rng discipline), so matching the client forks makes the
+	// whole run a function of the seed alone, not the mode.
+	var resClient *resilience.Client
+	if opts.Resilience != nil {
+		// Applied after installShardedAlgorithm so the breaker filter wraps
+		// the source shard's installed picker. The client is bound to the
+		// source cluster: its timers, budget and breaker live on that
+		// shard's timeline, and retry/hedge re-entries are cross-shard
+		// continuations delivered back there by the mesh's return hop.
+		rc, err := resilience.NewShardClient(m, sourceCluster, rng.Fork())
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		if err := rc.Apply(apiService, *opts.Resilience); err != nil {
+			return nil, nil, nil, err
+		}
+		resClient = rc
+	}
+	var retryPolicy retry.Policy
+	if opts.Retry != nil {
+		retryPolicy = *opts.Retry
+		if retryPolicy.Jitter > 0 && retryPolicy.Rand == nil {
+			retryPolicy.Rand = rng.Fork()
+		}
+	}
+
 	srcEngine, err := m.EngineFor(sourceCluster)
 	if err != nil {
 		return nil, nil, nil, err
+	}
+	proxy, err := m.Proxy(sourceCluster)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	issue := func(done func(time.Duration, bool)) error {
+		switch {
+		case resClient != nil:
+			return resClient.Call(sourceCluster, apiService, func(r resilience.Result) {
+				done(r.Latency, r.Success)
+			})
+		case opts.Retry != nil:
+			// retry.Do schedules backoff on the source shard's engine; the
+			// retried Call re-enters the mesh from that timeline, exactly
+			// where the previous attempt's response was delivered.
+			return retry.Do(srcEngine, m, sourceCluster, apiService, retryPolicy, func(r retry.Result) {
+				done(r.Latency, r.Success)
+			})
+		default:
+			return proxy.Call(apiService, func(r mesh.Result) {
+				done(r.Latency, r.Success)
+			})
+		}
 	}
 	gen := loadgen.New(srcEngine, loadgen.Config{
 		Rate: func(now time.Duration) float64 {
 			return sc.RPS.At(now-warm) * opts.RPSScale
 		},
 		WarmUp: warm,
-	}, func(done func(time.Duration, bool)) error {
-		return m.Call(sourceCluster, apiService, func(r mesh.Result) {
-			done(r.Latency, r.Success)
-		})
-	})
+	}, issue)
 	gen.Start()
 
 	duration := opts.Duration
@@ -215,6 +260,24 @@ func runOnceShardedCounted(sc *trace.Scenario, algo Algorithm, opts Options, see
 				continue
 			}
 			switch sample.Name {
+			case resilience.MetricRequestsTotal:
+				art.res.requests += sample.Value
+			case resilience.MetricRetriesTotal:
+				art.res.retries += sample.Value
+			case resilience.MetricHedgesTotal:
+				art.res.hedges += sample.Value
+			case resilience.MetricBudgetExhaustedTotal:
+				art.res.budgetDenied += sample.Value
+			case resilience.MetricDeadlineExceededTotal:
+				art.res.deadline += sample.Value
+			case resilience.MetricDuplicatesTotal:
+				art.res.duplicates += sample.Value
+			case resilience.MetricBreakerEjectionsTotal:
+				art.res.breakerEjects += sample.Value
+			case resilience.MetricBreakerRestoresTotal:
+				art.res.breakerRestores += sample.Value
+			case resilience.MetricBreakerDeniedTotal:
+				art.res.breakerDenied += sample.Value
 			case guard.MetricRejectedTotal:
 				art.grd.rejected += sample.Value
 			case guard.MetricResetsTotal:
@@ -276,12 +339,13 @@ func installShardedAlgorithm(m *mesh.Mesh, se *sim.ShardedEngine, ctrlReg *metri
 		return handles, nil
 	case AlgoP2C:
 		for _, svc := range services {
-			if err := perShard(svc, func(cl string) (mesh.Picker, error) {
-				r, err := m.RngFor(cl)
-				if err != nil {
-					return nil, err
-				}
-				return balancer.NewP2C(r.Fork(), 5*time.Second, time.Second), nil
+			// One root fork per service — the same draw the classic path
+			// makes — then per-shard forks off it, keeping the root stream's
+			// position identical across modes for the layers wired after
+			// this (resilience, retry jitter).
+			base := rng.Fork()
+			if err := perShard(svc, func(string) (mesh.Picker, error) {
+				return balancer.NewP2C(base.Fork(), 5*time.Second, time.Second), nil
 			}); err != nil {
 				return nil, err
 			}
@@ -315,12 +379,9 @@ func installShardedAlgorithm(m *mesh.Mesh, se *sim.ShardedEngine, ctrlReg *metri
 		return handles, nil
 	case AlgoL3, AlgoC3:
 		for _, svc := range services {
-			if err := perShard(svc, func(cl string) (mesh.Picker, error) {
-				r, err := m.RngFor(cl)
-				if err != nil {
-					return nil, err
-				}
-				return balancer.NewWeightedSplit(m.Splits(), r.Fork(), splitName), nil
+			base := rng.Fork() // mirror the classic path's one draw per service
+			if err := perShard(svc, func(string) (mesh.Picker, error) {
+				return balancer.NewWeightedSplit(m.Splits(), base.Fork(), splitName), nil
 			}); err != nil {
 				return nil, err
 			}

@@ -30,8 +30,12 @@ type shardDigest struct {
 	snaps       string
 	ejections   float64
 	restores    float64
+	res         string
 }
 
+// shardRun digests one run: workers ≥ 1 takes the sharded path, 0 the
+// classic single-engine path (runOnceCounted dispatches on Shards) — which
+// is what lets the parity tests below compare the two modes byte for byte.
 func shardRun(t *testing.T, scenario string, algo Algorithm, opts Options, workers int) shardDigest {
 	t.Helper()
 	opts = opts.withDefaults()
@@ -40,7 +44,7 @@ func shardRun(t *testing.T, scenario string, algo Algorithm, opts Options, worke
 	if err != nil {
 		t.Fatal(err)
 	}
-	rec, counts, art, err := runOnceShardedCounted(sc, algo, opts, opts.Seed)
+	rec, counts, art, err := runOnceCounted(sc, algo, opts, opts.Seed)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,6 +64,7 @@ func shardRun(t *testing.T, scenario string, algo Algorithm, opts Options, worke
 		d.snaps = fmt.Sprint(art.snaps)
 		d.ejections = art.ejections
 		d.restores = art.restores
+		d.res = fmt.Sprint(art.res)
 	}
 	return d
 }
@@ -75,11 +80,25 @@ func TestShardedRunByteIdenticalAcrossWorkerCounts(t *testing.T) {
 		scenario string
 		algo     Algorithm
 		chaos    *chaos.Schedule
+		retry    *retry.Policy
+		res      *resilience.Policy
 	}{
-		{"s1-rr", trace.Scenario1, AlgoRoundRobin, nil},
-		{"s1-l3", trace.Scenario1, AlgoL3, nil},
-		{"f1-failover-chaos", trace.Failure1, AlgoFailover, partitionQuick()},
-		{"s1-l3-chaos", trace.Scenario1, AlgoL3, partitionQuick()},
+		{"s1-rr", trace.Scenario1, AlgoRoundRobin, nil, nil, nil},
+		{"s1-l3", trace.Scenario1, AlgoL3, nil, nil, nil},
+		{"f1-failover-chaos", trace.Failure1, AlgoFailover, partitionQuick(), nil, nil},
+		{"s1-l3-chaos", trace.Scenario1, AlgoL3, partitionQuick(), nil, nil},
+		{"s1-rr-retry", trace.Scenario1, AlgoRoundRobin, partitionQuick(),
+			&retry.Policy{MaxAttempts: 3, Backoff: 10 * time.Millisecond, Jitter: 0.2}, nil},
+		{"s1-l3-resilience-chaos", trace.Scenario1, AlgoL3, partitionQuick(), nil,
+			&resilience.Policy{
+				Deadline: 2 * time.Second,
+				Retry: resilience.RetryConfig{
+					MaxAttempts: 3, AttemptTimeout: 500 * time.Millisecond,
+					Backoff: 10 * time.Millisecond, Jitter: 0.2, BudgetRatio: 0.2,
+				},
+				Hedge:   resilience.HedgeConfig{Percentile: 0.95},
+				Breaker: resilience.BreakerConfig{ConsecutiveFailures: 5},
+			}},
 	}
 	for _, tc := range cases {
 		tc := tc
@@ -87,6 +106,8 @@ func TestShardedRunByteIdenticalAcrossWorkerCounts(t *testing.T) {
 			t.Parallel()
 			opts := quick()
 			opts.Chaos = tc.chaos
+			opts.Retry = tc.retry
+			opts.Resilience = tc.res
 			base := shardRun(t, tc.scenario, tc.algo, opts, 1)
 			if base.count == 0 {
 				t.Fatal("sharded run recorded no requests")
@@ -129,32 +150,77 @@ func TestShardedRunProducesPlausibleTraffic(t *testing.T) {
 	}
 }
 
-// TestShardedRejectsUnsupportedLayers pins the explicit errors for the
-// layers that are classic-only: each must name the offending layer and
-// point at the remedy (-shards 0), so a CLI user knows which flag to drop.
+// TestShardedRejectsUnsupportedLayers pins the explicit error for the one
+// layer still classic-only — the DSB cross-service call graph, which needs
+// service-keyed sharding. It must name the layer and point at the remedy
+// (-shards 0), so a CLI user knows which flag to drop. Retry and resilience
+// compose with -shards since the cross-shard continuation work; the matrix
+// test above covers them.
 func TestShardedRejectsUnsupportedLayers(t *testing.T) {
-	wantActionable := func(t *testing.T, err error, layer string) {
-		t.Helper()
-		if err == nil {
-			t.Fatalf("%s accepted with Shards > 0", layer)
-		}
-		if !strings.Contains(err.Error(), layer) {
-			t.Fatalf("error %q does not name the %s layer", err, layer)
-		}
-		if !strings.Contains(err.Error(), "-shards 0") {
-			t.Fatalf("error %q does not suggest -shards 0", err)
-		}
-	}
 	o := quick()
 	o.Shards = 2
-	o.Retry = &retry.Policy{MaxAttempts: 3}
-	_, err := RunScenario(trace.Scenario1, AlgoRoundRobin, o)
-	wantActionable(t, err, "retry")
-	o.Retry = nil
-	o.Resilience = &resilience.Policy{}
-	_, err = RunScenario(trace.Scenario1, AlgoRoundRobin, o)
-	wantActionable(t, err, "resilience")
-	o.Resilience = nil
-	_, err = RunDSB(AlgoRoundRobin, 100, time.Minute, o)
-	wantActionable(t, err, "DSB")
+	_, err := RunDSB(AlgoRoundRobin, 100, time.Minute, o)
+	if err == nil {
+		t.Fatal("DSB accepted with Shards > 0")
+	}
+	if !strings.Contains(err.Error(), "DSB") {
+		t.Fatalf("error %q does not name the DSB layer", err)
+	}
+	if !strings.Contains(err.Error(), "-shards 0") {
+		t.Fatalf("error %q does not suggest -shards 0", err)
+	}
+}
+
+// TestShardScalingWorkloadClassicShardedParity pins what makes the
+// workers=1 overhead number in BENCH_shards.json meaningful: the classic
+// baseline and the sharded sweep execute the same simulation (routing via
+// per-source round-robin, WAN hash delays, backend rng streams), so their
+// recorder digests must match and the wall-clock ratio isolates machinery.
+func TestShardScalingWorkloadClassicShardedParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("60 simulated seconds at 16k RPS twice")
+	}
+	classic, err := runShardWorkloadClassic(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := runShardWorkload(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := sharded.recDigest(), classic.recDigest(); got != want {
+		t.Fatalf("sharded scaling workload diverged from classic baseline:\n sharded %s\n classic %s", got, want)
+	}
+}
+
+// TestShardedResilienceMatchesClassic is the acceptance criterion for the
+// cross-shard continuation protocol: the figure R1 configuration — full
+// resilience policy (deadline, budgeted retries with per-try timeouts and
+// jitter) over round-robin under a saturate fault — must reproduce the
+// classic single-engine run byte for byte when sharded, at any worker
+// count. This works because sharding changed no model semantics: the rng
+// fork discipline, event timestamps and per-timeline execution order are
+// mode-invariant; only the machinery differs.
+func TestShardedResilienceMatchesClassic(t *testing.T) {
+	opts := resilienceLoadOptions(quick())
+	opts.Chaos = saturateSchedule(opts, 0.1, apiService+"-cluster-1", apiService+"-cluster-2")
+	opts.Resilience = &resilience.Policy{
+		Deadline: 2 * time.Second,
+		Retry: resilience.RetryConfig{
+			MaxAttempts: 3, AttemptTimeout: 500 * time.Millisecond,
+			Backoff: 10 * time.Millisecond, Jitter: 0.2, BudgetRatio: 0.1,
+		},
+	}
+	classic := shardRun(t, trace.Scenario1, AlgoRoundRobin, opts, 0)
+	if classic.count == 0 {
+		t.Fatal("classic run recorded no requests")
+	}
+	for _, workers := range []int{1, 4} {
+		sharded := shardRun(t, trace.Scenario1, AlgoRoundRobin, opts, workers)
+		if !reflect.DeepEqual(classic, sharded) {
+			t.Fatalf("sharded workers=%d diverged from classic:\n  classic n=%d p99=%v res=%s counts=%v\n  sharded n=%d p99=%v res=%s counts=%v",
+				workers, classic.count, classic.p99, classic.res, classic.counts,
+				sharded.count, sharded.p99, sharded.res, sharded.counts)
+		}
+	}
 }

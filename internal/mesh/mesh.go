@@ -27,6 +27,7 @@ package mesh
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"l3/internal/backend"
@@ -147,12 +148,20 @@ const DefaultLostTimeout = time.Second
 // logical shard. Classic mode has exactly one, wrapping the caller's engine,
 // rng and registry.
 type meshShard struct {
-	id       int
-	cluster  string // "" in classic mode (one shard hosts every cluster)
-	engine   *sim.Engine
-	shard    *sim.Shard // nil in classic mode
+	id      int
+	cluster string // "" in classic mode (one shard hosts every cluster)
+	engine  *sim.Engine
+	shard   *sim.Shard // nil in classic mode
+	// rng is the shard's private stream. Classic mode holds the caller's
+	// stream; sharded shards fork theirs lazily off the wiring stream on
+	// first use, which keeps the wiring stream's draw sequence — and so the
+	// backend rngs forked from it — identical to classic mode.
 	rng      *sim.Rand
 	registry *metrics.Registry
+	// spans is the shard's tracing sink. Per-shard because finish() runs on
+	// the source shard's timeline; a recorder shared across shards would be
+	// written concurrently during windows.
+	spans SpanRecorder
 	// freeCalls recycles per-request state (and its pre-bound closures)
 	// between requests. A call struct belongs to its source shard for life:
 	// it is taken from and returned to this pool on the shard's own
@@ -165,8 +174,14 @@ type Mesh struct {
 	wan         *wan.Model
 	splits      *smi.Store
 	services    map[string]*Service
-	spans       SpanRecorder
 	lostTimeout time.Duration
+
+	// wiringRng is the stream every AddBackend forks a backend rng from, in
+	// call order — the same discipline in both modes, so a sharded run's
+	// backend streams are exactly a classic run's. Classic mode aliases it
+	// to shard 0's rng.
+	wiringRng *sim.Rand
+	rngMu     sync.Mutex // guards lazy shard-rng forks off wiringRng
 
 	shards         []*meshShard
 	shardByCluster map[string]int // sharded mode only
@@ -191,6 +206,10 @@ type routeStats struct {
 	service string
 	backend string
 	reg     *metrics.Registry // the source shard's registry
+	// dst is the shard hosting the backend, resolved once at route-cache
+	// creation so the per-call path never touches the cluster map (classic
+	// mode: the one shard).
+	dst *meshShard
 	// inflight resolves when the route is first used (call time).
 	inflight *metrics.Gauge
 	success  classStats
@@ -228,7 +247,13 @@ func (m *Mesh) route(service string, b *Backend, src string, ss *meshShard) *rou
 	labels := metrics.Labels{"service": service, "backend": b.Name, "src": src}
 	rs := &routeStats{
 		src: src, service: service, backend: b.Name, reg: ss.registry,
+		dst:      ss,
 		inflight: ss.registry.Gauge(MetricInflight, labels),
+	}
+	if m.se != nil {
+		if ds, err := m.shardFor(b.Cluster); err == nil {
+			rs.dst = ds
+		}
 	}
 	b.routes[ss.id] = append(b.routes[ss.id], rs)
 	return rs
@@ -290,6 +315,7 @@ func New(engine *sim.Engine, rng *sim.Rand, wanModel *wan.Model, registry *metri
 		splits:      smi.NewStore(),
 		services:    make(map[string]*Service),
 		lostTimeout: DefaultLostTimeout,
+		wiringRng:   rng,
 		shards: []*meshShard{{
 			engine: engine, rng: rng, registry: registry,
 		}},
@@ -298,9 +324,11 @@ func New(engine *sim.Engine, rng *sim.Rand, wanModel *wan.Model, registry *metri
 
 // NewSharded returns an empty mesh in sharded mode on se: one logical shard
 // per cluster, in the given order (shard i hosts clusters[i]). Every shard
-// gets its own metrics registry and an rng stream forked from rng in shard
-// order, so the run is a pure function of the seed. se's lookahead must
-// lower-bound wanModel.MinOneWayDelay(); callers derive it from there.
+// gets its own metrics registry; rng becomes the wiring stream, consumed in
+// the same order a classic mesh consumes it (one fork per AddBackend, then
+// lazy per-shard forks on first RngFor), so a sharded run draws the exact
+// backend rng streams a classic run with the same seed does. se's lookahead
+// must lower-bound wanModel.MinOneWayDelay(); callers derive it from there.
 func NewSharded(se *sim.ShardedEngine, clusters []string, rng *sim.Rand, wanModel *wan.Model) (*Mesh, error) {
 	if se == nil || rng == nil || wanModel == nil {
 		panic("mesh: NewSharded requires sharded engine, rng and wan model")
@@ -313,6 +341,7 @@ func NewSharded(se *sim.ShardedEngine, clusters []string, rng *sim.Rand, wanMode
 		splits:         smi.NewStore(),
 		services:       make(map[string]*Service),
 		lostTimeout:    DefaultLostTimeout,
+		wiringRng:      rng,
 		shards:         make([]*meshShard, len(clusters)),
 		shardByCluster: make(map[string]int, len(clusters)),
 		se:             se,
@@ -326,7 +355,6 @@ func NewSharded(se *sim.ShardedEngine, clusters []string, rng *sim.Rand, wanMode
 			id: i, cluster: cl,
 			engine:   se.Shard(i).Engine(),
 			shard:    se.Shard(i),
-			rng:      rng.Fork(),
 			registry: metrics.NewRegistry(),
 		}
 	}
@@ -413,22 +441,56 @@ func (m *Mesh) EngineFor(cluster string) (*sim.Engine, error) {
 }
 
 // RngFor returns the rng stream of the shard hosting a cluster, for wiring
-// per-cluster components (load generators) deterministically.
+// per-cluster components (load generators) deterministically. In sharded
+// mode the stream is forked off the wiring stream on first access, so a run
+// that never asks for shard streams consumes the wiring stream exactly like
+// a classic run.
 func (m *Mesh) RngFor(cluster string) (*sim.Rand, error) {
 	sh, err := m.shardFor(cluster)
 	if err != nil {
 		return nil, err
 	}
-	return sh.rng, nil
+	return m.shardRng(sh), nil
 }
 
-// SetSpanRecorder installs a tracing sink (nil disables tracing). Classic
-// mode only: a recorder would be written from several shard timelines.
-func (m *Mesh) SetSpanRecorder(r SpanRecorder) {
-	if m.se != nil && r != nil {
-		panic("mesh: the span-recording layer requires the classic single-timeline engine; run without sharding (-shards 0) to record spans")
+// shardRng returns the shard's private rng, lazily forked off the wiring
+// stream. The mutex only matters for the pickerless Call fallback, which may
+// first touch a shard's stream mid-window; deterministic callers fork during
+// single-threaded wiring.
+func (m *Mesh) shardRng(sh *meshShard) *sim.Rand {
+	if sh.rng == nil {
+		m.rngMu.Lock()
+		if sh.rng == nil {
+			sh.rng = m.wiringRng.Fork()
+		}
+		m.rngMu.Unlock()
 	}
-	m.spans = r
+	return sh.rng
+}
+
+// SetSpanRecorder installs a tracing sink (nil disables tracing). In
+// sharded mode the same recorder is installed on every shard: spans record
+// on the *source* shard's timeline, so shards write it concurrently during
+// windows — the recorder must either be safe for concurrent use or (for
+// deterministic traces) be installed per shard with SetShardSpanRecorder,
+// the way tracing.NewSharded wires one buffer per cluster and merges
+// canonically.
+func (m *Mesh) SetSpanRecorder(r SpanRecorder) {
+	for _, sh := range m.shards {
+		sh.spans = r
+	}
+}
+
+// SetShardSpanRecorder installs the tracing sink for spans whose *source* is
+// the given cluster. The recorder is private to that shard's timeline, so an
+// unsynchronized single-threaded recorder is safe.
+func (m *Mesh) SetShardSpanRecorder(cluster string, r SpanRecorder) error {
+	sh, err := m.shardFor(cluster)
+	if err != nil {
+		return err
+	}
+	sh.spans = r
+	return nil
 }
 
 // AddService registers a service. It errors if the name is taken.
@@ -456,8 +518,10 @@ func (m *Mesh) Service(name string) (*Service, bool) {
 
 // AddBackend deploys a replica-pool backend of the named service into a
 // cluster. The backend name must be unique within the service. The backend
-// lives on the cluster's shard: its replicas schedule on that shard's engine
-// and draw from an rng forked off that shard's stream.
+// lives on the cluster's shard: its replicas schedule on that shard's
+// engine and draw from an rng forked off the wiring stream in AddBackend
+// order — the same fork sequence in classic and sharded mode, which is what
+// lets a sharded figure reproduce a classic one byte for byte.
 func (m *Mesh) AddBackend(service, backendName, cluster string, cfg backend.Config, profile backend.Profile) (*Backend, error) {
 	sh, err := m.shardFor(cluster)
 	if err != nil {
@@ -465,7 +529,7 @@ func (m *Mesh) AddBackend(service, backendName, cluster string, cfg backend.Conf
 	}
 	cfg.Name = backendName
 	return m.AddServerBackend(service, backendName, cluster,
-		backend.New(sh.engine, sh.rng.Fork(), cfg, profile))
+		backend.New(sh.engine, m.wiringRng.Fork(), cfg, profile))
 }
 
 // AddServerBackend deploys an arbitrary Server as a backend of the named
@@ -541,6 +605,23 @@ func (m *Mesh) Picker(service string) Picker {
 	return nil
 }
 
+// PickerFor returns the routing strategy installed for a service on the
+// shard hosting a cluster (nil when the service is unknown or the shard has
+// no picker) — what a per-source wrapping layer (the sharded resilience
+// breaker) reads before re-installing its filtered view with
+// SetShardPicker.
+func (m *Mesh) PickerFor(service, cluster string) (Picker, error) {
+	svc, ok := m.services[service]
+	if !ok {
+		return nil, fmt.Errorf("mesh: unknown service %q", service)
+	}
+	sh, err := m.shardFor(cluster)
+	if err != nil {
+		return nil, err
+	}
+	return svc.pickers[sh.id], nil
+}
+
 // Call issues one request from srcCluster to the named service. done fires
 // exactly once with the client-observed result. The request path is:
 // client proxy (pick backend, start metrics) → WAN to the backend's cluster
@@ -552,16 +633,48 @@ func (m *Mesh) Picker(service string) Picker {
 // message whose delay — the WAN one-way delay — is lower-bounded by the
 // engine's lookahead, which is what keeps barrier delivery conservative.
 func (m *Mesh) Call(srcCluster, service string, done func(Result)) error {
+	ss, err := m.shardFor(srcCluster)
+	if err != nil {
+		return err
+	}
+	return m.callFrom(ss, srcCluster, service, done)
+}
+
+// Proxy is a client-side handle bound to one source cluster's shard: the
+// per-request path skips the cluster-map lookup Call pays on every request.
+// Hot loops that always issue from the same cluster (load generators, the
+// sharded harness) should hold one.
+type Proxy struct {
+	m   *Mesh
+	ss  *meshShard
+	src string
+}
+
+// Proxy returns the bound client-side handle for a source cluster.
+func (m *Mesh) Proxy(cluster string) (*Proxy, error) {
+	ss, err := m.shardFor(cluster)
+	if err != nil {
+		return nil, err
+	}
+	src := cluster
+	return &Proxy{m: m, ss: ss, src: src}, nil
+}
+
+// Call issues one request from the proxy's source cluster, exactly like
+// Mesh.Call with the source pre-resolved.
+func (p *Proxy) Call(service string, done func(Result)) error {
+	return p.m.callFrom(p.ss, p.src, service, done)
+}
+
+// callFrom is the shared request path behind Mesh.Call and Proxy.Call; ss
+// must be the shard hosting srcCluster.
+func (m *Mesh) callFrom(ss *meshShard, srcCluster, service string, done func(Result)) error {
 	svc, ok := m.services[service]
 	if !ok {
 		return fmt.Errorf("mesh: unknown service %q", service)
 	}
 	if len(svc.backends) == 0 {
 		return fmt.Errorf("mesh: service %q has no backends", service)
-	}
-	ss, err := m.shardFor(srcCluster)
-	if err != nil {
-		return err
 	}
 
 	now := ss.engine.Now()
@@ -574,19 +687,14 @@ func (m *Mesh) Call(srcCluster, service string, done func(Result)) error {
 		b = picker.Pick(now, srcCluster, service, svc.backends)
 	}
 	if b == nil {
-		b = svc.backends[ss.rng.IntN(len(svc.backends))]
+		b = svc.backends[m.shardRng(ss).IntN(len(svc.backends))]
 	}
 
 	c := ss.getCall(m)
 	c.b, c.rs, c.obs = b, m.route(service, b, srcCluster, ss), obs
 	c.src, c.start, c.done = srcCluster, now, done
 	c.rs.inflight.Inc()
-	c.dst = ss
-	if m.se != nil {
-		if ds, err := m.shardFor(b.Cluster); err == nil {
-			c.dst = ds
-		}
-	}
+	c.dst = c.rs.dst
 
 	// A partitioned forward link swallows the request: the client observes
 	// nothing until its timeout trips and counts the request as failed. The
@@ -640,12 +748,11 @@ func (c *call) onServed(res backend.Result) {
 // cached handles into the source shard's registry, recycles the request
 // state, and completes the caller. It executes on the source shard.
 func (c *call) finish() {
-	m := c.m
 	end := c.ss.engine.Now()
 	latency := end - c.start
 	c.rs.inflight.Dec()
-	if m.spans != nil {
-		m.spans.RecordSpan(c.rs.service, c.b.Name, c.src, c.start, end, c.serverDur, c.success)
+	if c.ss.spans != nil {
+		c.ss.spans.RecordSpan(c.rs.service, c.b.Name, c.src, c.start, end, c.serverDur, c.success)
 	}
 	cs := c.rs.class(c.success)
 	cs.total.Inc()

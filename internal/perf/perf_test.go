@@ -4,9 +4,11 @@ import (
 	"bytes"
 	"encoding/json"
 	"testing"
+	"time"
 
 	"l3/internal/histogram"
 	"l3/internal/metrics"
+	"l3/internal/sim"
 )
 
 // Standard wrappers so `go test -bench .` exercises the same bodies
@@ -23,6 +25,9 @@ func BenchmarkRegistrySnapshotCold(b *testing.B)    { BenchRegistrySnapshotCold(
 func BenchmarkHistogramRecord(b *testing.B)         { BenchHistogramRecord(b) }
 func BenchmarkHistogramQuantile(b *testing.B)       { BenchHistogramQuantile(b) }
 func BenchmarkEngineSchedule(b *testing.B)          { BenchEngineSchedule(b) }
+func BenchmarkEngineTimerAfter(b *testing.B)        { BenchEngineTimerAfter(b) }
+func BenchmarkShardBarrier(b *testing.B)            { BenchShardBarrier(b) }
+func BenchmarkCrossShardSend(b *testing.B)          { BenchCrossShardSend(b) }
 
 // TestSeriesAccessAllocsPinned pins the MetricsSeriesAccess bugfix: the
 // route-cached handle path must perform a response's full metric work —
@@ -60,9 +65,55 @@ func TestSnapshotBufferReuseAllocsPinned(t *testing.T) {
 	}
 }
 
+// TestEngineScheduleAllocsPinned pins the EngineSchedule bugfix: the
+// handle-less schedule+dispatch cycle recycles events off the free list, so
+// with the list warm it allocates nothing. (The benchmark used to go
+// through After and charge the *Timer handle's 1 alloc/24 B to the
+// scheduler; EngineTimerAfter now carries that comparison explicitly.)
+func TestEngineScheduleAllocsPinned(t *testing.T) {
+	engine := sim.NewEngine()
+	noop := func() {}
+	engine.ScheduleAfter(time.Microsecond, noop)
+	engine.Step()
+	allocs := testing.AllocsPerRun(200, func() {
+		engine.ScheduleAfter(time.Microsecond, noop)
+		engine.Step()
+	})
+	if allocs != 0 {
+		t.Fatalf("warm ScheduleAfter+Step allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestCrossShardSendAllocsPinned pins the batched-mailbox path: a
+// steady-state window carrying one cross-shard send — outbox append,
+// canonical merge, heap delivery, callback — allocates nothing once slabs
+// and free lists are warm.
+func TestCrossShardSendAllocsPinned(t *testing.T) {
+	const step = time.Millisecond
+	se := sim.NewSharded(2, step)
+	noop := func() {}
+	sh := se.Shard(0)
+	eng := sh.Engine()
+	var tick func()
+	tick = func() {
+		sh.Send(1, eng.Now()+step, noop)
+		eng.ScheduleAfter(step, tick)
+	}
+	eng.Schedule(0, tick)
+	se.RunUntil(16 * step)
+	next := se.Now()
+	allocs := testing.AllocsPerRun(200, func() {
+		next += step
+		se.RunUntil(next)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state cross-shard window allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
 func TestSuiteNamesUniqueAndNonEmpty(t *testing.T) {
 	seen := map[string]bool{}
-	for _, bm := range Suite() {
+	for _, bm := range append(Suite(), ShardSuite()...) {
 		if bm.Name == "" || bm.Fn == nil {
 			t.Fatalf("suite entry %+v incomplete", bm.Name)
 		}
@@ -70,6 +121,29 @@ func TestSuiteNamesUniqueAndNonEmpty(t *testing.T) {
 			t.Fatalf("duplicate suite entry %q", bm.Name)
 		}
 		seen[bm.Name] = true
+	}
+}
+
+func TestDiffFlagsRegressionsAndOmissions(t *testing.T) {
+	base := []Result{
+		{Name: "A", NsPerOp: 100, AllocsPerOp: 0},
+		{Name: "B", NsPerOp: 100, AllocsPerOp: 2},
+		{Name: "Gone", NsPerOp: 50},
+	}
+	fresh := []Result{
+		{Name: "A", NsPerOp: 114, AllocsPerOp: 0}, // within 15%
+		{Name: "B", NsPerOp: 120, AllocsPerOp: 3}, // ns/op and allocs regress
+		{Name: "New", NsPerOp: 10},
+	}
+	msgs := Diff(base, fresh, 0.15)
+	if len(msgs) != 4 {
+		t.Fatalf("got %d messages, want 4: %v", len(msgs), msgs)
+	}
+	if len(Diff(base[:2], fresh[:1], 0.15)) != 1 { // only B missing
+		t.Fatal("missing-benchmark case not flagged")
+	}
+	if msgs := Diff(base[:1], fresh[:1], 0.15); msgs != nil {
+		t.Fatalf("clean run flagged: %v", msgs)
 	}
 }
 

@@ -406,11 +406,19 @@ func (s *svcState) hedgeAfter() time.Duration {
 }
 
 // Client wraps a mesh with per-service resilience policies. Like the mesh
-// it decorates, a Client is single-threaded on its engine.
+// it decorates, a Client is single-threaded on its engine. In sharded mode
+// (NewShardClient) a client is additionally bound to one source cluster:
+// all of its state — timers, token buckets, hedge histograms, the breaker —
+// lives on that cluster's shard timeline, and every retry or hedge re-entry
+// is a cross-shard continuation delivered back to that shard (the mesh
+// already returns responses to the source shard, so the re-entering Call
+// leaves from exactly where the client's timers run).
 type Client struct {
 	engine   *sim.Engine
 	rng      *sim.Rand
 	mesh     *mesh.Mesh
+	src      string      // bound source cluster ("" = classic, any source)
+	proxy    *mesh.Proxy // bound source handle (sharded mode)
 	services map[string]*svcState
 
 	freeOps      []*op
@@ -424,6 +432,30 @@ func NewClient(engine *sim.Engine, rng *sim.Rand, m *mesh.Mesh) *Client {
 		panic("resilience: NewClient requires engine, rng and mesh")
 	}
 	return &Client{engine: engine, rng: rng, mesh: m, services: make(map[string]*svcState)}
+}
+
+// NewShardClient returns a resilience client for requests originating in
+// one cluster of a sharded mesh. The client runs on that cluster's shard
+// engine, records its metrics into that shard's registry, and installs its
+// breaker filter on that shard's picker only — other clusters' proxies keep
+// their own pickers, exactly as per-node Envoy/Linkerd sidecars keep
+// per-node outlier state. Calls from any other source cluster error.
+func NewShardClient(m *mesh.Mesh, src string, rng *sim.Rand) (*Client, error) {
+	if m == nil || rng == nil {
+		panic("resilience: NewShardClient requires mesh and rng")
+	}
+	engine, err := m.EngineFor(src)
+	if err != nil {
+		return nil, err
+	}
+	proxy, err := m.Proxy(src)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{
+		engine: engine, rng: rng, mesh: m, src: src, proxy: proxy,
+		services: make(map[string]*svcState),
+	}, nil
 }
 
 // Apply installs a policy for a service, resolving its metric handles and —
@@ -441,6 +473,15 @@ func (c *Client) Apply(service string, p Policy) error {
 		return nil
 	}
 	reg := c.mesh.Registry()
+	if c.src != "" {
+		// Sharded: counters live in the source shard's registry, updated
+		// only on that shard's timeline.
+		r, err := c.mesh.RegistryFor(c.src)
+		if err != nil {
+			return err
+		}
+		reg = r
+	}
 	labels := metrics.Labels{"service": service}
 	st := &svcState{
 		name:          service,
@@ -460,12 +501,30 @@ func (c *Client) Apply(service string, p Policy) error {
 			names = append(names, b.Name)
 		}
 		st.breaker = NewBreaker(c.engine, p.Breaker, service, names, reg)
-		if err := c.mesh.SetPicker(service, &breakerPicker{
-			breaker: st.breaker,
-			inner:   c.mesh.Picker(service),
-			rng:     c.rng,
-		}); err != nil {
-			return err
+		if c.src == "" {
+			if err := c.mesh.SetPicker(service, &breakerPicker{
+				breaker: st.breaker,
+				inner:   c.mesh.Picker(service),
+				rng:     c.rng,
+			}); err != nil {
+				return err
+			}
+		} else {
+			// Sharded: the ejection filter wraps only the bound source
+			// shard's picker. Breaker state mutates on response events,
+			// which execute on the source shard — other shards' pickers
+			// must not read it mid-window.
+			inner, err := c.mesh.PickerFor(service, c.src)
+			if err != nil {
+				return err
+			}
+			if err := c.mesh.SetShardPicker(service, c.src, &breakerPicker{
+				breaker: st.breaker,
+				inner:   inner,
+				rng:     c.rng,
+			}); err != nil {
+				return err
+			}
 		}
 	}
 	c.services[service] = st
@@ -590,6 +649,9 @@ func (c *Client) call(src, service string, inherited time.Duration, done func(Re
 	if done == nil {
 		panic("resilience: Call requires a done callback")
 	}
+	if c.src != "" && src != c.src {
+		return fmt.Errorf("resilience: shard client bound to %q cannot call from %q", c.src, src)
+	}
 	svc := c.services[service]
 	now := c.engine.Now()
 	o := c.getOp()
@@ -633,7 +695,13 @@ func (c *Client) launch(o *op) error {
 	a.svc, a.o, a.gen = o.svc, o, o.gen
 	o.attempts++
 	o.inFlight++
-	if err := c.mesh.Call(o.src, o.service, a.fire); err != nil {
+	var err error
+	if c.proxy != nil {
+		err = c.proxy.Call(o.service, a.fire)
+	} else {
+		err = c.mesh.Call(o.src, o.service, a.fire)
+	}
+	if err != nil {
 		o.attempts--
 		o.inFlight--
 		c.putAttempt(a)

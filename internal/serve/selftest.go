@@ -88,12 +88,13 @@ type SelftestReport struct {
 	Results     []AlgoResult `json:"results"`
 	AllocsPerOp float64      `json:"proxy_layer_allocs_per_op"`
 	Cores       int          `json:"gomaxprocs"`
+	NumCPU      int          `json:"num_cpu"`
 }
 
 // RunSelftest runs the passes and streams a human-readable report to out.
 func RunSelftest(opts SelftestOptions, out io.Writer) (*SelftestReport, error) {
 	opts = opts.withDefaults()
-	report := &SelftestReport{Cores: runtime.GOMAXPROCS(0)}
+	report := &SelftestReport{Cores: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU()}
 
 	stubs, err := startSkewedStubs(opts)
 	if err != nil {
@@ -352,6 +353,9 @@ type BenchEntry struct {
 	P999Ms      float64 `json:"p999_ms"`
 	AllocsPerOp float64 `json:"proxy_layer_allocs_per_op"`
 	Cores       int     `json:"gomaxprocs"`
+	// NumCPU stamps the physical host the wall-clock numbers came from
+	// (Cores is the GOMAXPROCS cap, which may be lower).
+	NumCPU int `json:"num_cpu"`
 }
 
 // BenchEntries converts the report into BENCH_serve.json records.
@@ -367,6 +371,7 @@ func (r *SelftestReport) BenchEntries() []BenchEntry {
 			P999Ms:      float64(res.P999) / float64(time.Millisecond),
 			AllocsPerOp: r.AllocsPerOp,
 			Cores:       r.Cores,
+			NumCPU:      r.NumCPU,
 		})
 	}
 	return entries

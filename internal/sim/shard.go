@@ -30,10 +30,29 @@
 //     paused — which is what lets scrape rounds, controller split pushes and
 //     chaos injections read and mutate cross-shard state without locks and
 //     land on the owning shard's timeline at an exact virtual time.
+//
+// Execution machinery (wall-clock only — none of it can affect output):
+//
+//   - Windows fan out over a pool of persistent workers synchronised by a
+//     sense-style parker barrier: the coordinator bumps an epoch and opens
+//     each worker's parker (one atomic store + at most one non-blocking
+//     channel send); workers claim shards off a shared atomic cursor and the
+//     last arriver opens the coordinator's parker. No per-window goroutine
+//     spawns, no WaitGroup round-trips, no allocations. Workers are spawned
+//     lazily at the first multi-shard window of a RunUntil and joined at its
+//     exit, so idle engines hold no goroutines.
+//   - Consecutive windows with no undelivered cross-shard traffic coalesce:
+//     when every outbox is empty the barrier jumps straight to the earliest
+//     pending shard event (the skipped windows were provably no-ops — any
+//     message sent later still delivers ≥ lookahead after its send time, and
+//     the control engine's next event still caps the jump). Figure S1 spends
+//     most of its 3 750 windows idle between request waves; coalescing folds
+//     those into a handful of barriers without reordering any delivery.
 package sim
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -56,9 +75,17 @@ type Shard struct {
 	eng *Engine
 	// outbox collects outgoing messages per destination shard; the last
 	// slot addresses the control engine. Only this shard's own execution
-	// appends, so no locking is needed.
+	// appends, so no locking is needed. Slabs are recycled: deliver trims
+	// them to length zero but keeps capacity, so the steady state batches
+	// a whole window's sends with no allocation.
 	outbox [][]xmsg
-	sends  uint64 // cross-shard sends issued (self-metric)
+	// pendingOut counts undelivered messages across all outbox slots. Only
+	// this shard's execution writes it; the coordinator reads it between
+	// windows (the barrier orders the accesses). It lets deliver skip
+	// sources — and RunUntil skip entire barriers — without scanning boxes.
+	pendingOut int
+	sends      uint64 // cross-shard sends issued (self-metric)
+	_          [32]byte
 }
 
 // ID returns the shard's index.
@@ -79,6 +106,7 @@ func (s *Shard) Send(dst int, at time.Duration, fn func()) {
 		panic("sim: Send called with nil callback")
 	}
 	s.outbox[dst] = append(s.outbox[dst], xmsg{at: at, fn: fn})
+	s.pendingOut++
 	s.sends++
 }
 
@@ -92,6 +120,7 @@ func (s *Shard) SendControl(at time.Duration, fn func()) {
 	}
 	n := len(s.outbox) - 1
 	s.outbox[n] = append(s.outbox[n], xmsg{at: at, fn: fn})
+	s.pendingOut++
 	s.sends++
 }
 
@@ -99,11 +128,98 @@ func (s *Shard) SendControl(at time.Duration, fn func()) {
 type ShardStats struct {
 	// Windows counts barrier-synchronized windows executed.
 	Windows uint64
+	// EmptyWindows counts windows that carried no cross-shard traffic —
+	// their mailbox drain was skipped entirely. With adaptive coalescing
+	// these are windows that still had to stop at a barrier (a control
+	// event or the run horizon), not the coalesced-away ones.
+	EmptyWindows uint64
 	// CrossSends counts cross-shard and shard→control messages exchanged.
 	CrossSends uint64
 	// Events counts events fired across all shard engines plus the control
 	// engine.
 	Events uint64
+}
+
+// barrierSpins bounds the busy-wait a parker performs before it commits to
+// blocking on its channel. Windows are microseconds of work, so the open
+// usually lands within the spin phase; Gosched keeps the spin fair on
+// machines with fewer cores than workers.
+const barrierSpins = 64
+
+// parker is one side of the allocation-free window barrier: a Dekker-style
+// handshake between the coordinator (open) and a single waiter (await).
+// open stores the new epoch and then — only if the waiter has declared
+// itself parked — posts one token on a capacity-1 channel. await spins
+// briefly, then declares itself parked and re-checks the epoch before
+// blocking. Both sides' atomics are sequentially consistent, so one of the
+// two always observes the other: either the waiter sees the new epoch and
+// never blocks, or the opener sees parked=1 and posts the token. Stale
+// tokens (opener raced a waiter that then saw the epoch without receiving)
+// are drained non-blocking before the next park, so they can neither wake a
+// future epoch early nor pile up.
+type parker struct {
+	epoch  atomic.Uint64
+	parked atomic.Uint32
+	ch     chan struct{}
+	_      [40]byte // keep neighbouring parkers off this cache line
+}
+
+func newParker(epoch uint64) *parker {
+	p := &parker{ch: make(chan struct{}, 1)}
+	p.epoch.Store(epoch)
+	return p
+}
+
+// open releases a waiter blocked in (or entering) await(e).
+func (p *parker) open(e uint64) {
+	p.epoch.Store(e)
+	if p.parked.Load() != 0 {
+		select {
+		case p.ch <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// await blocks until open(e') with e' ≥ e has happened.
+func (p *parker) await(e uint64) {
+	for spin := 0; spin < barrierSpins; spin++ {
+		if p.epoch.Load() >= e {
+			return
+		}
+		runtime.Gosched()
+	}
+	for p.epoch.Load() < e {
+		select { // drain a stale token before committing to park
+		case <-p.ch:
+		default:
+		}
+		p.parked.Store(1)
+		if p.epoch.Load() >= e {
+			break
+		}
+		<-p.ch
+	}
+	p.parked.Store(0)
+}
+
+// workerPool is the persistent window-execution pool. All cross-goroutine
+// state is atomic and padded so the coordinator's window setup touches no
+// cache line a spinning worker owns.
+type workerPool struct {
+	until  atomic.Int64 // barrier of the current window
+	_      [56]byte
+	cursor atomic.Int64 // next shard index to claim
+	_      [56]byte
+	remain atomic.Int32 // participants yet to finish the window
+	_      [60]byte
+	quit   atomic.Bool
+	fin    parker // coordinator waits here; last arriver opens it
+	epoch  uint64 // current window epoch (coordinator-owned)
+
+	parkers []*parker // one per spawned worker
+	wg      sync.WaitGroup
+	spawned int
 }
 
 // ShardedEngine coordinates N shard engines plus one control engine under
@@ -118,6 +234,8 @@ type ShardedEngine struct {
 	now       time.Duration
 	running   bool
 	windows   uint64
+	emptyWins uint64
+	pool      workerPool
 }
 
 // NewSharded returns a sharded engine with n shards, all clocks at zero.
@@ -136,6 +254,7 @@ func NewSharded(n int, lookahead time.Duration) *ShardedEngine {
 		lookahead: lookahead,
 		workers:   1,
 	}
+	se.pool.fin.ch = make(chan struct{}, 1)
 	for i := range se.shards {
 		se.shards[i] = &Shard{
 			id:     i,
@@ -181,7 +300,11 @@ func (se *ShardedEngine) Now() time.Duration { return se.now }
 
 // Stats returns the engine's self-accounting.
 func (se *ShardedEngine) Stats() ShardStats {
-	st := ShardStats{Windows: se.windows, Events: se.control.Fired()}
+	st := ShardStats{
+		Windows:      se.windows,
+		EmptyWindows: se.emptyWins,
+		Events:       se.control.Fired(),
+	}
 	for _, sh := range se.shards {
 		st.CrossSends += sh.sends
 		st.Events += sh.eng.Fired()
@@ -203,6 +326,30 @@ func (se *ShardedEngine) pendingLE(t time.Duration) bool {
 	return false
 }
 
+// pendingSends sums undelivered outbox messages across all shards. Safe
+// only between windows: shard execution owns its counter inside one.
+func (se *ShardedEngine) pendingSends() int {
+	n := 0
+	for _, sh := range se.shards {
+		n += sh.pendingOut
+	}
+	return n
+}
+
+// earliestShardEvent returns the minimum next-event time across shard
+// engines, ok=false when every shard queue is empty.
+func (se *ShardedEngine) earliestShardEvent() (time.Duration, bool) {
+	var min time.Duration
+	found := false
+	for _, sh := range se.shards {
+		if at, ok := sh.eng.NextAt(); ok && (!found || at < min) {
+			min = at
+			found = true
+		}
+	}
+	return min, found
+}
+
 // RunUntil advances all shards and the control engine to t, window by
 // window. Like Engine.RunUntil, events scheduled exactly at t execute and
 // every clock is left at t.
@@ -211,12 +358,33 @@ func (se *ShardedEngine) RunUntil(t time.Duration) {
 		panic("sim: ShardedEngine.RunUntil re-entered")
 	}
 	se.running = true
-	defer func() { se.running = false }()
+	defer func() {
+		se.stopWorkers()
+		se.running = false
+	}()
 	for se.now < t || se.pendingLE(t) {
 		// The next barrier: one lookahead ahead, capped at t, pulled in to
 		// the control engine's next event so control events execute at
 		// their exact timestamp with all shards paused there.
 		next := se.now + se.lookahead
+		if se.pendingSends() == 0 {
+			// Adaptive coalescing: with every outbox empty, barriers
+			// between now and the earliest pending shard event would be
+			// no-ops — nothing to deliver, nothing to execute. Jump the
+			// window straight there (or to the horizon when all shard
+			// queues are drained). Any message sent during the enlarged
+			// window still delivers ≥ lookahead after its send time, which
+			// is at or after the jumped-to barrier — the conservative
+			// guarantee is untouched. The outbox-empty precondition is
+			// load-bearing: control callbacks may Send while shards are
+			// paused, and those messages are invisible to shard queues
+			// until delivered.
+			if at, ok := se.earliestShardEvent(); !ok {
+				next = t
+			} else if at > next {
+				next = at
+			}
+		}
 		if next > t {
 			next = t
 		}
@@ -227,11 +395,64 @@ func (se *ShardedEngine) RunUntil(t time.Duration) {
 			}
 		}
 		se.runWindow(next)
-		se.deliver(next)
+		if se.pendingSends() > 0 {
+			se.deliver(next)
+		} else {
+			se.emptyWins++
+		}
 		se.control.RunUntil(next)
 		se.windows++
 		se.now = next
 	}
+}
+
+// runClaims executes shard windows claimed off the shared cursor until the
+// shard list is exhausted. Both the coordinator and every pool worker run
+// this loop, so whichever finishes its claim first picks up the next shard.
+func (se *ShardedEngine) runClaims(until time.Duration) {
+	for {
+		j := int(se.pool.cursor.Add(1)) - 1
+		if j >= len(se.shards) {
+			return
+		}
+		se.shards[j].eng.RunUntil(until)
+	}
+}
+
+// workerLoop is one persistent pool worker: park until the coordinator
+// opens the next epoch, run claims, and have the last arriver open the
+// coordinator's parker. Quit is checked after each release so stopWorkers
+// can join the pool with one open per worker.
+func (se *ShardedEngine) workerLoop(p *parker, start uint64) {
+	defer se.pool.wg.Done()
+	for e := start; ; e++ {
+		p.await(e)
+		if se.pool.quit.Load() {
+			return
+		}
+		se.runClaims(time.Duration(se.pool.until.Load()))
+		if se.pool.remain.Add(-1) == 0 {
+			se.pool.fin.open(e)
+		}
+	}
+}
+
+// stopWorkers joins the pool at RunUntil exit, leaving the engine with no
+// goroutines between runs (tests construct thousands of engines; parked
+// workers would otherwise accumulate).
+func (se *ShardedEngine) stopWorkers() {
+	p := &se.pool
+	if p.spawned == 0 {
+		return
+	}
+	p.quit.Store(true)
+	for _, pk := range p.parkers {
+		pk.open(p.epoch + 1)
+	}
+	p.wg.Wait()
+	p.quit.Store(false)
+	p.parkers = p.parkers[:0]
+	p.spawned = 0
 }
 
 // runWindow executes every shard's events in (shard clock, until], fanning
@@ -249,7 +470,9 @@ func (se *ShardedEngine) runWindow(until time.Duration) {
 		busy := 0
 		for _, sh := range se.shards {
 			if at, ok := sh.eng.NextAt(); ok && at <= until {
-				busy++
+				if busy++; busy >= 2 {
+					break
+				}
 			}
 		}
 		if busy < 2 {
@@ -262,22 +485,26 @@ func (se *ShardedEngine) runWindow(until time.Duration) {
 		}
 		return
 	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for i := 0; i < w; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				j := int(next.Add(1)) - 1
-				if j >= len(se.shards) {
-					return
-				}
-				se.shards[j].eng.RunUntil(until)
-			}
-		}()
+	p := &se.pool
+	for p.spawned < w-1 {
+		pk := newParker(p.epoch)
+		p.parkers = append(p.parkers, pk)
+		p.wg.Add(1)
+		go se.workerLoop(pk, p.epoch+1)
+		p.spawned++
 	}
-	wg.Wait()
+	p.epoch++
+	e := p.epoch
+	p.until.Store(int64(until))
+	p.cursor.Store(0)
+	p.remain.Store(int32(p.spawned) + 1)
+	for _, pk := range p.parkers {
+		pk.open(e)
+	}
+	se.runClaims(until)
+	if p.remain.Add(-1) > 0 {
+		p.fin.await(e)
+	}
 }
 
 // deliver drains every outbox into its destination queue in canonical
@@ -286,11 +513,15 @@ func (se *ShardedEngine) runWindow(until time.Duration) {
 // preserves each message's requested time (schedule clamps the rare
 // too-early delivery to the barrier). Control-bound messages clamp to the
 // barrier explicitly, keeping the control clock in lockstep with the
-// shards'.
+// shards'. Sources with nothing pending are skipped without touching their
+// slabs.
 func (se *ShardedEngine) deliver(barrier time.Duration) {
 	for dst := range se.shards {
 		de := se.shards[dst].eng
 		for _, src := range se.shards {
+			if src.pendingOut == 0 {
+				continue
+			}
 			box := src.outbox[dst]
 			for i := range box {
 				de.Schedule(box[i].at, box[i].fn)
@@ -301,6 +532,9 @@ func (se *ShardedEngine) deliver(barrier time.Duration) {
 	}
 	n := len(se.shards)
 	for _, src := range se.shards {
+		if src.pendingOut == 0 {
+			continue
+		}
 		box := src.outbox[n]
 		for i := range box {
 			at := box[i].at
@@ -311,5 +545,6 @@ func (se *ShardedEngine) deliver(barrier time.Duration) {
 			box[i].fn = nil
 		}
 		src.outbox[n] = box[:0]
+		src.pendingOut = 0
 	}
 }

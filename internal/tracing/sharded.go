@@ -1,0 +1,73 @@
+// Sharded span collection: one single-writer buffer per source cluster plus
+// a canonical merge, so span recording works under the sharded engine
+// without locks on the hot path and yields the same trace for every worker
+// count.
+package tracing
+
+import "sort"
+
+// ShardedRecorder collects spans from a sharded mesh: one Recorder per
+// source cluster, each private to that cluster's shard timeline (spans
+// record where the request originated — mesh finish runs on the source
+// shard). Wire each buffer with mesh.SetShardSpanRecorder(cluster,
+// sr.For(cluster)).
+//
+// The merged view is canonical: buffers concatenate in the fixed cluster
+// order and then stable-sort by span start time, so ties keep cluster
+// order. Each buffer's content is a pure function of the seed, which makes
+// the merged trace byte-identical at any -shards worker count.
+type ShardedRecorder struct {
+	clusters []string
+	recs     []*Recorder
+	byName   map[string]*Recorder
+}
+
+// NewShardedRecorder returns a recorder set over the given clusters in
+// canonical (shard) order; limit caps each per-cluster buffer as in
+// NewRecorder.
+func NewShardedRecorder(clusters []string, limit int) *ShardedRecorder {
+	sr := &ShardedRecorder{
+		clusters: append([]string(nil), clusters...),
+		recs:     make([]*Recorder, len(clusters)),
+		byName:   make(map[string]*Recorder, len(clusters)),
+	}
+	for i, cl := range clusters {
+		sr.recs[i] = NewRecorder(limit)
+		sr.byName[cl] = sr.recs[i]
+	}
+	return sr
+}
+
+// For returns the cluster's private buffer (nil for unknown clusters) — the
+// value to install as that shard's mesh span recorder.
+func (sr *ShardedRecorder) For(cluster string) *Recorder { return sr.byName[cluster] }
+
+// Len returns the total spans stored across buffers.
+func (sr *ShardedRecorder) Len() int {
+	n := 0
+	for _, r := range sr.recs {
+		n += r.Len()
+	}
+	return n
+}
+
+// Dropped returns the total spans dropped across buffers.
+func (sr *ShardedRecorder) Dropped() uint64 {
+	var n uint64
+	for _, r := range sr.recs {
+		n += r.Dropped()
+	}
+	return n
+}
+
+// Spans returns the canonical merged trace: per-cluster buffers in cluster
+// order, stable-sorted by start time. The result feeds Extract exactly like
+// a classic Recorder's Spans.
+func (sr *ShardedRecorder) Spans() []Span {
+	var out []Span
+	for _, r := range sr.recs {
+		out = append(out, r.Spans()...)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}

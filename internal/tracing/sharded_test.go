@@ -1,0 +1,104 @@
+package tracing_test
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"l3/internal/backend"
+	"l3/internal/mesh"
+	"l3/internal/sim"
+	"l3/internal/tracing"
+	"l3/internal/wan"
+)
+
+// runShardedTrace drives a two-cluster sharded mesh with cross- and
+// same-cluster calls from both source clusters and returns the canonical
+// merged trace. The whole point of ShardedRecorder is that this slice is a
+// pure function of the seed — the worker count must not show.
+func runShardedTrace(t *testing.T, workers int) []tracing.Span {
+	t.Helper()
+	clusters := []string{"cluster-1", "cluster-2"}
+	wanModel := wan.New(wan.DefaultConfig())
+	se := sim.NewSharded(len(clusters), wanModel.MinOneWayDelay())
+	se.SetWorkers(workers)
+	rng := sim.NewRand(7)
+	m, err := mesh.NewSharded(se, clusters, rng.Fork(), wanModel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.AddService("api"); err != nil {
+		t.Fatal(err)
+	}
+	profile := func(base time.Duration) backend.Profile {
+		return func(_ time.Duration, r *sim.Rand) (time.Duration, bool) {
+			return base + time.Duration(r.IntN(int(time.Millisecond))), true
+		}
+	}
+	for i, cl := range clusters {
+		if _, err := m.AddBackend("api", "api-"+cl, cl, backend.Config{}, profile(time.Duration(i+5)*time.Millisecond)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	sr := tracing.NewShardedRecorder(clusters, 0)
+	for _, cl := range clusters {
+		if err := m.SetShardSpanRecorder(cl, sr.For(cl)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for i, cl := range clusters {
+		proxy, err := m.Proxy(cl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, err := m.EngineFor(cl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var tick func()
+		tick = func() {
+			if err := proxy.Call("api", func(mesh.Result) {}); err != nil {
+				t.Error(err)
+			}
+			eng.Schedule(eng.Now()+7*time.Millisecond, tick)
+		}
+		eng.Schedule(time.Duration(i+1)*time.Millisecond, tick)
+	}
+	se.RunUntil(500 * time.Millisecond)
+
+	if sr.Dropped() != 0 {
+		t.Fatalf("recorder dropped %d spans", sr.Dropped())
+	}
+	return sr.Spans()
+}
+
+func TestShardedRecorderTraceInvariantAcrossWorkers(t *testing.T) {
+	want := runShardedTrace(t, 1)
+	if len(want) == 0 {
+		t.Fatal("no spans recorded")
+	}
+	for _, workers := range []int{2} {
+		got := runShardedTrace(t, workers)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: merged trace diverged (%d vs %d spans)", workers, len(got), len(want))
+		}
+	}
+}
+
+func TestShardedRecorderMergeIsStartSortedAndComplete(t *testing.T) {
+	spans := runShardedTrace(t, 2)
+	bySrc := map[string]int{}
+	for i, sp := range spans {
+		if i > 0 && spans[i-1].Start > sp.Start {
+			t.Fatalf("span %d starts at %v after successor of %v", i, sp.Start, spans[i-1].Start)
+		}
+		bySrc[sp.Src]++
+	}
+	for _, cl := range []string{"cluster-1", "cluster-2"} {
+		if bySrc[cl] == 0 {
+			t.Fatalf("no spans from source %s: %v", cl, bySrc)
+		}
+	}
+}

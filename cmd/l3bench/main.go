@@ -91,6 +91,7 @@ import (
 	"l3/internal/chaos"
 	"l3/internal/perf"
 	"l3/internal/resilience"
+	"l3/internal/serve"
 	"l3/internal/trace"
 )
 
@@ -111,13 +112,24 @@ func main() {
 // holds and fails on regressions: >15 % ns/op over the baseline, or any
 // allocs/op increase (alloc counts are exact — the pins treat them as
 // contracts, so the diff does too). The file's shape picks the suite: a
-// result array is the fast-path suite (BENCH_fastpath.json), an object with
-// a "benches" field is a shard report (BENCH_shards.json), whose scaling
-// and wall-clock fields are host-dependent and not diffed.
+// result array whose objects carry an "algo" key is the wall-clock serving
+// trajectory (BENCH_serve.json) and gets a contract check instead of a
+// timing diff, any other result array is the fast-path suite
+// (BENCH_fastpath.json), and an object with a "benches" field is a shard
+// report (BENCH_shards.json), whose scaling and wall-clock fields are
+// host-dependent and not diffed.
 func runBenchDiff(path string) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return fmt.Errorf("-benchdiff: %w", err)
+	}
+	// The serve shape must be sniffed before []perf.Result: unmarshalling
+	// ignores unknown fields, so serve entries would "succeed" as an array
+	// of zero-valued perf results and diff as garbage.
+	var serveEntries []serve.BenchEntry
+	if err := json.Unmarshal(data, &serveEntries); err == nil &&
+		len(serveEntries) > 0 && serveEntries[0].Algo != "" {
+		return serveContractCheck(path, serveEntries)
 	}
 	// Best-of-3 on the fresh side: one preempted sample on a loaded or
 	// single-core host must not read as a regression. The barrier
@@ -150,6 +162,63 @@ func runBenchDiff(path string) error {
 		fmt.Fprintf(stdout, "l3bench: benchdiff: %s\n", m)
 	}
 	return fmt.Errorf("%d benchmark regression(s) against %s", len(msgs), path)
+}
+
+// serveContractCheck validates a committed BENCH_serve.json against the
+// serving mode's host-independent contracts. Wall-clock magnitudes are
+// load- and hardware-dependent and are not diffed; what must always hold is
+// checked exactly: the proxy layer's own hot path at 0 allocs/op, the L3
+// pass beating round-robin's p99 on the skewed stubs, and every chaos record
+// showing actual recovery — breaker ejections for data-plane faults,
+// fail-static engagement for the scrape outage, a measured time-to-recover.
+// A BENCH_serve.json regenerated on a regressed build fails here.
+func serveContractCheck(path string, entries []serve.BenchEntry) error {
+	var msgs []string
+	var rrP99, l3P99 float64
+	chaosRecords := 0
+	for _, e := range entries {
+		if e.AllocsPerOp != 0 {
+			msgs = append(msgs, fmt.Sprintf("%s: proxy_layer_allocs_per_op = %v, contract is 0", e.Name, e.AllocsPerOp))
+		}
+		if e.Fault == "" {
+			switch e.Name {
+			case "serve_skewed_rr":
+				rrP99 = e.P99Ms
+			case "serve_skewed_l3":
+				l3P99 = e.P99Ms
+			}
+			continue
+		}
+		chaosRecords++
+		if !e.Recovered {
+			msgs = append(msgs, fmt.Sprintf("%s: recovered = false", e.Name))
+		}
+		if e.TTRMs <= 0 {
+			msgs = append(msgs, fmt.Sprintf("%s: ttr_ms = %v, want > 0", e.Name, e.TTRMs))
+		}
+		switch e.Fault {
+		case "stall", "reset", "bflap":
+			if e.Ejections == 0 {
+				msgs = append(msgs, fmt.Sprintf("%s: breaker_ejections = 0, want >= 1", e.Name))
+			}
+		case "scrapedrop":
+			if !e.FailStatic {
+				msgs = append(msgs, fmt.Sprintf("%s: failstatic = false, want engagement", e.Name))
+			}
+		}
+	}
+	if rrP99 > 0 && l3P99 > 0 && l3P99 >= rrP99 {
+		msgs = append(msgs, fmt.Sprintf("serve_skewed: l3 p99 %.2fms >= rr p99 %.2fms", l3P99, rrP99))
+	}
+	if len(msgs) == 0 {
+		fmt.Fprintf(stdout, "l3bench: benchdiff clean against %s (%d serve records, %d chaos; contracts exact, wall-clock not diffed)\n",
+			path, len(entries), chaosRecords)
+		return nil
+	}
+	for _, m := range msgs {
+		fmt.Fprintf(stdout, "l3bench: benchdiff: %s\n", m)
+	}
+	return fmt.Errorf("%d serve contract violation(s) in %s", len(msgs), path)
 }
 
 func run(args []string) error {

@@ -41,6 +41,9 @@ func TestRunDrivesOpenLoopLoad(t *testing.T) {
 		t.Fatal(err)
 	}
 	srv := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		// Stamp the serving backend as l3serve would, so the per-backend
+		// latency breakdown has something to bucket on.
+		w.Header().Set("X-L3-Backend", "stub-a")
 		fmt.Fprintln(w, "ok")
 	})}
 	go srv.Serve(ln)
@@ -65,5 +68,9 @@ func TestRunDrivesOpenLoopLoad(t *testing.T) {
 	// Open loop at 200 rps for 500ms must land near 100 requests.
 	if !strings.Contains(got, "issued=") {
 		t.Fatalf("report missing issued count: %q", got)
+	}
+	// The per-backend breakdown keys on the X-L3-Backend response header.
+	if !strings.Contains(got, "backend stub-a") || !strings.Contains(got, "share=1.000") {
+		t.Fatalf("report missing per-backend latency breakdown: %q", got)
 	}
 }

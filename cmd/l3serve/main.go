@@ -10,6 +10,9 @@
 //	l3serve -config l3serve.yaml -algo rr    # flag overrides both
 //	l3serve -selftest                        # skewed-stub rr-vs-l3 benchmark
 //	l3serve -selftest -bench-out BENCH_serve.json
+//	l3serve -chaostest                       # scripted fault schedule + recovery assertions
+//	l3serve -chaostest -quick                # compressed schedule for CI
+//	l3serve -chaostest -chaos 'stall@3s+4s:chaos-a'
 //
 // Configuration layers, later wins: YAML file, L3SERVE_* environment
 // variables, command-line flags. The serving process exposes /metrics
@@ -24,6 +27,16 @@
 // generator, and reports achieved RPS, p50/p99/p999, the converged weight
 // table and the proxy layer's allocs/op; -bench-out writes the same numbers
 // as BENCH_serve.json records.
+//
+// The chaostest likewise self-hosts: chaos-capable stubs, open-loop load,
+// and a scripted fault schedule (stall, connection resets, scrape outage by
+// default — the same kind@at[+dur] grammar as the simulator's -chaos flag)
+// run against the live proxy. It exits nonzero unless every recovery
+// assertion holds: the breaker ejects a stalled backend within a bounded
+// number of failures, windowed p99 re-converges (time-to-recover is
+// reported), and a starved control plane engages and then releases
+// fail-static. -selftest and -chaostest compose; -bench-out collects both
+// runs' records.
 package main
 
 import (
@@ -67,8 +80,11 @@ func run(args []string) error {
 		backends   = fs.String("backends", "", "backend list 'name=url,name=url' (overrides config)")
 		algo       = fs.String("algo", "", "balancing algorithm: rr, failover, l3 or c3 (overrides config)")
 		selftest   = fs.Bool("selftest", false, "run the built-in skewed-stub benchmark instead of serving")
-		benchOut   = fs.String("bench-out", "", "with -selftest: write results as BENCH_serve.json records to this file")
-		rate       = fs.Float64("rate", 0, "with -selftest: offered rps per pass (default 250)")
+		chaostest  = fs.Bool("chaostest", false, "run the scripted fault schedule against a live proxy and assert recovery (composes with -selftest)")
+		chaosSched = fs.String("chaos", "", "with -chaostest: fault schedule override (kind@start[+dur][:operands];...)")
+		quick      = fs.Bool("quick", false, "with -chaostest: compressed schedule for CI smoke runs")
+		benchOut   = fs.String("bench-out", "", "with -selftest/-chaostest: write results as BENCH_serve.json records to this file")
+		rate       = fs.Float64("rate", 0, "with -selftest/-chaostest: offered rps (selftest default 250, chaostest 150)")
 		duration   = fs.Duration("duration", 0, "with -selftest: measured window per pass (default 6s)")
 		warmup     = fs.Duration("warmup", 0, "with -selftest: cap on the convergence wait before measuring (default 12s)")
 	)
@@ -76,20 +92,43 @@ func run(args []string) error {
 		return err
 	}
 
-	if *selftest {
-		report, err := serve.RunSelftest(serve.SelftestOptions{
-			Rate:     *rate,
-			Duration: *duration,
-			WarmUp:   *warmup,
-		}, stdout)
-		if err != nil {
-			return err
-		}
-		if *benchOut != "" {
-			if err := serve.WriteBenchJSON(*benchOut, report.BenchEntries()); err != nil {
+	if *selftest || *chaostest {
+		var entries []serve.BenchEntry
+		if *selftest {
+			report, err := serve.RunSelftest(serve.SelftestOptions{
+				Rate:     *rate,
+				Duration: *duration,
+				WarmUp:   *warmup,
+			}, stdout)
+			if err != nil {
 				return err
 			}
-			fmt.Fprintf(stdout, "selftest: wrote %s\n", *benchOut)
+			entries = append(entries, report.BenchEntries()...)
+		}
+		if *chaostest {
+			report, err := serve.RunChaostest(serve.ChaostestOptions{
+				Rate:     *rate,
+				Schedule: *chaosSched,
+				Quick:    *quick,
+			}, stdout)
+			if report != nil {
+				entries = append(entries, report.BenchEntries()...)
+			}
+			if err != nil {
+				// A failed recovery assertion must fail the command (make
+				// check depends on the exit code), but the records gathered
+				// up to the failure still land in -bench-out for inspection.
+				if *benchOut != "" {
+					serve.WriteBenchJSON(*benchOut, entries)
+				}
+				return err
+			}
+		}
+		if *benchOut != "" {
+			if err := serve.WriteBenchJSON(*benchOut, entries); err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "l3serve: wrote %s\n", *benchOut)
 		}
 		return nil
 	}

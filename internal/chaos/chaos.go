@@ -182,6 +182,10 @@ func (in *Injector) check(ev Event) error {
 		if !anyScraper(in.targets.Scrapers, func(s ScrapeGate) bool { _, ok := s.(ScrapeSlower); return ok }) {
 			return fmt.Errorf("chaos: slowscrape event but no slowable scraper")
 		}
+	case Stall, ConnReset, SlowLoris, ErrorBurst, LatencyRamp, BackendFlap:
+		// A simulated backend has no TCP connection to reset or socket to
+		// stall; these kinds exist for the wall-clock serving mode only.
+		return fmt.Errorf("chaos: %s is a wall-clock fault; run it through chaos.WallRunner (l3serve -chaostest), not the simulator", ev.Kind.name())
 	}
 	return nil
 }

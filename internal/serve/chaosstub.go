@@ -1,0 +1,195 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// ChaosStub is a stub backend whose misbehaviour is scriptable: it
+// implements chaos.WallBackend so a chaos.WallRunner can stall it, reset its
+// connections, drip bodies slow-loris style, burst 5xx errors, and ramp its
+// latency on a schedule. All fault switches are atomics — the runner flips
+// them from clock callbacks while handlers read them mid-request — and every
+// fault path watches the switch so a heal releases requests already caught
+// in it.
+type ChaosStub struct {
+	Name string
+
+	baseLatencyNs atomic.Int64
+	extraNs       atomic.Int64
+	stalled       atomic.Bool
+	resetting     atomic.Bool
+	slowLorisNs   atomic.Int64
+	// errorRateMilli holds the 5xx fraction in thousandths; failures are
+	// assigned deterministically by sequence number so short chaostest
+	// windows see exactly the configured rate.
+	errorRateMilli atomic.Int64
+	requests       atomic.Int64
+	resets         atomic.Int64
+
+	listener net.Listener
+	srv      *http.Server
+	done     chan struct{}
+}
+
+// NewChaosStub starts a chaos-capable stub on an ephemeral 127.0.0.1 port
+// with the given healthy-path latency.
+func NewChaosStub(name string, latency time.Duration) (*ChaosStub, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	s := &ChaosStub{Name: name, listener: ln, done: make(chan struct{})}
+	s.baseLatencyNs.Store(int64(latency))
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		// Health probes share the backend's fate: a stalled or resetting
+		// backend can't answer its health check either.
+		if s.resetting.Load() {
+			s.reset(w)
+			return
+		}
+		if s.stalled.Load() {
+			s.stallUntilHealed(r)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	})
+	mux.HandleFunc("/", s.serve)
+	s.srv = &http.Server{Handler: mux}
+	go func() {
+		s.srv.Serve(ln)
+		close(s.done)
+	}()
+	return s, nil
+}
+
+func (s *ChaosStub) serve(w http.ResponseWriter, r *http.Request) {
+	n := s.requests.Add(1)
+	if s.resetting.Load() {
+		s.reset(w)
+		return
+	}
+	if s.stalled.Load() {
+		s.stallUntilHealed(r)
+		return
+	}
+	if d := time.Duration(s.baseLatencyNs.Load() + s.extraNs.Load()); d > 0 {
+		time.Sleep(d)
+	}
+	if rate := s.errorRateMilli.Load(); rate > 0 {
+		// Bresenham over the sequence number: exactly rate‰ of requests fail,
+		// evenly interleaved, at any rate in (0,1].
+		if (n*rate)%1000 < rate {
+			w.WriteHeader(http.StatusInternalServerError)
+			fmt.Fprintln(w, "chaos 5xx burst")
+			return
+		}
+	}
+	body := fmt.Sprintf("ok from %s\n", s.Name)
+	if drip := time.Duration(s.slowLorisNs.Load()); drip > 0 {
+		s.dripBody(w, r, body, drip)
+		return
+	}
+	fmt.Fprint(w, body)
+}
+
+// reset tears the TCP connection down with an RST (SO_LINGER 0) so the
+// proxy sees "connection reset by peer", not a clean close.
+func (s *ChaosStub) reset(w http.ResponseWriter) {
+	s.resets.Add(1)
+	hj, ok := w.(http.Hijacker)
+	if !ok {
+		panic("chaos stub: response writer is not a hijacker")
+	}
+	conn, _, err := hj.Hijack()
+	if err != nil {
+		return
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetLinger(0)
+	}
+	conn.Close()
+}
+
+// stallUntilHealed holds the request open without writing a byte: the
+// connection is accepted and the request parsed, but no response comes until
+// the fault heals (polled) or the client gives up.
+func (s *ChaosStub) stallUntilHealed(r *http.Request) {
+	for s.stalled.Load() {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}
+
+// dripBody writes the response one byte per interval, flushing each, until
+// the body is done, the fault heals (rest written at once), or the client
+// hangs up.
+func (s *ChaosStub) dripBody(w http.ResponseWriter, r *http.Request, body string, drip time.Duration) {
+	w.Header().Set("Content-Length", fmt.Sprint(len(body)))
+	w.WriteHeader(http.StatusOK)
+	fl, _ := w.(http.Flusher)
+	for i := 0; i < len(body); i++ {
+		if time.Duration(s.slowLorisNs.Load()) == 0 {
+			fmt.Fprint(w, body[i:])
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-time.After(drip):
+		}
+		fmt.Fprint(w, body[i:i+1])
+		if fl != nil {
+			fl.Flush()
+		}
+	}
+}
+
+// SetStalled, SetResetting, SetSlowLoris, SetErrorRate and SetExtraLatency
+// implement chaos.WallBackend.
+func (s *ChaosStub) SetStalled(on bool)   { s.stalled.Store(on) }
+func (s *ChaosStub) SetResetting(on bool) { s.resetting.Store(on) }
+func (s *ChaosStub) SetSlowLoris(interval time.Duration) {
+	s.slowLorisNs.Store(int64(interval))
+}
+func (s *ChaosStub) SetErrorRate(rate float64) {
+	if math.IsNaN(rate) || rate < 0 {
+		rate = 0
+	}
+	s.errorRateMilli.Store(int64(rate * 1000))
+}
+func (s *ChaosStub) SetExtraLatency(extra time.Duration) {
+	s.extraNs.Store(int64(extra))
+}
+
+// SetLatency changes the healthy-path latency.
+func (s *ChaosStub) SetLatency(d time.Duration) { s.baseLatencyNs.Store(int64(d)) }
+
+// URL returns the stub's base URL.
+func (s *ChaosStub) URL() string { return "http://" + s.listener.Addr().String() }
+
+// Requests returns proxied requests served (health probes excluded).
+func (s *ChaosStub) Requests() int64 { return s.requests.Load() }
+
+// Resets returns connections torn down with an RST.
+func (s *ChaosStub) Resets() int64 { return s.resets.Load() }
+
+// Close stops the stub immediately, releasing any stalled handlers.
+func (s *ChaosStub) Close() {
+	s.stalled.Store(false)
+	s.srv.Close()
+	<-s.done
+}
+
+// BackendConfigOf returns the serve config entry pointing at the stub.
+func (s *ChaosStub) BackendConfigOf() BackendConfig {
+	return BackendConfig{Name: s.Name, URL: s.URL()}
+}

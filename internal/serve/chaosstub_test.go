@@ -1,0 +1,137 @@
+package serve
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"l3/internal/chaos"
+)
+
+var _ chaos.WallBackend = (*ChaosStub)(nil)
+
+func newTestChaosStub(t *testing.T) *ChaosStub {
+	t.Helper()
+	s, err := NewChaosStub("api-a", 0)
+	if err != nil {
+		t.Fatalf("NewChaosStub: %v", err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+func TestChaosStubHealthy(t *testing.T) {
+	s := newTestChaosStub(t)
+	resp, err := http.Get(s.URL() + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !strings.Contains(string(body), "ok from api-a") {
+		t.Fatalf("status %d body %q", resp.StatusCode, body)
+	}
+}
+
+func TestChaosStubReset(t *testing.T) {
+	s := newTestChaosStub(t)
+	s.SetResetting(true)
+	client := &http.Client{Timeout: 2 * time.Second}
+	if _, err := client.Get(s.URL() + "/"); err == nil {
+		t.Fatal("resetting stub answered cleanly")
+	}
+	if s.Resets() == 0 {
+		t.Fatal("no RST recorded")
+	}
+	s.SetResetting(false)
+	resp, err := client.Get(s.URL() + "/")
+	if err != nil {
+		t.Fatalf("after heal: %v", err)
+	}
+	resp.Body.Close()
+}
+
+func TestChaosStubStallReleasesOnHeal(t *testing.T) {
+	s := newTestChaosStub(t)
+	s.SetStalled(true)
+	done := make(chan error, 1)
+	go func() {
+		resp, err := http.Get(s.URL() + "/")
+		if resp != nil {
+			resp.Body.Close()
+		}
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("stalled request returned early (err=%v)", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+	s.SetStalled(false)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("healed request failed: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("request still stuck after heal")
+	}
+}
+
+func TestChaosStubErrorRateDeterministic(t *testing.T) {
+	s := newTestChaosStub(t)
+	s.SetErrorRate(0.8)
+	var fails int
+	for i := 0; i < 50; i++ {
+		resp, err := http.Get(s.URL() + "/")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == 500 {
+			fails++
+		}
+	}
+	if fails != 40 {
+		t.Fatalf("got %d failures of 50 at rate 0.8, want exactly 40", fails)
+	}
+}
+
+func TestChaosStubSlowLoris(t *testing.T) {
+	s := newTestChaosStub(t)
+	s.SetSlowLoris(10 * time.Millisecond)
+	start := time.Now()
+	resp, err := http.Get(s.URL() + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "ok from api-a") {
+		t.Fatalf("dripped body %q", body)
+	}
+	if d := time.Since(start); d < 100*time.Millisecond {
+		t.Fatalf("full body in %v, want >= 100ms of dripping", d)
+	}
+}
+
+func TestChaosStubExtraLatency(t *testing.T) {
+	s := newTestChaosStub(t)
+	s.SetExtraLatency(80 * time.Millisecond)
+	start := time.Now()
+	resp, err := http.Get(s.URL() + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if d := time.Since(start); d < 80*time.Millisecond {
+		t.Fatalf("answered in %v despite 80ms extra latency", d)
+	}
+}

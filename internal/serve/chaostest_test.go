@@ -1,0 +1,455 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestServeChaosSmoke is the wall-clock chaos gate: the quick schedule —
+// stall, connection-reset burst, scrape outage — against the live proxy,
+// asserting breaker ejection bounds, p99 re-convergence and fail-static
+// engagement end to end. ~16s of wall time; `make serve-chaos-smoke` runs it
+// explicitly (with the report shown), so -short skips it here.
+func TestServeChaosSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaostest needs ~16s of wall-clock; run make serve-chaos-smoke")
+	}
+	var buf strings.Builder
+	report, err := RunChaostest(ChaostestOptions{Quick: true}, &buf)
+	t.Log("\n" + buf.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Results) != 3 {
+		t.Fatalf("got %d fault results, want 3", len(report.Results))
+	}
+	kinds := map[string]bool{}
+	for _, fr := range report.Results {
+		kinds[fr.Fault] = true
+	}
+	for _, want := range []string{"stall", "reset", "scrapedrop"} {
+		if !kinds[want] {
+			t.Errorf("schedule did not exercise %q", want)
+		}
+	}
+	entries := report.BenchEntries()
+	if len(entries) != 3 {
+		t.Fatalf("BenchEntries = %d records, want 3", len(entries))
+	}
+	for _, e := range entries {
+		if !e.Recovered {
+			t.Errorf("%s: recovered=false in bench record", e.Name)
+		}
+	}
+}
+
+// chaosServer boots a server over n chaos stubs with fast control loops.
+func chaosServer(t *testing.T, n int, mutate func(*Config)) (*Server, []*ChaosStub) {
+	t.Helper()
+	var stubs []*ChaosStub
+	cfg := DefaultConfig()
+	cfg.Listen = "127.0.0.1:0"
+	cfg.Algo = AlgoL3
+	cfg.ScrapeInterval = 250 * time.Millisecond
+	cfg.ReconcileInterval = 250 * time.Millisecond
+	cfg.Window = 2 * time.Second
+	cfg.HealthInterval = 2 * time.Second
+	cfg.HealthTimeout = 500 * time.Millisecond
+	cfg.DrainTimeout = 3 * time.Second
+	for i := 0; i < n; i++ {
+		s, err := NewChaosStub(fmt.Sprintf("cb-%d", i), 5*time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stubs = append(stubs, s)
+		cfg.Backends = append(cfg.Backends, s.BackendConfigOf())
+	}
+	t.Cleanup(func() {
+		for _, s := range stubs {
+			s.Close()
+		}
+	})
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	srv, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return srv, stubs
+}
+
+// TestDrainMidHedge drains the server while requests are mid-flight against
+// a stalled backend — retried, hedged, some doomed. The drain must count
+// each in-flight request once, finish inside the configured timeout, and
+// leak no goroutines.
+func TestDrainMidHedge(t *testing.T) {
+	before := runtime.NumGoroutine()
+	srv, stubs := chaosServer(t, 2, func(c *Config) {
+		c.RequestTimeout = 10 * time.Second // in-flight work outlives the drain window
+		c.PerTryTimeout = 5 * time.Second
+		c.DrainTimeout = time.Second
+	})
+	// Warm the hedge tracker past its 64-observation gate so in-flight
+	// requests at drain time are on the hedged path.
+	client := &http.Client{Timeout: 10 * time.Second}
+	for i := 0; i < 80; i++ {
+		resp, err := client.Get(srv.URL() + "/")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+
+	// Stall both backends and launch requests that will still be in flight
+	// (stalled primaries, stalled hedges) when the drain begins.
+	for _, s := range stubs {
+		s.SetStalled(true)
+	}
+	const inflight = 8
+	var wg sync.WaitGroup
+	for i := 0; i < inflight; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := client.Get(srv.URL() + "/")
+			if err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}()
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for srv.Handler().Inflight() < inflight && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := srv.Handler().Inflight(); got != inflight {
+		t.Fatalf("inflight = %d before drain, want %d", got, inflight)
+	}
+
+	drainStart := time.Now()
+	dropped, err := srv.ShutdownTimeout()
+	drainTook := time.Since(drainStart)
+	if err != nil && err != http.ErrServerClosed {
+		// A timed-out drain reports context.DeadlineExceeded alongside the
+		// dropped count; that is the expected shape here.
+		t.Logf("drain err (expected with stalled in-flight work): %v", err)
+	}
+	if dropped != inflight {
+		t.Errorf("dropped = %d, want %d (each stalled request counted once)", dropped, inflight)
+	}
+	if drainTook > 3*time.Second {
+		t.Errorf("drain took %v, want bounded by ~DrainTimeout (1s) + slack", drainTook)
+	}
+
+	// Release the stalled handlers and in-flight clients, then the goroutine
+	// population must return to the baseline.
+	for _, s := range stubs {
+		s.SetStalled(false)
+	}
+	wg.Wait()
+	var after int
+	for end := time.Now().Add(5 * time.Second); time.Now().Before(end); time.Sleep(50 * time.Millisecond) {
+		client.CloseIdleConnections()
+		if after = runtime.NumGoroutine(); after <= before+2 {
+			break
+		}
+	}
+	if after > before+2 {
+		t.Errorf("goroutines: %d before, %d after drain — leak", before, after)
+	}
+}
+
+// TestFailStaticEngagesAndReleases starves the control plane of scrapes and
+// watches the degraded mode: engagement after StaleAfter, weight decay
+// toward uniform, release on the next good scrape.
+func TestFailStaticEngagesAndReleases(t *testing.T) {
+	srv, _ := chaosServer(t, 3, func(c *Config) {
+		c.StaleAfter = 500 * time.Millisecond
+	})
+	defer srv.ShutdownTimeout()
+	if !srv.ScrapeWait(1, 5*time.Second) {
+		t.Fatal("control plane never scraped")
+	}
+
+	// Skew the published table so the decay has something to pull uniform.
+	srv.Router().rebuild(srv.backends, map[string]int64{"cb-0": 900, "cb-1": 50, "cb-2": 50})
+
+	srv.Control().SetDropping(true)
+	deadline := time.Now().Add(5 * time.Second)
+	for !srv.Control().FailStaticActive() && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !srv.Control().FailStaticActive() {
+		t.Fatal("fail-static never engaged with scrapes dropped")
+	}
+	if got := srv.Control().FailStaticEngagements(); got != 1 {
+		t.Fatalf("engagements = %d, want 1", got)
+	}
+
+	// Decay: within a few reconcile ticks the dominant backend's share must
+	// shrink toward uniform (1/3), and never below it.
+	share := func() float64 {
+		w := srv.Router().Weights()
+		var total uint64
+		for _, v := range w {
+			total += v
+		}
+		return float64(w["cb-0"]) / float64(total)
+	}
+	for end := time.Now().Add(5 * time.Second); time.Now().Before(end); time.Sleep(50 * time.Millisecond) {
+		if share() < 0.5 {
+			break
+		}
+	}
+	if s := share(); s >= 0.5 || s < 0.33 {
+		t.Fatalf("cb-0 share = %.3f under decay, want in [1/3, 0.5)", s)
+	}
+
+	// Heal: the next successful scrape lifts the mode.
+	srv.Control().SetDropping(false)
+	deadline = time.Now().Add(5 * time.Second)
+	for srv.Control().FailStaticActive() && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if srv.Control().FailStaticActive() {
+		t.Fatal("fail-static never released after scrapes resumed")
+	}
+}
+
+// TestDeadlineBudgetReturns504 sends a request whose X-L3-Deadline is far
+// shorter than the only backend's stall: the proxy must answer 504 at
+// roughly the budget, not ride its own larger RequestTimeout.
+func TestDeadlineBudgetReturns504(t *testing.T) {
+	srv, stubs := chaosServer(t, 1, func(c *Config) {
+		c.RequestTimeout = 10 * time.Second
+	})
+	defer srv.ShutdownTimeout()
+	stubs[0].SetStalled(true)
+
+	req, err := http.NewRequest(http.MethodGet, srv.URL()+"/", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(HeaderDeadline, "200")
+	start := time.Now()
+	resp, err := (&http.Client{Timeout: 5 * time.Second}).Do(req)
+	took := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504", resp.StatusCode)
+	}
+	if took > 2*time.Second {
+		t.Fatalf("504 took %v, want ~200ms budget", took)
+	}
+}
+
+// TestDeadlinePropagatesShrunkenBudget checks the header-level half of
+// deadline propagation: the backend sees X-L3-Deadline no larger than the
+// client sent, and smaller once retries have burned budget.
+func TestDeadlinePropagatesShrunkenBudget(t *testing.T) {
+	srv, stubs := chaosServer(t, 1, nil)
+	defer srv.ShutdownTimeout()
+	_ = stubs
+
+	// A raw stub observing the forwarded header.
+	seen := make(chan string, 1)
+	obs, err := NewChaosStub("observer", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer obs.Close()
+	obs.srv.Handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case seen <- r.Header.Get(HeaderDeadline):
+		default:
+		}
+		w.WriteHeader(http.StatusOK)
+	})
+
+	cfg := DefaultConfig()
+	cfg.Listen = "127.0.0.1:0"
+	cfg.Algo = AlgoRR
+	cfg.Backends = []BackendConfig{{Name: "observer", URL: obs.URL()}}
+	srv2, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.ShutdownTimeout()
+
+	req, err := http.NewRequest(http.MethodGet, srv2.URL()+"/", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(HeaderDeadline, "750")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	got := <-seen
+	ms, err := strconv.Atoi(got)
+	if err != nil {
+		t.Fatalf("backend saw X-L3-Deadline=%q, want integer millis", got)
+	}
+	if ms <= 0 || ms > 750 {
+		t.Fatalf("propagated deadline %dms, want in (0, 750]", ms)
+	}
+}
+
+// TestPanicRecovery feeds the handler a panicking round-tripper: the request
+// must come back 500 (when nothing was written) and the process must live.
+func TestPanicRecovery(t *testing.T) {
+	srv, _ := chaosServer(t, 2, nil)
+	defer srv.ShutdownTimeout()
+
+	h := srv.Handler()
+	orig := h.transport
+	h.transport = panicTripper{}
+	for _, b := range srv.backends {
+		b.rp.Transport = panicTripper{}
+	}
+	defer func() {
+		h.transport = orig
+		for _, b := range srv.backends {
+			b.rp.Transport = nil
+		}
+	}()
+
+	resp, err := http.Get(srv.URL() + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError && resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("status = %d, want 500 or 502 from recovered panic", resp.StatusCode)
+	}
+	if got := h.Panics(); got == 0 {
+		t.Fatal("panic counter did not increment")
+	}
+	// The proxy must still serve: restore transports and round-trip again.
+	h.transport = orig
+	for _, b := range srv.backends {
+		b.rp.Transport = nil
+	}
+	resp, err = http.Get(srv.URL() + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d after recovery, want 200", resp.StatusCode)
+	}
+}
+
+type panicTripper struct{}
+
+func (panicTripper) RoundTrip(*http.Request) (*http.Response, error) {
+	panic("chaos: transport panic")
+}
+
+// TestHedgeTrackerGatesAndLearns pins the tracker's contract: silent before
+// 64 observations, then a delay at the configured percentile floor-bounded
+// by the minimum.
+func TestHedgeTrackerGatesAndLearns(t *testing.T) {
+	tr := newHedgeTracker(0.95, time.Millisecond)
+	if d := tr.hedgeAfter(); d != 0 {
+		t.Fatalf("hedgeAfter = %v before any observations, want 0", d)
+	}
+	for i := 0; i < 63; i++ {
+		tr.observe(5 * time.Millisecond)
+	}
+	if d := tr.hedgeAfter(); d != 0 {
+		t.Fatalf("hedgeAfter = %v at 63 observations, want 0 (gate is 64)", d)
+	}
+	tr.observe(5 * time.Millisecond)
+	d := tr.hedgeAfter()
+	if d < time.Millisecond || d > 20*time.Millisecond {
+		t.Fatalf("hedgeAfter = %v after 64x5ms, want near 5ms histogram bucket", d)
+	}
+	// Disabled tracker (percentile 0) never hedges.
+	off := newHedgeTracker(0, time.Millisecond)
+	for i := 0; i < 128; i++ {
+		off.observe(5 * time.Millisecond)
+	}
+	if d := off.hedgeAfter(); d != 0 {
+		t.Fatalf("disabled tracker hedgeAfter = %v, want 0", d)
+	}
+}
+
+// TestHedgedRequestRescuesStalledBackend is the hedging path end to end: two
+// backends, tracker warmed, one stalled — requests that pick the stalled
+// backend as primary must be rescued by a hedge at ~the learned delay rather
+// than waiting for a per-try timeout, and the stalled backend must still
+// accumulate breaker failures (the cancelled-primary accounting).
+func TestHedgedRequestRescuesStalledBackend(t *testing.T) {
+	srv, stubs := chaosServer(t, 2, func(c *Config) {
+		c.RequestTimeout = 5 * time.Second
+		c.PerTryTimeout = 2 * time.Second // hedging, not the per-try bound, must do the rescuing
+	})
+	defer srv.ShutdownTimeout()
+
+	client := &http.Client{Timeout: 10 * time.Second}
+	for i := 0; i < 80; i++ {
+		resp, err := client.Get(srv.URL() + "/")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	if d := srv.Handler().hedge.hedgeAfter(); d == 0 {
+		t.Fatal("hedge tracker still gated after 80 successes")
+	}
+
+	stubs[0].SetStalled(true)
+	defer stubs[0].SetStalled(false)
+	var slow int
+	var ejectionsSeen bool
+	for i := 0; i < 60; i++ {
+		start := time.Now()
+		resp, err := client.Get(srv.URL() + "/")
+		if err != nil {
+			t.Fatal(err)
+		}
+		took := time.Since(start)
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d: status %d under single-backend stall", i, resp.StatusCode)
+		}
+		if took > time.Second {
+			slow++
+		}
+		if int64(srv.backends[0].ejections.Value()) > 0 {
+			ejectionsSeen = true
+		}
+	}
+	if slow > 2 {
+		t.Errorf("%d/60 requests waited >1s despite hedging", slow)
+	}
+	if !ejectionsSeen {
+		t.Error("stalled backend never tripped its breaker — cancelled-primary failures not recorded")
+	}
+}

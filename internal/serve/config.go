@@ -47,6 +47,10 @@ type Config struct {
 	// /metrics endpoint over HTTP (default 5s, the paper's Prometheus
 	// interval; the smoke tests shrink it).
 	ScrapeInterval time.Duration
+	// ScrapeTimeout bounds one self-scrape GET (default and cap:
+	// ScrapeInterval/2, so a stalled /metrics can never push the next
+	// control round late).
+	ScrapeTimeout time.Duration
 	// ReconcileInterval is the controller's reweighting period (default
 	// matches ScrapeInterval).
 	ReconcileInterval time.Duration
@@ -77,8 +81,35 @@ type Config struct {
 	// (default 2; 1 disables retries).
 	MaxAttempts int
 	// RetryBudgetRatio is the Finagle-style token-bucket earn rate
-	// bounding the steady-state retry ratio (default 0.2).
+	// bounding the steady-state retry ratio (default 0.2). Hedges draw
+	// from the same bucket.
 	RetryBudgetRatio float64
+
+	// RequestTimeout is the default per-request latency budget when the
+	// client sends no X-L3-Deadline header (default 10s; 0 disables
+	// deadlines entirely).
+	RequestTimeout time.Duration
+	// PerTryTimeout bounds one proxy attempt. Zero derives it per request
+	// as budget/MaxAttempts, so a stalled backend leaves time to retry.
+	PerTryTimeout time.Duration
+	// HedgePercentile is the latency quantile of the proxy's own observed
+	// successes after which an idempotent bodyless request launches a
+	// hedge to a second backend (default 0.95; 0 disables hedging).
+	HedgePercentile float64
+	// HedgeMinDelay floors the learned hedge delay so sub-millisecond
+	// backends don't double traffic (default 1ms).
+	HedgeMinDelay time.Duration
+
+	// StaleAfter is how long the control plane may go without a
+	// successful self-scrape before the data plane enters fail-static
+	// mode: the routing table freezes against further control writes and
+	// decays toward uniform (default 3× ScrapeInterval; negative
+	// disables).
+	StaleAfter time.Duration
+	// DecayFactor is the per-reconcile-tick multiplier pulling fail-static
+	// weights toward uniform: 1 freezes the last table forever, smaller
+	// values forget the stale signal faster (default 0.8).
+	DecayFactor float64
 
 	// DrainTimeout bounds graceful shutdown (default 15s).
 	DrainTimeout time.Duration
@@ -100,6 +131,10 @@ func DefaultConfig() Config {
 		BreakerWindow:    2 * time.Second,
 		MaxAttempts:      2,
 		RetryBudgetRatio: 0.2,
+		RequestTimeout:   10 * time.Second,
+		HedgePercentile:  0.95,
+		HedgeMinDelay:    time.Millisecond,
+		DecayFactor:      0.8,
 		DrainTimeout:     15 * time.Second,
 	}
 }
@@ -114,6 +149,12 @@ func (c Config) withDerived() Config {
 		if c.Window < 2*time.Second {
 			c.Window = 2 * time.Second
 		}
+	}
+	if c.ScrapeTimeout <= 0 || c.ScrapeTimeout > c.ScrapeInterval/2 {
+		c.ScrapeTimeout = c.ScrapeInterval / 2
+	}
+	if c.StaleAfter == 0 {
+		c.StaleAfter = 3 * c.ScrapeInterval
 	}
 	return c
 }
@@ -166,6 +207,18 @@ func (c Config) Validate() error {
 	}
 	if c.RetryBudgetRatio < 0 {
 		bad("retry_budget_ratio must be non-negative")
+	}
+	if c.HedgePercentile < 0 || c.HedgePercentile >= 1 {
+		bad("hedge_percentile %v is outside [0, 1) (0 disables hedging)", c.HedgePercentile)
+	}
+	if c.RequestTimeout < 0 {
+		bad("request_timeout must be non-negative")
+	}
+	if c.PerTryTimeout < 0 {
+		bad("per_try_timeout must be non-negative")
+	}
+	if c.DecayFactor <= 0 || c.DecayFactor > 1 {
+		bad("decay_factor %v is outside (0, 1]", c.DecayFactor)
 	}
 	if len(problems) == 0 {
 		return nil
@@ -224,6 +277,8 @@ func (c *Config) applyYAML(src string) error {
 			err = c.applyBackendsYAML(node)
 		case "scrape_interval":
 			err = node.toDuration(&c.ScrapeInterval)
+		case "scrape_timeout":
+			err = node.toDuration(&c.ScrapeTimeout)
 		case "reconcile_interval":
 			err = node.toDuration(&c.ReconcileInterval)
 		case "window":
@@ -246,6 +301,18 @@ func (c *Config) applyYAML(src string) error {
 			err = node.toInt(&c.MaxAttempts)
 		case "retry_budget_ratio":
 			err = node.toFloat(&c.RetryBudgetRatio)
+		case "request_timeout":
+			err = node.toDuration(&c.RequestTimeout)
+		case "per_try_timeout":
+			err = node.toDuration(&c.PerTryTimeout)
+		case "hedge_percentile":
+			err = node.toFloat(&c.HedgePercentile)
+		case "hedge_min_delay":
+			err = node.toDuration(&c.HedgeMinDelay)
+		case "stale_after":
+			err = node.toDuration(&c.StaleAfter)
+		case "decay_factor":
+			err = node.toFloat(&c.DecayFactor)
 		case "drain_timeout":
 			err = node.toDuration(&c.DrainTimeout)
 		default:
@@ -316,6 +383,11 @@ func (c *Config) applyEnv(lookup func(string) (string, bool)) error {
 	_ = str("L3SERVE_ALGO", &c.Algo)
 	_ = str("L3SERVE_HEALTH_PATH", &c.HealthPath)
 	dur("L3SERVE_SCRAPE_INTERVAL", &c.ScrapeInterval)
+	dur("L3SERVE_SCRAPE_TIMEOUT", &c.ScrapeTimeout)
+	dur("L3SERVE_REQUEST_TIMEOUT", &c.RequestTimeout)
+	dur("L3SERVE_PER_TRY_TIMEOUT", &c.PerTryTimeout)
+	dur("L3SERVE_HEDGE_MIN_DELAY", &c.HedgeMinDelay)
+	dur("L3SERVE_STALE_AFTER", &c.StaleAfter)
 	dur("L3SERVE_RECONCILE_INTERVAL", &c.ReconcileInterval)
 	dur("L3SERVE_WINDOW", &c.Window)
 	dur("L3SERVE_HEALTH_INTERVAL", &c.HealthInterval)
@@ -334,6 +406,20 @@ func (c *Config) applyEnv(lookup func(string) (string, bool)) error {
 		record("L3SERVE_RETRY_BUDGET_RATIO", err)
 		if err == nil {
 			c.RetryBudgetRatio = f
+		}
+	}
+	if v, ok := lookup("L3SERVE_HEDGE_PERCENTILE"); ok {
+		f, err := strconv.ParseFloat(v, 64)
+		record("L3SERVE_HEDGE_PERCENTILE", err)
+		if err == nil {
+			c.HedgePercentile = f
+		}
+	}
+	if v, ok := lookup("L3SERVE_DECAY_FACTOR"); ok {
+		f, err := strconv.ParseFloat(v, 64)
+		record("L3SERVE_DECAY_FACTOR", err)
+		if err == nil {
+			c.DecayFactor = f
 		}
 	}
 	if v, ok := lookup("L3SERVE_GUARD"); ok {

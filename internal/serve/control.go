@@ -1,8 +1,11 @@
 package serve
 
 import (
+	"context"
 	"fmt"
+	"math"
 	"net/http"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -35,6 +38,7 @@ import (
 type control struct {
 	cfg      Config
 	wall     *clock.Wall
+	router   *Router
 	backends []*Backend
 
 	splits     *smi.Store
@@ -50,8 +54,29 @@ type control struct {
 
 	scrapes        atomic.Int64
 	scrapeFailures atomic.Int64
-	scrapeTimer    clock.Timer
-	pushTimer      clock.Timer
+	// scrapeBusy single-flights the async scrape: a fetch slower than the
+	// interval skips rounds instead of piling up goroutines.
+	scrapeBusy  atomic.Bool
+	scrapeTimer clock.Timer
+	pushTimer   clock.Timer
+	staleTimer  clock.Timer
+
+	// lastOKScrape (wall nanoseconds) drives fail-static: when the control
+	// plane has not ingested a successful scrape for StaleAfter, the data
+	// plane stops trusting new split writes and decays the routing table
+	// toward uniform. The scrape goroutine writes, the stale check reads.
+	lastOKScrape    atomic.Int64
+	failStatic      atomic.Bool
+	engagements     atomic.Int64
+	failStaticGauge *metrics.Gauge
+
+	// dropping and the garbage fields implement chaos.ScrapeGate and
+	// chaos.ScrapeCorrupter for the wall-clock chaos harness.
+	dropping       atomic.Bool
+	garbageMu      sync.Mutex
+	garbageBackend string
+	garbageMode    string
+	garbageOn      bool
 
 	cancelWatch func()
 }
@@ -61,14 +86,19 @@ type control struct {
 // start.
 func newControl(cfg Config, wall *clock.Wall, router *Router, backends []*Backend, ctrlReg *metrics.Registry, metricsURL string) *control {
 	c := &control{
-		cfg:        cfg,
-		wall:       wall,
-		backends:   backends,
-		splits:     smi.NewStore(),
-		db:         timeseries.NewDB(2 * cfg.Window),
-		client:     &http.Client{Timeout: cfg.ScrapeInterval},
+		cfg:      cfg,
+		wall:     wall,
+		router:   router,
+		backends: backends,
+		splits:   smi.NewStore(),
+		db:       timeseries.NewDB(2 * cfg.Window),
+		// The client timeout backstops the per-scrape context: both are
+		// capped well under the interval so a stalled /metrics endpoint
+		// can never push the next control round late.
+		client:     &http.Client{Timeout: cfg.ScrapeTimeout},
 		metricsURL: metricsURL,
 	}
+	c.failStaticGauge = ctrlReg.Gauge("serve_failstatic_active", metrics.Labels{"service": cfg.Service})
 
 	var hyg *guard.Hygiene
 	if cfg.Guard {
@@ -159,6 +189,11 @@ func (c *control) start(router *Router) {
 		if ts.Name != c.cfg.Service || e.Type == cluster.Deleted {
 			return
 		}
+		// While fail-static, split writes come from a controller steering on
+		// stale data; the frozen (decaying) table outranks them.
+		if c.failStatic.Load() {
+			return
+		}
 		weights := make(map[string]int64, len(ts.Backends))
 		for _, b := range ts.Backends {
 			weights[b.Service] = b.Weight
@@ -166,7 +201,11 @@ func (c *control) start(router *Router) {
 		router.rebuild(c.backends, weights)
 	})
 
+	c.lastOKScrape.Store(int64(c.wall.Now()))
 	c.scrapeTimer = c.wall.Every(c.cfg.ScrapeInterval, c.scrape)
+	if c.cfg.StaleAfter > 0 {
+		c.staleTimer = c.wall.Every(c.cfg.ReconcileInterval, c.staleCheck)
+	}
 	if c.checker != nil {
 		for _, b := range c.backends {
 			// The checker keys on Name; the shell backend never serves.
@@ -199,6 +238,9 @@ func (c *control) stop() {
 	if c.scrapeTimer != nil {
 		c.scrapeTimer.Cancel()
 	}
+	if c.staleTimer != nil {
+		c.staleTimer.Cancel()
+	}
 	if c.pushTimer != nil {
 		c.pushTimer.Cancel()
 	}
@@ -214,28 +256,160 @@ func (c *control) stop() {
 }
 
 // scrape is the control plane's Prometheus stand-in: GET the server's own
-// /metrics over HTTP, parse the exposition text, ingest into the TSDB. It
-// runs as a wall callback; the GET targets the local listener, so the
-// blocking fetch holds the control plane for microseconds (bounded by the
-// client timeout either way — a stall shorter than the watchdog TTL).
+// /metrics over HTTP, parse the exposition text, ingest into the TSDB. The
+// timer callback only launches the fetch; the GET and parse run on their own
+// goroutine (a wall callback must never block on a socket — the lesson of a
+// /metrics stall taking the whole control loop down with it), bounded by
+// ScrapeTimeout, and the parsed samples re-enter the single-threaded world
+// via wall.Do, the same shape as httpProber.
 func (c *control) scrape() {
+	if c.dropping.Load() {
+		// The chaos scrapedrop fault: the scheduled scrape never happens,
+		// exactly as a partitioned Prometheus would miss its round.
+		c.scrapeFailures.Add(1)
+		return
+	}
+	if !c.scrapeBusy.CompareAndSwap(false, true) {
+		c.scrapeFailures.Add(1)
+		return
+	}
 	now := c.wall.Now()
-	resp, err := c.client.Get(c.metricsURL)
-	if err != nil {
-		c.scrapeFailures.Add(1)
-		return
-	}
-	samples, err := metrics.ParseExposition(resp.Body)
-	resp.Body.Close()
-	if err != nil || resp.StatusCode != http.StatusOK {
-		c.scrapeFailures.Add(1)
-		return
-	}
-	for _, s := range samples {
-		c.db.AppendSample(s.Name, s.Labels, s.Kind, now, s.Value)
-	}
-	c.scrapes.Add(1)
+	go func() {
+		defer c.scrapeBusy.Store(false)
+		ctx, cancel := context.WithTimeout(context.Background(), c.cfg.ScrapeTimeout)
+		defer cancel()
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.metricsURL, nil)
+		if err != nil {
+			c.scrapeFailures.Add(1)
+			return
+		}
+		resp, err := c.client.Do(req)
+		if err != nil {
+			c.scrapeFailures.Add(1)
+			return
+		}
+		samples, err := metrics.ParseExposition(resp.Body)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			c.scrapeFailures.Add(1)
+			return
+		}
+		c.corrupt(samples)
+		c.wall.Do(func() {
+			for _, s := range samples {
+				c.db.AppendSample(s.Name, s.Labels, s.Kind, now, s.Value)
+			}
+			c.scrapes.Add(1)
+			c.lastOKScrape.Store(int64(c.wall.Now()))
+			if c.failStatic.CompareAndSwap(true, false) {
+				// Control data is flowing again: lift fail-static and let
+				// the controller's next reconcile republish real weights.
+				c.failStaticGauge.Set(0)
+			}
+		})
+	}()
 }
+
+// staleCheck runs every reconcile tick: when the last good scrape is older
+// than StaleAfter, engage fail-static (freeze the table against
+// stale-control writes) and decay the frozen weights toward uniform — the
+// graceful-degradation half of the guard story, covering the failure the
+// in-loop watchdog cannot see: a controller that keeps writing splits
+// computed from data that stopped arriving.
+func (c *control) staleCheck() {
+	last := time.Duration(c.lastOKScrape.Load())
+	if c.wall.Now()-last <= c.cfg.StaleAfter {
+		return
+	}
+	if c.failStatic.CompareAndSwap(false, true) {
+		c.engagements.Add(1)
+		c.failStaticGauge.Set(1)
+	}
+	c.decayWeights()
+}
+
+// decayWeights pulls the published table toward uniform by DecayFactor:
+// weight' = u + f·(weight − u) over every configured backend, so backends
+// the stale controller had ejected also return as the signal is forgotten.
+func (c *control) decayWeights() {
+	if len(c.backends) == 0 {
+		return
+	}
+	w := c.router.Weights()
+	var total float64
+	for _, b := range c.backends {
+		total += float64(w[b.Name])
+	}
+	if total <= 0 {
+		return
+	}
+	u := total / float64(len(c.backends))
+	nw := make(map[string]int64, len(c.backends))
+	changed := false
+	for _, b := range c.backends {
+		cur := float64(w[b.Name])
+		decayed := int64(u + c.cfg.DecayFactor*(cur-u) + 0.5)
+		if decayed < 1 {
+			decayed = 1
+		}
+		nw[b.Name] = decayed
+		if decayed != int64(cur) {
+			changed = true
+		}
+	}
+	if changed {
+		c.router.rebuild(c.backends, nw)
+	}
+}
+
+// corrupt applies the chaos garbage fault to scraped samples in place, the
+// wall-mode analogue of the sim Scraper's corruption (same modes: "nan",
+// "negative", "mixed" — guard's ingestion hygiene is what should catch it).
+func (c *control) corrupt(samples []metrics.Sample) {
+	c.garbageMu.Lock()
+	on, backend, mode := c.garbageOn, c.garbageBackend, c.garbageMode
+	c.garbageMu.Unlock()
+	if !on {
+		return
+	}
+	for i := range samples {
+		if backend != "" && samples[i].Labels["backend"] != backend {
+			continue
+		}
+		switch mode {
+		case "nan":
+			samples[i].Value = math.NaN()
+		case "negative":
+			samples[i].Value = -samples[i].Value - 1
+		default: // mixed
+			if i%2 == 0 {
+				samples[i].Value = math.NaN()
+			} else {
+				samples[i].Value = -samples[i].Value - 1
+			}
+		}
+	}
+}
+
+// SetDropping implements chaos.ScrapeGate: while on, scheduled self-scrapes
+// are skipped, starving the control plane exactly as a dead Prometheus
+// would.
+func (c *control) SetDropping(on bool) { c.dropping.Store(on) }
+
+// SetGarbage implements chaos.ScrapeCorrupter: corrupt scraped values for
+// one backend's series ("" = all) while on.
+func (c *control) SetGarbage(backend, mode string, on bool) {
+	c.garbageMu.Lock()
+	c.garbageOn, c.garbageBackend, c.garbageMode = on, backend, mode
+	c.garbageMu.Unlock()
+}
+
+// FailStaticActive reports whether the data plane is in fail-static
+// degraded mode (safe from any goroutine).
+func (c *control) FailStaticActive() bool { return c.failStatic.Load() }
+
+// FailStaticEngagements counts distinct fail-static engagements.
+func (c *control) FailStaticEngagements() int64 { return c.engagements.Load() }
 
 // httpProber probes a backend's health endpoint over real HTTP. The fetch
 // runs on its own goroutine (a wall callback must not block on a remote

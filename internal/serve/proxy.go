@@ -1,38 +1,59 @@
 package serve
 
 import (
+	"context"
 	"fmt"
+	"io"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 )
 
 // proxyHandler is the data-plane HTTP handler: pick a backend, forward,
-// record the outcome, retry transport errors that never reached the client.
-// Its own work — pick, breaker, budget, metric recording, status-writer
-// pooling — is allocation-free; what net/http and ReverseProxy allocate per
-// request is theirs (and the honest cost of running on real sockets, which
+// record the outcome, retry transport errors that never reached the client,
+// hedge slow idempotent requests, and enforce the request's latency budget.
+// Its own work — pick, breaker, budget, deadline math, hedge bookkeeping,
+// metric recording, status-writer pooling — is allocation-free; what
+// net/http, ReverseProxy and the context machinery allocate per request is
+// theirs (and the honest cost of running on real sockets, which
 // BENCH_serve.json reports separately from this layer's allocs/op).
 type proxyHandler struct {
 	router  *Router
 	nowFn   func() time.Duration
 	budget  *retryBudget
 	retries *atomic.Int64
+	hedges  *atomic.Int64
+	panics  *atomic.Int64
+	hedge   *hedgeTracker
 
-	maxAttempts int
+	// transport issues hedged attempts directly (two ReverseProxies cannot
+	// share one ResponseWriter); it is the same transport the backends'
+	// ReverseProxies use.
+	transport http.RoundTripper
+
+	maxAttempts    int
+	requestTimeout time.Duration
+	perTryTimeout  time.Duration
 
 	inflight atomic.Int64
 	draining atomic.Bool
 }
 
-func newProxyHandler(router *Router, nowFn func() time.Duration, maxAttempts int, budgetRatio float64) *proxyHandler {
+func newProxyHandler(router *Router, nowFn func() time.Duration, cfg Config) *proxyHandler {
 	return &proxyHandler{
-		router:      router,
-		nowFn:       nowFn,
-		budget:      newRetryBudget(budgetRatio),
-		retries:     &atomic.Int64{},
-		maxAttempts: maxAttempts,
+		router:         router,
+		nowFn:          nowFn,
+		budget:         newRetryBudget(cfg.RetryBudgetRatio),
+		retries:        &atomic.Int64{},
+		hedges:         &atomic.Int64{},
+		panics:         &atomic.Int64{},
+		hedge:          newHedgeTracker(cfg.HedgePercentile, cfg.HedgeMinDelay),
+		transport:      http.DefaultTransport,
+		maxAttempts:    cfg.MaxAttempts,
+		requestTimeout: cfg.RequestTimeout,
+		perTryTimeout:  cfg.PerTryTimeout,
 	}
 }
 
@@ -51,11 +72,35 @@ func (p *proxyHandler) ServeHTTP(w http.ResponseWriter, req *http.Request) {
 	p.budget.deposit()
 	sw := acquireStatusWriter(w)
 	defer releaseStatusWriter(sw)
+	// Registered after the release defer so it runs first, while sw is
+	// still this request's: one panicking round trip (or handler bug) must
+	// not kill the proxy process.
+	defer p.recoverPanic(w, sw)
+
+	reqStart := p.nowFn()
+	budget := deadlineBudget(req, p.requestTimeout)
+	if budget > 0 {
+		ctx, cancel := context.WithTimeout(req.Context(), budget)
+		defer cancel()
+		req = req.WithContext(ctx)
+	}
 
 	// A consumed request body cannot be replayed to a second backend;
 	// bodyless requests (the health-check and benchmark shape) retry
 	// freely.
 	canRetry := req.Body == nil || req.Body == http.NoBody
+
+	if d := p.hedge.hedgeAfter(); d > 0 && hedgeEligible(req) {
+		p.serveHedged(w, req, d)
+		return
+	}
+
+	// Per-try bound: explicit config, else an even share of the budget so
+	// a stalled first attempt leaves time to retry.
+	perTry := p.perTryTimeout
+	if perTry <= 0 && budget > 0 {
+		perTry = budget / time.Duration(p.maxAttempts)
+	}
 
 	var b *Backend
 	for attempt := 0; ; attempt++ {
@@ -69,24 +114,46 @@ func (p *proxyHandler) ServeHTTP(w http.ResponseWriter, req *http.Request) {
 			http.Error(w, "no backends", http.StatusServiceUnavailable)
 			return
 		}
+		if budget > 0 {
+			remaining := budget - (start - reqStart)
+			if remaining <= 0 {
+				http.Error(w, "deadline exceeded", http.StatusGatewayTimeout)
+				return
+			}
+			// Propagate the shrunken budget downstream, the header-level
+			// half of deadline propagation.
+			req.Header.Set(HeaderDeadline, strconv.FormatInt(remaining.Milliseconds(), 10))
+		}
+		tryReq := req
+		if perTry > 0 {
+			tryCtx, tryCancel := context.WithTimeout(req.Context(), perTry)
+			tryReq = req.WithContext(tryCtx)
+			defer tryCancel()
+		}
 		b.inflight.Inc()
 		sw.beginAttempt()
-		b.rp.ServeHTTP(sw, req)
+		b.rp.ServeHTTP(sw, tryReq)
 		latency := p.nowFn() - start
 		b.inflight.Dec()
 
 		ok := sw.transportErr == nil && sw.status() < http.StatusInternalServerError
 		b.Record(p.nowFn(), latency, ok)
 		if ok {
+			p.hedge.observe(latency)
 			return
 		}
 		// Retry only when the client saw nothing: a transport error before
-		// any bytes were written, within the attempt cap, paid for from
-		// the budget. 5xx responses already streamed to the client are
-		// final.
-		if sw.transportErr == nil || sw.wroteAny || !canRetry || attempt+1 >= p.maxAttempts || !p.budget.withdraw() {
+		// any bytes were written, within the attempt cap and the request's
+		// deadline, paid for from the budget. 5xx responses already
+		// streamed to the client are final.
+		expired := req.Context().Err() != nil
+		if expired || sw.transportErr == nil || sw.wroteAny || !canRetry || attempt+1 >= p.maxAttempts || !p.budget.withdraw() {
 			if sw.transportErr != nil && !sw.wroteAny {
-				http.Error(w, "upstream unreachable", http.StatusBadGateway)
+				if expired {
+					http.Error(w, "deadline exceeded", http.StatusGatewayTimeout)
+				} else {
+					http.Error(w, "upstream unreachable", http.StatusBadGateway)
+				}
 			}
 			return
 		}
@@ -94,11 +161,223 @@ func (p *proxyHandler) ServeHTTP(w http.ResponseWriter, req *http.Request) {
 	}
 }
 
+// recoverPanic is the handler's last line of defense, deferred around every
+// request: convert a panic into a 500 (when nothing has been written) and
+// keep the process alive. http.ErrAbortHandler passes through — it is
+// net/http's own control flow for deliberately torn-down responses.
+func (p *proxyHandler) recoverPanic(w http.ResponseWriter, sw *statusWriter) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	if r == http.ErrAbortHandler {
+		panic(r)
+	}
+	p.panics.Add(1)
+	if !sw.wroteAny {
+		http.Error(w, "internal proxy error", http.StatusInternalServerError)
+	}
+}
+
+// hedgeOutcome is one hedged attempt's result.
+type hedgeOutcome struct {
+	idx  int
+	b    *Backend
+	resp *http.Response
+	err  error
+	// start is the attempt's launch instant on the proxy clock.
+	start time.Duration
+}
+
+// serveHedged forwards a hedge-eligible request through the transport
+// directly: launch the weighted pick, and if no response lands within the
+// learned delay, launch one hedge to a different backend — first acceptable
+// response wins, the loser is cancelled. Transport errors still retry within
+// MaxAttempts, so the hedged path is never less resilient than the plain
+// one. The path allocates (clones, channels); it exists to cut tail
+// latency, and only engages once the tracker has a distribution.
+func (p *proxyHandler) serveHedged(w http.ResponseWriter, req *http.Request, delay time.Duration) {
+	maxLaunches := p.maxAttempts + 1 // the retry cap plus the one hedge
+	results := make(chan hedgeOutcome, maxLaunches)
+	cancels := make([]context.CancelFunc, 0, maxLaunches)
+	outstanding, launched := 0, 0
+	var last *Backend
+
+	launch := func(b *Backend) {
+		ctx, cancel := context.WithCancel(req.Context())
+		cancels = append(cancels, cancel)
+		idx := len(cancels) - 1
+		out := req.Clone(ctx)
+		// The backend's Director rewrites the URL exactly as its
+		// ReverseProxy would; RequestURI is client-side only and must be
+		// empty on a transport request.
+		b.rp.Director(out)
+		out.RequestURI = ""
+		b.inflight.Inc()
+		outstanding++
+		launched++
+		last = b
+		start := p.nowFn()
+		go func() {
+			// This goroutine is outside the handler's recoverPanic; a
+			// panicking RoundTripper must surface as a transport error, not
+			// kill the process.
+			defer func() {
+				if r := recover(); r != nil {
+					p.panics.Add(1)
+					results <- hedgeOutcome{idx: idx, b: b, err: fmt.Errorf("transport panic: %v", r), start: start}
+				}
+			}()
+			resp, err := p.transport.RoundTrip(out)
+			results <- hedgeOutcome{idx: idx, b: b, resp: resp, err: err, start: start}
+		}()
+	}
+
+	finish := func(winner hedgeOutcome) {
+		// Cancel every losing attempt (the winner's context must survive
+		// until its body reaches the client; net/http cancels it at request
+		// end), then drain their results off-path so no goroutine blocks on
+		// the channel's bookkeeping. A losing hedge cut short by our cancel
+		// is not the backend's failure and records only success — but a
+		// losing PRIMARY was at least the learned delay slower than the
+		// hedge that rescued it, and that slowness is the backend's own:
+		// without a failure record here, a stalled backend whose every
+		// request is saved by a hedge would never trip its breaker.
+		for i, cancel := range cancels {
+			if i != winner.idx {
+				cancel()
+			}
+		}
+		if outstanding > 0 {
+			go func(n int) {
+				for i := 0; i < n; i++ {
+					o := <-results
+					latency := p.nowFn() - o.start
+					switch {
+					case o.err == nil && o.resp.StatusCode < http.StatusInternalServerError:
+						o.b.Record(p.nowFn(), latency, true)
+						o.resp.Body.Close()
+					case o.err == nil:
+						o.resp.Body.Close()
+					case o.idx == 0:
+						o.b.Record(p.nowFn(), latency, false)
+					}
+					o.b.inflight.Dec()
+				}
+			}(outstanding)
+		}
+	}
+
+	now := p.nowFn()
+	first := p.router.Pick(now)
+	if first == nil {
+		http.Error(w, "no backends", http.StatusServiceUnavailable)
+		return
+	}
+	launch(first)
+
+	hedgeTimer := time.NewTimer(delay)
+	defer hedgeTimer.Stop()
+	hedged := false
+	var fallback *hedgeOutcome
+
+	for {
+		var o hedgeOutcome
+		if !hedged {
+			select {
+			case o = <-results:
+			case <-hedgeTimer.C:
+				hedged = true
+				// Hedge to a different backend, paid from the shared retry
+				// budget so hedging cannot storm either.
+				if nb := p.router.PickAvoiding(p.nowFn(), last); nb != nil && nb != last && p.budget.withdraw() {
+					p.hedges.Add(1)
+					launch(nb)
+				}
+				continue
+			}
+		} else {
+			o = <-results
+		}
+		outstanding--
+		latency := p.nowFn() - o.start
+		ok := o.err == nil && o.resp.StatusCode < http.StatusInternalServerError
+		o.b.Record(p.nowFn(), latency, ok)
+		o.b.inflight.Dec()
+		if ok {
+			p.hedge.observe(latency)
+			if fallback != nil {
+				// A held 5xx fallback is superseded by this success; its
+				// body must still be closed.
+				fallback.resp.Body.Close()
+			}
+			finish(o)
+			p.deliver(w, o)
+			return
+		}
+		if o.err == nil {
+			// A whole 5xx response: hold the first as the fallback answer,
+			// matching the plain path where 5xx is final.
+			if fallback == nil {
+				fallback = &o
+			} else {
+				o.resp.Body.Close()
+			}
+		}
+		if outstanding > 0 {
+			continue
+		}
+		// Nothing left in flight: retry a transport error within the caps.
+		if o.err != nil && fallback == nil && req.Context().Err() == nil &&
+			launched < p.maxAttempts && p.budget.withdraw() {
+			if nb := p.router.PickAvoiding(p.nowFn(), o.b); nb != nil {
+				p.retries.Add(1)
+				launch(nb)
+				continue
+			}
+		}
+		switch {
+		case fallback != nil:
+			finish(*fallback)
+			p.deliver(w, *fallback)
+		case req.Context().Err() != nil:
+			finish(o)
+			http.Error(w, "deadline exceeded", http.StatusGatewayTimeout)
+		default:
+			finish(o)
+			http.Error(w, "upstream unreachable", http.StatusBadGateway)
+		}
+		return
+	}
+}
+
+// deliver copies a transport response to the client, stamping the serving
+// backend (the ReverseProxy path stamps via ModifyResponse; this path is
+// ours to stamp).
+func (p *proxyHandler) deliver(w http.ResponseWriter, o hedgeOutcome) {
+	h := w.Header()
+	for k, vv := range o.resp.Header {
+		for _, v := range vv {
+			h.Add(k, v)
+		}
+	}
+	h.Set(HeaderBackend, o.b.Name)
+	w.WriteHeader(o.resp.StatusCode)
+	io.Copy(w, o.resp.Body)
+	o.resp.Body.Close()
+}
+
 // Inflight returns the requests currently inside the handler.
 func (p *proxyHandler) Inflight() int64 { return p.inflight.Load() }
 
 // Retries returns proxy-level retry attempts launched.
 func (p *proxyHandler) Retries() int64 { return p.retries.Load() }
+
+// Hedges returns hedge attempts launched.
+func (p *proxyHandler) Hedges() int64 { return p.hedges.Load() }
+
+// Panics returns panics recovered in the request path.
+func (p *proxyHandler) Panics() int64 { return p.panics.Load() }
 
 // setDraining flips the handler into drain mode.
 func (p *proxyHandler) setDraining() { p.draining.Store(true) }

@@ -16,6 +16,7 @@ package serve
 
 import (
 	"math/rand/v2"
+	"net/http"
 	"net/http/httputil"
 	"net/url"
 	"sync/atomic"
@@ -92,6 +93,12 @@ func newBackend(cfg BackendConfig, serviceName string, reg *metrics.Registry, br
 	b.ejections = reg.Counter(MetricBreakerEjectionsTotal, metrics.Labels{"backend": cfg.Name})
 	b.rp = httputil.NewSingleHostReverseProxy(u)
 	b.rp.ErrorHandler = proxyErrorHandler
+	// Stamp which backend served: clients (l3load) bucket latency by this
+	// header, making convergence observable from outside the proxy.
+	b.rp.ModifyResponse = func(resp *http.Response) error {
+		resp.Header.Set(HeaderBackend, cfg.Name)
+		return nil
+	}
 	return b, nil
 }
 

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"net/http"
 	"testing"
 	"time"
 
@@ -139,14 +140,24 @@ func TestProxyHotPathZeroAllocs(t *testing.T) {
 	backends := testBackends(t, "a", "b", "c")
 	r := NewRouter(backends)
 	budget := newRetryBudget(0.2)
+	tracker := newHedgeTracker(0.95, time.Millisecond)
+	req, err := http.NewRequest(http.MethodGet, "http://127.0.0.1:1/", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(HeaderDeadline, "250")
 	now := 42 * time.Millisecond
 	if got := testing.AllocsPerRun(10000, func() {
 		budget.deposit()
 		sw := acquireStatusWriter(nil)
 		b := r.Pick(now)
+		_ = deadlineBudget(req, 10*time.Second)
+		_ = hedgeEligible(req)
 		b.inflight.Inc()
 		b.inflight.Dec()
 		b.Record(now, 3*time.Millisecond, true)
+		tracker.observe(3 * time.Millisecond)
+		_ = tracker.hedgeAfter()
 		releaseStatusWriter(sw)
 	}); got != 0 {
 		t.Fatalf("proxy-layer hot path = %v allocs/op, want 0", got)

@@ -314,14 +314,24 @@ func MeasureProxyLayerAllocs() float64 {
 	}
 	router := NewRouter(backends)
 	budget := newRetryBudget(0.2)
+	tracker := newHedgeTracker(0.95, time.Millisecond)
+	req, err := http.NewRequest(http.MethodGet, "http://127.0.0.1:1/", nil)
+	if err != nil {
+		panic(err)
+	}
+	req.Header.Set(HeaderDeadline, "250")
 	op := func() {
 		now := 42 * time.Millisecond
 		budget.deposit()
 		sw := acquireStatusWriter(nil)
 		b := router.Pick(now)
+		_ = deadlineBudget(req, 10*time.Second)
+		_ = hedgeEligible(req)
 		b.inflight.Inc()
 		b.inflight.Dec()
 		b.Record(now, 3*time.Millisecond, true)
+		tracker.observe(3 * time.Millisecond)
+		_ = tracker.hedgeAfter()
 		releaseStatusWriter(sw)
 	}
 	return allocsPerRun(10000, op)
@@ -356,6 +366,14 @@ type BenchEntry struct {
 	// NumCPU stamps the physical host the wall-clock numbers came from
 	// (Cores is the GOMAXPROCS cap, which may be lower).
 	NumCPU int `json:"num_cpu"`
+
+	// Chaostest-only fields: set on serve_chaos_* records, absent on the
+	// selftest trajectory entries.
+	Fault      string  `json:"fault,omitempty"`
+	TTRMs      float64 `json:"ttr_ms,omitempty"`
+	Ejections  int64   `json:"breaker_ejections,omitempty"`
+	FailStatic bool    `json:"failstatic,omitempty"`
+	Recovered  bool    `json:"recovered,omitempty"`
 }
 
 // BenchEntries converts the report into BENCH_serve.json records.

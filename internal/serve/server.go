@@ -58,7 +58,7 @@ func NewServer(cfg Config) (*Server, error) {
 		s.backends = append(s.backends, b)
 	}
 	s.router = NewRouter(s.backends)
-	s.handler = newProxyHandler(s.router, s.wall.Now, cfg.MaxAttempts, cfg.RetryBudgetRatio)
+	s.handler = newProxyHandler(s.router, s.wall.Now, cfg)
 	return s, nil
 }
 
@@ -72,13 +72,26 @@ func (s *Server) Start() error {
 	}
 	s.listener = ln
 
+	// The control plane scrapes through the real listener, same path a
+	// Prometheus would take. Built before the listener serves so the
+	// endpoint handlers below read s.control without racing the assignment.
+	metricsURL := fmt.Sprintf("http://%s/metrics", ln.Addr().String())
+	s.control = newControl(s.cfg, s.wall, s.router, s.backends, s.ctrlReg, metricsURL)
+
 	mux := http.NewServeMux()
 	// The /metrics handler reads the registries directly — it must not
 	// enter the wall clock's mutex, because the control plane's own scrape
 	// GETs this endpoint from inside a wall callback.
 	mux.HandleFunc("/metrics", s.serveMetrics)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		// Fail-static is degraded-but-serving: the proxy still answers, so
+		// the health check stays green with the mode on the wire for
+		// operators (and chaostest) to see.
 		w.WriteHeader(http.StatusOK)
+		if s.control.FailStaticActive() {
+			fmt.Fprintln(w, "degraded: fail-static (control plane stale)")
+			return
+		}
 		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -97,10 +110,6 @@ func (s *Server) Start() error {
 		close(s.serveErr)
 	}()
 
-	// The control plane scrapes through the real listener, same path a
-	// Prometheus would take.
-	metricsURL := fmt.Sprintf("http://%s/metrics", ln.Addr().String())
-	s.control = newControl(s.cfg, s.wall, s.router, s.backends, s.ctrlReg, metricsURL)
 	// start touches single-threaded control state from this goroutine; no
 	// wall callbacks can be pending yet because nothing has been scheduled.
 	s.control.start(s.router)

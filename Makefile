@@ -1,13 +1,13 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race chaos-smoke resilience-smoke guard-smoke fuzz-smoke shards-vet shards-smoke serve-smoke serve-chaos-smoke bench bench-smoke bench-diff
+.PHONY: check fmt vet build test race chaos-smoke resilience-smoke guard-smoke fuzz-smoke shards-vet shards-smoke serve-smoke serve-chaos-smoke overload-smoke bench bench-smoke bench-diff
 
 ## check: the pre-merge gate — formatting, vet, build, the full suite under
 ## the race detector, chaos + resilience + guard + shards + serve + bench
 ## smoke runs, and a short fuzz pass over the chaos-schedule parser. Run
 ## before every merge; CI and the tier-1 verify in ROADMAP.md assume it
 ## passes.
-check: fmt vet build race chaos-smoke resilience-smoke guard-smoke fuzz-smoke shards-vet shards-smoke serve-smoke serve-chaos-smoke bench-smoke
+check: fmt vet build race chaos-smoke resilience-smoke guard-smoke fuzz-smoke shards-vet shards-smoke serve-smoke serve-chaos-smoke overload-smoke bench-smoke
 
 ## fmt: fail if any file needs gofmt (prints the offenders).
 fmt:
@@ -108,6 +108,16 @@ serve-smoke:
 ## measured time-to-recover, and fail-static engages and releases.
 serve-chaos-smoke:
 	$(GO) test -race -run 'TestServeChaosSmoke' -count=1 -v ./internal/serve
+
+## overload-smoke: the admission-control layer end to end — the O1 quick
+## golden (saturation collapse vs limiter+CoDel) through the CLI, then the
+## wall-clock overload scene under the race detector: a saturating square
+## wave against the live admission-controlled proxy, asserting bounded queue
+## delay, tier-ordered shedding, live in-flight gauges and full tier
+## re-admission.
+overload-smoke:
+	$(GO) run ./cmd/l3bench -fig O1 -quick >/dev/null
+	$(GO) test -race -run 'TestServeOverloadScene' -count=1 -v ./internal/serve
 
 ## bench: the fast-path benchmark suite (mesh.Call, metrics, histogram, event
 ## heap), machine-readable results in BENCH_fastpath.json, plus the

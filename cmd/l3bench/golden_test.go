@@ -59,6 +59,19 @@ func TestFigureOutputByteIdentical(t *testing.T) {
 			"-scenario", "scenario-1", "-quick",
 			"-resilience", "deadline=1s,retries=3,budget=0.2,breaker=5"},
 			"97536c8d257edc0592b58fa5263127bf68e9a31e5de35b18469bbb8f44987346"},
+		{"O1-quick", []string{"-fig", "O1", "-quick"},
+			"b7f7796a91444a951bbeb1d13ad33c0d1996cc23005e3a5c855200591b71aae1"},
+		{"O2-quick", []string{"-fig", "O2", "-quick"},
+			"90d5e81e3ed38eaf4fc4076ef7a922342e4acd7b4c6dacaf216bb6d990300534"},
+		// A disabled admission layer must be a pure pass-through: the same
+		// run with '-overload off' hashes to the chaos-resilience golden
+		// above, byte for byte.
+		{"chaos-resilience-overload-off", []string{
+			"-chaos", "saturate@48s+24s:api-cluster-1/0.25",
+			"-scenario", "scenario-1", "-quick",
+			"-resilience", "deadline=1s,retries=3,budget=0.2,breaker=5",
+			"-overload", "off"},
+			"97536c8d257edc0592b58fa5263127bf68e9a31e5de35b18469bbb8f44987346"},
 	}
 	for _, g := range goldens {
 		g := g

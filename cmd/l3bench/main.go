@@ -17,14 +17,19 @@
 //	l3bench -fig G1                  # guard: metric garbage, guarded vs unguarded
 //	l3bench -fig G2                  # guard: partial visibility, quorum freeze
 //	l3bench -fig S1                  # sharded core: 8-cluster scaling workload
+//	l3bench -fig O1                  # overload: adaptive limit + CoDel vs collapse
+//	l3bench -fig O2                  # overload: criticality-tiered flash crowd
 //	l3bench -fig 10 -shards 4        # scenario figures on the sharded core
 //
 // A custom fault schedule runs against any scenario, optionally with a
-// resilience policy on the client (grammar in internal/resilience):
+// resilience policy and an admission-control policy on the client
+// (grammars in internal/resilience and internal/overload):
 //
 //	l3bench -chaos 'partition@120s+60s:cluster-1/cluster-2' -scenario scenario-1
 //	l3bench -chaos 'saturate@120s+60s:api-cluster-1/0.25' \
 //	        -resilience 'deadline=1s,retries=3,budget=0.2,breaker=5'
+//	l3bench -chaos 'saturate@120s+60s:api-cluster-1/0.1' \
+//	        -overload 'limit=32,min=4,max=64,target=20ms,qcap=128'
 //	l3bench -chaos 'garbage@60s+30s:nan' -guard   # hardened control plane
 //
 // Schedules are semicolon-separated events, each
@@ -89,6 +94,7 @@ import (
 
 	"l3/internal/bench"
 	"l3/internal/chaos"
+	"l3/internal/overload"
 	"l3/internal/perf"
 	"l3/internal/resilience"
 	"l3/internal/serve"
@@ -205,6 +211,22 @@ func serveContractCheck(path string, entries []serve.BenchEntry) error {
 			if !e.FailStatic {
 				msgs = append(msgs, fmt.Sprintf("%s: failstatic = false, want engagement", e.Name))
 			}
+		case "overload":
+			// The overload scene's contracts: shedding strictly ordered by
+			// criticality tier, the scene actually shedding something, and
+			// the admission queue's longest admitted wait bounded (the
+			// scene policy's 400ms MaxWait ceiling, with margin for a
+			// regenerated baseline under a retuned policy).
+			if e.ShedSheddable == 0 {
+				msgs = append(msgs, fmt.Sprintf("%s: shed_sheddable = 0, the scene never shed", e.Name))
+			}
+			if e.ShedSheddable < e.ShedDefault || e.ShedDefault < e.ShedCritical {
+				msgs = append(msgs, fmt.Sprintf("%s: shedding not tier-ordered (sheddable=%d default=%d critical=%d)",
+					e.Name, e.ShedSheddable, e.ShedDefault, e.ShedCritical))
+			}
+			if e.MaxQueueMs <= 0 || e.MaxQueueMs >= 500 {
+				msgs = append(msgs, fmt.Sprintf("%s: max_queue_ms = %v, want in (0, 500)", e.Name, e.MaxQueueMs))
+			}
 		}
 	}
 	if rrP99 > 0 && l3P99 > 0 && l3P99 >= rrP99 {
@@ -224,11 +246,13 @@ func serveContractCheck(path string, entries []serve.BenchEntry) error {
 func run(args []string) error {
 	fs := flag.NewFlagSet("l3bench", flag.ContinueOnError)
 	var (
-		fig      = fs.String("fig", "all", "figure to regenerate: 1,2,4,6,7,8,9,10,11,12, C1, C2, R1, R2, R3, G1, G2, S1, 'ablations' or 'all'")
+		fig      = fs.String("fig", "all", "figure to regenerate: 1,2,4,6,7,8,9,10,11,12, C1, C2, R1, R2, R3, G1, G2, S1, O1, O2, 'ablations' or 'all'")
 		chaosStr = fs.String("chaos", "", "fault schedule to inject (kind@start[+dur][:operands];...); overrides -fig")
 		scenario = fs.String("scenario", trace.Scenario1, "scenario a -chaos schedule runs against")
 		resStr   = fs.String("resilience", "",
 			"resilience policy on the client (key=value,... e.g. 'deadline=1s,retries=3,budget=0.2,hedge=p99,breaker=5'); composes with -chaos runs")
+		overloadStr = fs.String("overload", "",
+			"admission-control policy on the client (key=value,... e.g. 'limit=32,min=4,max=64,target=20ms,qcap=128,tiers=on'; 'off' disables); composes with -chaos and figure runs")
 		seed     = fs.Uint64("seed", 1, "base random seed")
 		reps     = fs.Int("reps", 1, "repetitions per configuration (paper used 2-3)")
 		guard    = fs.Bool("guard", false, "harden the control plane with internal/guard (hygiene, degraded modes, write gating); applies to -chaos and figure runs")
@@ -334,6 +358,13 @@ func run(args []string) error {
 		}
 		opts.Resilience = &p
 	}
+	if *overloadStr != "" {
+		p, err := overload.ParsePolicy(*overloadStr)
+		if err != nil {
+			return fmt.Errorf("-overload: %w", err)
+		}
+		opts.Overload = &p
+	}
 
 	type runner struct {
 		id string
@@ -362,6 +393,8 @@ func run(args []string) error {
 		{"G1", func() (*bench.Result, error) { return bench.FigG1(opts) }},
 		{"G2", func() (*bench.Result, error) { return bench.FigG2(opts) }},
 		{"S1", func() (*bench.Result, error) { return bench.FigS1(opts) }},
+		{"O1", func() (*bench.Result, error) { return bench.FigO1(opts) }},
+		{"O2", func() (*bench.Result, error) { return bench.FigO2(opts) }},
 	}
 	ablations := []runner{
 		{"ablation-inflight-exponent", func() (*bench.Result, error) { return bench.AblationInflightExponent(opts) }},

@@ -123,6 +123,24 @@ func run(args []string) error {
 				}
 				return err
 			}
+			// The overload scene rides every chaostest (skipped only when a
+			// custom -chaos schedule narrows the run to specific faults):
+			// saturating square-wave load against the admission-controlled
+			// proxy, asserting bounded queue delay and tier-ordered shedding.
+			if *chaosSched == "" {
+				ovReport, err := serve.RunOverloadChaostest(serve.OverloadOptions{
+					Quick: *quick,
+				}, stdout)
+				if ovReport != nil {
+					entries = append(entries, ovReport.BenchEntries()...)
+				}
+				if err != nil {
+					if *benchOut != "" {
+						serve.WriteBenchJSON(*benchOut, entries)
+					}
+					return err
+				}
+			}
 		}
 		if *benchOut != "" {
 			if err := serve.WriteBenchJSON(*benchOut, entries); err != nil {

@@ -22,6 +22,7 @@ import (
 	"l3/internal/loadgen"
 	"l3/internal/mesh"
 	"l3/internal/metrics"
+	"l3/internal/overload"
 	"l3/internal/resilience"
 	"l3/internal/retry"
 	"l3/internal/sim"
@@ -116,6 +117,17 @@ type Options struct {
 	// of whatever picker the algorithm installed, so the breaker filter
 	// composes with failover and weighted strategies.
 	Resilience *resilience.Policy
+	// Overload composes the admission-control layer (internal/overload) —
+	// adaptive concurrency limit, CoDel admission queue, criticality-tiered
+	// shedding — over the benchmark client, outside Resilience, so a shed
+	// request is rejected before it can deposit into or spend from the
+	// retry budget. Incompatible with the legacy Retry client.
+	Overload *overload.Policy
+	// OverloadTierMix cycles request criticality tiers deterministically
+	// (e.g. [0,1,2] marks equal thirds critical/default/sheddable); empty
+	// issues everything at TierDefault. Requires Overload; when set, the
+	// run additionally records one recorder per tier into its artifacts.
+	OverloadTierMix []int
 	// DynamicPenalty switches L3 to the per-backend measured failure
 	// round-trip instead of the static P (the paper's future work).
 	DynamicPenalty bool
@@ -354,6 +366,10 @@ type chaosArtifacts struct {
 	restores  float64
 	res       resCounters
 	grd       guardCounters
+	ovl       ovlCounters
+	// tierRecs holds one recorder per criticality tier, filled only when
+	// Options.OverloadTierMix is set (the O2 figure's per-tier SLO view).
+	tierRecs [overload.NumTiers]*loadgen.Recorder
 }
 
 // resCounters aggregates one run's resilience-layer activity from the
@@ -366,6 +382,19 @@ type resCounters struct {
 	// attempt the data plane actually carried, retries and hedges
 	// included.
 	attempts float64
+}
+
+// ovlCounters aggregates one run's admission-layer activity from the
+// metrics registry plus the client's end-of-run state (all zero when
+// Options.Overload is off).
+type ovlCounters struct {
+	admitted, codelDropped, overflow, lifoFlips, readmits float64
+	shed                                                  [overload.NumTiers]float64
+	// limit and admitMax are the client's final limiter value and highest
+	// admitted tier; maxSojourn the longest queue wait any admitted or
+	// dropped request saw.
+	limit, admitMax int
+	maxSojourn      time.Duration
 }
 
 // guardCounters aggregates one run's guard-layer activity from the metrics
@@ -392,6 +421,12 @@ func (r registryResetter) ResetBackendCounters(backend string) {
 // registry — which is what makes the rep/sweep fan-outs above safe and
 // deterministic.
 func runOnceCounted(sc *trace.Scenario, algo Algorithm, opts Options, seed uint64) (*loadgen.Recorder, map[[2]string]float64, *chaosArtifacts, error) {
+	if opts.Overload != nil && opts.Retry != nil {
+		return nil, nil, nil, fmt.Errorf("bench: Overload composes over Resilience; the legacy Retry client is not supported under admission control")
+	}
+	if opts.Overload == nil && len(opts.OverloadTierMix) > 0 {
+		return nil, nil, nil, fmt.Errorf("bench: OverloadTierMix requires Overload")
+	}
 	if opts.Shards > 0 {
 		return runOnceShardedCounted(sc, algo, opts, seed)
 	}
@@ -458,8 +493,13 @@ func runOnceCounted(sc *trace.Scenario, algo Algorithm, opts Options, seed uint6
 	}
 
 	var art *chaosArtifacts
-	if opts.Chaos != nil || opts.Resilience != nil {
+	if opts.Chaos != nil || opts.Resilience != nil || opts.Overload != nil {
 		art = &chaosArtifacts{}
+		if len(opts.OverloadTierMix) > 0 {
+			for tier := range art.tierRecs {
+				art.tierRecs[tier] = loadgen.NewRecorder(time.Second)
+			}
+		}
 	}
 	if opts.Chaos != nil {
 		m.Splits().Watch(false, func(e cluster.Event[*smi.TrafficSplit]) {
@@ -500,6 +540,20 @@ func runOnceCounted(sc *trace.Scenario, algo Algorithm, opts Options, seed uint6
 			return nil, nil, nil, err
 		}
 	}
+	var ovClient *overload.Client
+	if opts.Overload != nil {
+		// The admission layer forks no rng of its own (its control laws are
+		// deterministic functions of observed RTTs), so enabling it leaves
+		// the classic fork order — and every overload-off figure —
+		// untouched.
+		ovClient = overload.NewClient(engine, m)
+		if resClient != nil {
+			ovClient.SetInner(resClient)
+		}
+		if err := ovClient.Apply(apiService, *opts.Overload); err != nil {
+			return nil, nil, nil, err
+		}
+	}
 	var retryPolicy retry.Policy
 	if opts.Retry != nil {
 		// Copy per run: sharing one seeded jitter source across parallel
@@ -510,8 +564,28 @@ func runOnceCounted(sc *trace.Scenario, algo Algorithm, opts Options, seed uint6
 			retryPolicy.Rand = rng.Fork()
 		}
 	}
+	var tierSeq int
 	issue := func(done func(time.Duration, bool)) error {
 		switch {
+		case ovClient != nil:
+			tier := overload.TierDefault
+			if n := len(opts.OverloadTierMix); n > 0 {
+				tier = opts.OverloadTierMix[tierSeq%n]
+				tierSeq++
+			}
+			trec := art.tierRecs[tier]
+			if trec == nil {
+				return ovClient.CallTier(sourceCluster, apiService, tier, func(r mesh.Result) {
+					done(r.Latency, r.Success)
+				})
+			}
+			start := engine.Now()
+			return ovClient.CallTier(sourceCluster, apiService, tier, func(r mesh.Result) {
+				if start >= warm {
+					trec.Record(start, r.Latency, r.Success)
+				}
+				done(r.Latency, r.Success)
+			})
 		case resClient != nil:
 			return resClient.Call(sourceCluster, apiService, func(r resilience.Result) {
 				done(r.Latency, r.Success)
@@ -601,6 +675,27 @@ func runOnceCounted(sc *trace.Scenario, algo Algorithm, opts Options, seed uint6
 			art.grd.writeRejected += sample.Value
 		case guard.MetricWatchdogDegradesTotal:
 			art.grd.watchdogDegrades += sample.Value
+		case overload.MetricAdmittedTotal:
+			art.ovl.admitted += sample.Value
+		case overload.MetricCodelDroppedTotal:
+			art.ovl.codelDropped += sample.Value
+		case overload.MetricQueueOverflowTotal:
+			art.ovl.overflow += sample.Value
+		case overload.MetricLifoFlipsTotal:
+			art.ovl.lifoFlips += sample.Value
+		case overload.MetricReadmitsTotal:
+			art.ovl.readmits += sample.Value
+		case overload.MetricShedTotal:
+			for tier := 0; tier < overload.NumTiers; tier++ {
+				if sample.Labels["tier"] == overload.TierName(tier) {
+					art.ovl.shed[tier] += sample.Value
+				}
+			}
+		}
+	}
+	if art != nil && ovClient != nil {
+		if limit, admitMax, maxSojourn, ok := ovClient.State(apiService); ok {
+			art.ovl.limit, art.ovl.admitMax, art.ovl.maxSojourn = limit, admitMax, maxSojourn
 		}
 	}
 	return gen.Recorder(), counts, art, nil

@@ -26,6 +26,7 @@ import (
 	"l3/internal/loadgen"
 	"l3/internal/mesh"
 	"l3/internal/metrics"
+	"l3/internal/overload"
 	"l3/internal/resilience"
 	"l3/internal/retry"
 	"l3/internal/sim"
@@ -127,8 +128,13 @@ func runOnceShardedCounted(sc *trace.Scenario, algo Algorithm, opts Options, see
 	}
 
 	var art *chaosArtifacts
-	if opts.Chaos != nil || opts.Resilience != nil {
+	if opts.Chaos != nil || opts.Resilience != nil || opts.Overload != nil {
 		art = &chaosArtifacts{}
+		if len(opts.OverloadTierMix) > 0 {
+			for tier := range art.tierRecs {
+				art.tierRecs[tier] = loadgen.NewRecorder(time.Second)
+			}
+		}
 	}
 	if opts.Chaos != nil {
 		m.Splits().Watch(false, func(e cluster.Event[*smi.TrafficSplit]) {
@@ -182,6 +188,23 @@ func runOnceShardedCounted(sc *trace.Scenario, algo Algorithm, opts Options, see
 		}
 		resClient = rc
 	}
+	var ovClient *overload.Client
+	if opts.Overload != nil {
+		// Like the classic path, the admission layer forks no rng: it is
+		// bound to the source shard (NewShardClient) and wraps the resilience
+		// client when one is set, so shard-mode output matches classic.
+		oc, err := overload.NewShardClient(m, sourceCluster)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		if resClient != nil {
+			oc.SetInner(resClient)
+		}
+		if err := oc.Apply(apiService, *opts.Overload); err != nil {
+			return nil, nil, nil, err
+		}
+		ovClient = oc
+	}
 	var retryPolicy retry.Policy
 	if opts.Retry != nil {
 		retryPolicy = *opts.Retry
@@ -198,8 +221,28 @@ func runOnceShardedCounted(sc *trace.Scenario, algo Algorithm, opts Options, see
 	if err != nil {
 		return nil, nil, nil, err
 	}
+	var tierSeq int
 	issue := func(done func(time.Duration, bool)) error {
 		switch {
+		case ovClient != nil:
+			tier := overload.TierDefault
+			if n := len(opts.OverloadTierMix); n > 0 {
+				tier = opts.OverloadTierMix[tierSeq%n]
+				tierSeq++
+			}
+			trec := art.tierRecs[tier]
+			if trec == nil {
+				return ovClient.CallTier(sourceCluster, apiService, tier, func(r mesh.Result) {
+					done(r.Latency, r.Success)
+				})
+			}
+			start := srcEngine.Now()
+			return ovClient.CallTier(sourceCluster, apiService, tier, func(r mesh.Result) {
+				if start >= warm {
+					trec.Record(start, r.Latency, r.Success)
+				}
+				done(r.Latency, r.Success)
+			})
 		case resClient != nil:
 			return resClient.Call(sourceCluster, apiService, func(r resilience.Result) {
 				done(r.Latency, r.Success)
@@ -296,7 +339,28 @@ func runOnceShardedCounted(sc *trace.Scenario, algo Algorithm, opts Options, see
 				art.grd.writeRejected += sample.Value
 			case guard.MetricWatchdogDegradesTotal:
 				art.grd.watchdogDegrades += sample.Value
+			case overload.MetricAdmittedTotal:
+				art.ovl.admitted += sample.Value
+			case overload.MetricCodelDroppedTotal:
+				art.ovl.codelDropped += sample.Value
+			case overload.MetricQueueOverflowTotal:
+				art.ovl.overflow += sample.Value
+			case overload.MetricLifoFlipsTotal:
+				art.ovl.lifoFlips += sample.Value
+			case overload.MetricReadmitsTotal:
+				art.ovl.readmits += sample.Value
+			case overload.MetricShedTotal:
+				for tier := 0; tier < overload.NumTiers; tier++ {
+					if sample.Labels["tier"] == overload.TierName(tier) {
+						art.ovl.shed[tier] += sample.Value
+					}
+				}
 			}
+		}
+	}
+	if art != nil && ovClient != nil {
+		if limit, admitMax, maxSojourn, ok := ovClient.State(apiService); ok {
+			art.ovl.limit, art.ovl.admitMax, art.ovl.maxSojourn = limit, admitMax, maxSojourn
 		}
 	}
 	return gen.Recorder(), counts, art, nil

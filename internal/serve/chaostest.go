@@ -26,12 +26,15 @@ import (
 
 // DefaultChaosSchedule is the canonical chaostest script: a stall (the
 // hardest fault — accepted connections that never answer), a connection-reset
-// burst, and a control-plane scrape outage, in sequence with clean air
-// between them so each fault's recovery is measured in isolation.
-const DefaultChaosSchedule = "stall@3s+4s:chaos-a; reset@10s+3s:chaos-b; scrapedrop@16s+4s"
+// burst, a control-plane scrape outage, a slow-loris drip, a latency ramp and
+// an availability flap, in sequence with clean air between them so each
+// fault's recovery is measured in isolation.
+const DefaultChaosSchedule = "stall@3s+4s:chaos-a; reset@10s+3s:chaos-b; scrapedrop@16s+4s; " +
+	"slowloris@23s+4s:chaos-c/50ms; ramp@30s+4s:chaos-a/400ms; bflap@37s+4s:chaos-b/500ms"
 
-// QuickChaosSchedule compresses the same three faults for CI smoke runs.
-const QuickChaosSchedule = "stall@2s+3s:chaos-a; reset@7s+2s:chaos-b; scrapedrop@11s+3s"
+// QuickChaosSchedule compresses the same six faults for CI smoke runs.
+const QuickChaosSchedule = "stall@2s+3s:chaos-a; reset@7s+2s:chaos-b; scrapedrop@11s+3s; " +
+	"slowloris@16s+3s:chaos-c/20ms; ramp@21s+3s:chaos-a/300ms; bflap@26s+3s:chaos-b/400ms"
 
 // ChaostestOptions parameterise one chaostest run.
 type ChaostestOptions struct {

@@ -13,13 +13,14 @@ import (
 )
 
 // TestServeChaosSmoke is the wall-clock chaos gate: the quick schedule —
-// stall, connection-reset burst, scrape outage — against the live proxy,
-// asserting breaker ejection bounds, p99 re-convergence and fail-static
-// engagement end to end. ~16s of wall time; `make serve-chaos-smoke` runs it
-// explicitly (with the report shown), so -short skips it here.
+// stall, connection-reset burst, scrape outage, slow-loris drip, latency
+// ramp, availability flap — against the live proxy, asserting breaker
+// ejection bounds, p99 re-convergence and fail-static engagement end to
+// end. ~32s of wall time; `make serve-chaos-smoke` runs it explicitly (with
+// the report shown), so -short skips it here.
 func TestServeChaosSmoke(t *testing.T) {
 	if testing.Short() {
-		t.Skip("chaostest needs ~16s of wall-clock; run make serve-chaos-smoke")
+		t.Skip("chaostest needs ~32s of wall-clock; run make serve-chaos-smoke")
 	}
 	var buf strings.Builder
 	report, err := RunChaostest(ChaostestOptions{Quick: true}, &buf)
@@ -27,21 +28,21 @@ func TestServeChaosSmoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(report.Results) != 3 {
-		t.Fatalf("got %d fault results, want 3", len(report.Results))
+	if len(report.Results) != 6 {
+		t.Fatalf("got %d fault results, want 6", len(report.Results))
 	}
 	kinds := map[string]bool{}
 	for _, fr := range report.Results {
 		kinds[fr.Fault] = true
 	}
-	for _, want := range []string{"stall", "reset", "scrapedrop"} {
+	for _, want := range []string{"stall", "reset", "scrapedrop", "slowloris", "ramp", "bflap"} {
 		if !kinds[want] {
 			t.Errorf("schedule did not exercise %q", want)
 		}
 	}
 	entries := report.BenchEntries()
-	if len(entries) != 3 {
-		t.Fatalf("BenchEntries = %d records, want 3", len(entries))
+	if len(entries) != 6 {
+		t.Fatalf("BenchEntries = %d records, want 6", len(entries))
 	}
 	for _, e := range entries {
 		if !e.Recovered {
@@ -162,6 +163,9 @@ func TestDrainMidHedge(t *testing.T) {
 	var after int
 	for end := time.Now().Add(5 * time.Second); time.Now().Before(end); time.Sleep(50 * time.Millisecond) {
 		client.CloseIdleConnections()
+		// Requests the drain abandoned finish only after the un-stall above
+		// and re-pool their upstream connections; flush those too.
+		srv.CloseIdleConnections()
 		if after = runtime.NumGoroutine(); after <= before+2 {
 			break
 		}

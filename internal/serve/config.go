@@ -8,6 +8,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"l3/internal/overload"
 )
 
 // Algorithms the serving mode can run. They mirror internal/bench's
@@ -113,6 +115,21 @@ type Config struct {
 
 	// DrainTimeout bounds graceful shutdown (default 15s).
 	DrainTimeout time.Duration
+
+	// Overload is the admission-control policy in internal/overload's
+	// key=value grammar ("limit=32,target=20ms,qcap=128,tiers=on"; empty
+	// or "off" disables). When enabled the proxy runs an adaptive
+	// concurrency limiter with a CoDel admission queue ahead of backend
+	// selection; shed requests answer 429 (tier-gated) or 503 with
+	// Retry-After before any upstream work happens.
+	Overload string
+	// MaxIdleConnsPerHost caps the transport's idle keep-alive
+	// connections per upstream (default 32). The Go default of 2 forces
+	// reconnect churn exactly when a burst needs the pool most.
+	MaxIdleConnsPerHost int
+	// IdleConnTimeout closes idle upstream connections after this long
+	// (default 90s).
+	IdleConnTimeout time.Duration
 }
 
 // DefaultConfig returns the documented defaults (no backends).
@@ -136,6 +153,9 @@ func DefaultConfig() Config {
 		HedgeMinDelay:    time.Millisecond,
 		DecayFactor:      0.8,
 		DrainTimeout:     15 * time.Second,
+
+		MaxIdleConnsPerHost: 32,
+		IdleConnTimeout:     90 * time.Second,
 	}
 }
 
@@ -219,6 +239,15 @@ func (c Config) Validate() error {
 	}
 	if c.DecayFactor <= 0 || c.DecayFactor > 1 {
 		bad("decay_factor %v is outside (0, 1]", c.DecayFactor)
+	}
+	if _, err := c.OverloadPolicy(); err != nil {
+		bad("overload policy: %v", err)
+	}
+	if c.MaxIdleConnsPerHost < 1 {
+		bad("max_idle_conns_per_host must be at least 1")
+	}
+	if c.IdleConnTimeout <= 0 {
+		bad("idle_conn_timeout must be positive")
 	}
 	if len(problems) == 0 {
 		return nil
@@ -315,6 +344,12 @@ func (c *Config) applyYAML(src string) error {
 			err = node.toFloat(&c.DecayFactor)
 		case "drain_timeout":
 			err = node.toDuration(&c.DrainTimeout)
+		case "overload":
+			err = node.toString(&c.Overload)
+		case "max_idle_conns_per_host":
+			err = node.toInt(&c.MaxIdleConnsPerHost)
+		case "idle_conn_timeout":
+			err = node.toDuration(&c.IdleConnTimeout)
 		default:
 			err = fmt.Errorf("unknown key %q", key)
 		}
@@ -382,6 +417,7 @@ func (c *Config) applyEnv(lookup func(string) (string, bool)) error {
 	_ = str("L3SERVE_SERVICE", &c.Service)
 	_ = str("L3SERVE_ALGO", &c.Algo)
 	_ = str("L3SERVE_HEALTH_PATH", &c.HealthPath)
+	_ = str("L3SERVE_OVERLOAD", &c.Overload)
 	dur("L3SERVE_SCRAPE_INTERVAL", &c.ScrapeInterval)
 	dur("L3SERVE_SCRAPE_TIMEOUT", &c.ScrapeTimeout)
 	dur("L3SERVE_REQUEST_TIMEOUT", &c.RequestTimeout)
@@ -394,6 +430,7 @@ func (c *Config) applyEnv(lookup func(string) (string, bool)) error {
 	dur("L3SERVE_HEALTH_TIMEOUT", &c.HealthTimeout)
 	dur("L3SERVE_BREAKER_WINDOW", &c.BreakerWindow)
 	dur("L3SERVE_DRAIN_TIMEOUT", &c.DrainTimeout)
+	dur("L3SERVE_IDLE_CONN_TIMEOUT", &c.IdleConnTimeout)
 	if v, ok := lookup("L3SERVE_PERCENTILE"); ok {
 		f, err := strconv.ParseFloat(v, 64)
 		record("L3SERVE_PERCENTILE", err)
@@ -443,6 +480,13 @@ func (c *Config) applyEnv(lookup func(string) (string, bool)) error {
 			c.MaxAttempts = n
 		}
 	}
+	if v, ok := lookup("L3SERVE_MAX_IDLE_CONNS_PER_HOST"); ok {
+		n, err := strconv.Atoi(v)
+		record("L3SERVE_MAX_IDLE_CONNS_PER_HOST", err)
+		if err == nil {
+			c.MaxIdleConnsPerHost = n
+		}
+	}
 	if v, ok := lookup("L3SERVE_BACKENDS"); ok {
 		backends, err := ParseBackendList(v)
 		record("L3SERVE_BACKENDS", err)
@@ -472,6 +516,15 @@ func ParseBackendList(s string) ([]BackendConfig, error) {
 		return nil, fmt.Errorf("empty backend list")
 	}
 	return out, nil
+}
+
+// OverloadPolicy parses the Overload string into a policy with defaults
+// applied. An empty or "off" string returns a disabled policy and no error.
+func (c Config) OverloadPolicy() (overload.Policy, error) {
+	if strings.TrimSpace(c.Overload) == "" {
+		return overload.Policy{}, nil
+	}
+	return overload.ParsePolicy(c.Overload)
 }
 
 // BackendNames returns the configured backend names, sorted.

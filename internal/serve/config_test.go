@@ -113,6 +113,68 @@ func TestParseBackendList(t *testing.T) {
 	}
 }
 
+func TestLoadConfigOverloadAndPoolKnobs(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "l3serve.yaml")
+	yaml := `
+backends:
+  - name: a
+    url: http://10.0.0.1:8001
+overload: limit=16,target=10ms,qcap=64,tiers=on
+max_idle_conns_per_host: 7
+idle_conn_timeout: 45s
+`
+	if err := os.WriteFile(path, []byte(yaml), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := loadConfig(path, envMap(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.MaxIdleConnsPerHost != 7 || cfg.IdleConnTimeout != 45*time.Second {
+		t.Fatalf("pool knobs = %d/%v, want file values 7/45s", cfg.MaxIdleConnsPerHost, cfg.IdleConnTimeout)
+	}
+	pol, err := cfg.OverloadPolicy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pol.Enabled() || pol.Limiter.Initial != 16 || !pol.Tiers.Enabled {
+		t.Fatalf("overload policy = %+v, want enabled limit=16 tiers=on", pol)
+	}
+
+	// Env overrides the file; "off" parses as a disabled policy.
+	cfg, err = loadConfig(path, envMap(map[string]string{
+		"L3SERVE_OVERLOAD":                "off",
+		"L3SERVE_MAX_IDLE_CONNS_PER_HOST": "12",
+		"L3SERVE_IDLE_CONN_TIMEOUT":       "30s",
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.MaxIdleConnsPerHost != 12 || cfg.IdleConnTimeout != 30*time.Second {
+		t.Fatalf("pool knobs = %d/%v, want env overrides 12/30s", cfg.MaxIdleConnsPerHost, cfg.IdleConnTimeout)
+	}
+	if pol, err := cfg.OverloadPolicy(); err != nil || pol.Enabled() {
+		t.Fatalf("OverloadPolicy() = %+v, %v; want disabled, nil", pol, err)
+	}
+
+	// Validation rejects a malformed policy and bad pool bounds, naming both.
+	bad := DefaultConfig()
+	bad.Backends = []BackendConfig{{Name: "a", URL: "http://h:1"}}
+	bad.Overload = "limit=banana"
+	bad.MaxIdleConnsPerHost = 0
+	bad.IdleConnTimeout = -time.Second
+	err = bad.Validate()
+	if err == nil {
+		t.Fatal("want error")
+	}
+	for _, sub := range []string{"overload policy", "max_idle_conns_per_host", "idle_conn_timeout"} {
+		if !strings.Contains(err.Error(), sub) {
+			t.Errorf("error missing %q:\n%v", sub, err)
+		}
+	}
+}
+
 func TestLoadConfigBadEnvDuration(t *testing.T) {
 	_, err := loadConfig("", envMap(map[string]string{
 		"L3SERVE_SCRAPE_INTERVAL": "soon",

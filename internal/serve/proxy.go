@@ -9,6 +9,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"l3/internal/overload"
 )
 
 // proxyHandler is the data-plane HTTP handler: pick a backend, forward,
@@ -33,6 +35,11 @@ type proxyHandler struct {
 	// ReverseProxies use.
 	transport http.RoundTripper
 
+	// admitter gates every request before backend pick (nil = overload
+	// control off). Shed requests answer 429/503 + Retry-After without
+	// touching the retry budget, the router or any upstream socket.
+	admitter *overload.WallAdmitter
+
 	maxAttempts    int
 	requestTimeout time.Duration
 	perTryTimeout  time.Duration
@@ -41,7 +48,10 @@ type proxyHandler struct {
 	draining atomic.Bool
 }
 
-func newProxyHandler(router *Router, nowFn func() time.Duration, cfg Config) *proxyHandler {
+func newProxyHandler(router *Router, nowFn func() time.Duration, cfg Config, transport http.RoundTripper, admitter *overload.WallAdmitter) *proxyHandler {
+	if transport == nil {
+		transport = http.DefaultTransport
+	}
 	return &proxyHandler{
 		router:         router,
 		nowFn:          nowFn,
@@ -50,7 +60,8 @@ func newProxyHandler(router *Router, nowFn func() time.Duration, cfg Config) *pr
 		hedges:         &atomic.Int64{},
 		panics:         &atomic.Int64{},
 		hedge:          newHedgeTracker(cfg.HedgePercentile, cfg.HedgeMinDelay),
-		transport:      http.DefaultTransport,
+		transport:      transport,
+		admitter:       admitter,
 		maxAttempts:    cfg.MaxAttempts,
 		requestTimeout: cfg.RequestTimeout,
 		perTryTimeout:  cfg.PerTryTimeout,
@@ -69,14 +80,6 @@ func (p *proxyHandler) ServeHTTP(w http.ResponseWriter, req *http.Request) {
 	p.inflight.Add(1)
 	defer p.inflight.Add(-1)
 
-	p.budget.deposit()
-	sw := acquireStatusWriter(w)
-	defer releaseStatusWriter(sw)
-	// Registered after the release defer so it runs first, while sw is
-	// still this request's: one panicking round trip (or handler bug) must
-	// not kill the proxy process.
-	defer p.recoverPanic(w, sw)
-
 	reqStart := p.nowFn()
 	budget := deadlineBudget(req, p.requestTimeout)
 	if budget > 0 {
@@ -84,6 +87,29 @@ func (p *proxyHandler) ServeHTTP(w http.ResponseWriter, req *http.Request) {
 		defer cancel()
 		req = req.WithContext(ctx)
 	}
+
+	// Admission runs before the retry-budget deposit and before any backend
+	// pick: a shed request must cost nothing downstream. A queued request
+	// parks inside Admit (bounded by the drop law's MaxWait flush and its
+	// own deadline above); its wait spends the request budget, which the
+	// attempt loop's remaining-time math then propagates downstream. The
+	// admitted fast path is allocation-free.
+	if p.admitter != nil {
+		v := p.admitter.Admit(req.Context(), time.Now(), overload.ParseTier(req.Header.Get(HeaderCriticality)))
+		if v.Shed() {
+			shedResponse(w, v)
+			return
+		}
+		defer p.admitter.Release()
+	}
+
+	p.budget.deposit()
+	sw := acquireStatusWriter(w)
+	defer releaseStatusWriter(sw)
+	// Registered after the release defer so it runs first, while sw is
+	// still this request's: one panicking round trip (or handler bug) must
+	// not kill the proxy process.
+	defer p.recoverPanic(w, sw)
 
 	// A consumed request body cannot be replayed to a second backend;
 	// bodyless requests (the health-check and benchmark shape) retry
@@ -138,6 +164,11 @@ func (p *proxyHandler) ServeHTTP(w http.ResponseWriter, req *http.Request) {
 
 		ok := sw.transportErr == nil && sw.status() < http.StatusInternalServerError
 		b.Record(p.nowFn(), latency, ok)
+		if p.admitter != nil {
+			// Every attempt feeds the backend's adaptive limiter: RTT is the
+			// Vegas congestion signal, a failure the AIMD decrease.
+			p.admitter.Observe(b.idx, latency, ok)
+		}
 		if ok {
 			p.hedge.observe(latency)
 			return
@@ -303,6 +334,9 @@ func (p *proxyHandler) serveHedged(w http.ResponseWriter, req *http.Request, del
 		latency := p.nowFn() - o.start
 		ok := o.err == nil && o.resp.StatusCode < http.StatusInternalServerError
 		o.b.Record(p.nowFn(), latency, ok)
+		if p.admitter != nil {
+			p.admitter.Observe(o.b.idx, latency, ok)
+		}
 		o.b.inflight.Dec()
 		if ok {
 			p.hedge.observe(latency)

@@ -34,6 +34,10 @@ type Backend struct {
 	Name string
 	URL  *url.URL
 
+	// idx is the backend's position in the server's fleet — the admission
+	// layer's per-backend limiter index (0 when no admitter runs).
+	idx int
+
 	rp *httputil.ReverseProxy
 
 	// healthy mirrors the health checker's verdict (control plane writes,

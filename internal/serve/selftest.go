@@ -374,6 +374,13 @@ type BenchEntry struct {
 	Ejections  int64   `json:"breaker_ejections,omitempty"`
 	FailStatic bool    `json:"failstatic,omitempty"`
 	Recovered  bool    `json:"recovered,omitempty"`
+
+	// Overload-scene fields: set on the serve_overload_* records — server-side
+	// sheds per criticality tier and the longest admitted queue sojourn.
+	ShedCritical  int64   `json:"shed_critical,omitempty"`
+	ShedDefault   int64   `json:"shed_default,omitempty"`
+	ShedSheddable int64   `json:"shed_sheddable,omitempty"`
+	MaxQueueMs    float64 `json:"max_queue_ms,omitempty"`
 }
 
 // BenchEntries converts the report into BENCH_serve.json records.

@@ -10,6 +10,7 @@ import (
 
 	"l3/internal/clock"
 	"l3/internal/metrics"
+	"l3/internal/overload"
 )
 
 // Server assembles the serve mode: data plane (Router + proxy handler on
@@ -31,6 +32,15 @@ type Server struct {
 	handler  *proxyHandler
 	control  *control
 
+	// admitter is the overload-control gate ahead of backend pick (nil when
+	// cfg.Overload is empty/off); admMetrics are its /metrics handles.
+	admitter   *overload.WallAdmitter
+	admMetrics *admissionMetrics
+
+	// transport is the one upstream pool every backend ReverseProxy and the
+	// hedge path share; Shutdown closes its idle connections.
+	transport *http.Transport
+
 	listener net.Listener
 	httpSrv  *http.Server
 	serveErr chan error
@@ -50,15 +60,25 @@ func NewServer(cfg Config) (*Server, error) {
 		ctrlReg:  metrics.NewRegistry(),
 		serveErr: make(chan error, 1),
 	}
-	for _, bc := range cfg.Backends {
+	transport := newUpstreamTransport(cfg)
+	s.transport = transport
+	for i, bc := range cfg.Backends {
 		b, err := newBackend(bc, cfg.Service, s.dataReg, cfg.BreakerThreshold, cfg.BreakerWindow)
 		if err != nil {
 			return nil, fmt.Errorf("serve: backend %s: %w", bc.Name, err)
 		}
+		b.idx = i
+		b.rp.Transport = transport
 		s.backends = append(s.backends, b)
 	}
 	s.router = NewRouter(s.backends)
-	s.handler = newProxyHandler(s.router, s.wall.Now, cfg)
+	if pol, err := cfg.OverloadPolicy(); err != nil {
+		return nil, err // unreachable after Validate; defensive
+	} else if pol.Enabled() {
+		s.admitter = overload.NewWallAdmitter(pol, len(s.backends), time.Now())
+		s.admMetrics = newAdmissionMetrics(s.dataReg, cfg.Service)
+	}
+	s.handler = newProxyHandler(s.router, s.wall.Now, cfg, transport, s.admitter)
 	return s, nil
 }
 
@@ -118,6 +138,12 @@ func (s *Server) Start() error {
 
 func (s *Server) serveMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	// The admission layer's counters live behind the admitter's own mutex;
+	// each scrape folds a snapshot into the registry so /metrics (and the
+	// control plane's self-scrape) sees them without hot-path registry work.
+	if s.admitter != nil {
+		s.admMetrics.sync(s.admitter.Stats())
+	}
 	if err := s.dataReg.WritePrometheus(w); err != nil {
 		return
 	}
@@ -144,6 +170,9 @@ func (s *Server) Router() *Router { return s.router }
 // Control exposes the control plane (tests, selftest reporting).
 func (s *Server) Control() *control { return s.control }
 
+// Admitter exposes the overload-control gate (nil when disabled).
+func (s *Server) Admitter() *overload.WallAdmitter { return s.admitter }
+
 // DataRegistry exposes the data-plane metric registry.
 func (s *Server) DataRegistry() *metrics.Registry { return s.dataReg }
 
@@ -156,17 +185,33 @@ func (s *Server) Shutdown(ctx context.Context) (dropped int64, err error) {
 		return 0, nil
 	}
 	s.handler.setDraining()
+	// Flush the admission queue before waiting on connections: every parked
+	// waiter wakes with ShedDraining, answers 503 and releases its
+	// connection, so a loaded admission queue cannot stall the drain.
+	if s.admitter != nil {
+		s.admitter.DrainFlush()
+	}
 	// Control loops stop first so no callback re-arms after the wall stops;
 	// the scrape GET may still be in flight — Shutdown below waits for it.
 	s.wall.Do(s.control.stop)
 	err = s.httpSrv.Shutdown(ctx)
 	dropped = s.handler.Inflight()
 	s.wall.Stop()
+	// Release pooled upstream sockets. Requests the drain abandoned may
+	// still finish later and re-pool their connections; CloseIdleConnections
+	// is safe to call again (see the drain test's settle loop).
+	s.transport.CloseIdleConnections()
 	if serveErr := <-s.serveErr; serveErr != nil && err == nil {
 		err = serveErr
 	}
 	return dropped, err
 }
+
+// CloseIdleConnections closes the upstream transport's pooled keep-alive
+// connections. Shutdown calls it once; callers that let abandoned in-flight
+// work finish after a timed-out drain can call it again to flush the
+// connections that work returned to the pool.
+func (s *Server) CloseIdleConnections() { s.transport.CloseIdleConnections() }
 
 // ShutdownTimeout is Shutdown with the configured drain deadline.
 func (s *Server) ShutdownTimeout() (int64, error) {
